@@ -1,0 +1,37 @@
+"""Figure 11 — hard-thresholding selection probability trade-off (exact).
+
+This figure is a closed-form plot of Equation (3); the reproduction is exact,
+not approximate.
+"""
+
+import numpy as np
+
+from repro.harness.figures import figure11_hard_threshold_tradeoff
+from repro.harness.report import format_series
+
+
+def test_fig11_hard_threshold_tradeoff(run_once):
+    series = run_once(figure11_hard_threshold_tradeoff, k=1, l=10, thresholds=(1, 3, 5, 7, 9))
+    print()
+    print(
+        format_series(
+            "collision_p",
+            "Pr(selected)",
+            series,
+            title="Figure 11: selection probability vs collision probability (L=10)",
+        )
+    )
+
+    # Qualitative claims from the paper's discussion of Figure 11:
+    # m=9 only retrieves neurons whose collision probability is high...
+    _, m9 = series["m=9"]
+    p_values, m1 = series["m=1"]
+    low_p = p_values < 0.45
+    assert np.all(m9[low_p] < 0.1)
+    # ...while m=1 retrieves low-collision (bad) neurons with high probability.
+    assert m1[np.argmin(np.abs(p_values - 0.2))] > 0.8
+    # Curves are ordered: lower thresholds always select at least as often.
+    for low, high in ((1, 3), (3, 5), (5, 7), (7, 9)):
+        _, a = series[f"m={low}"]
+        _, b = series[f"m={high}"]
+        assert np.all(a >= b - 1e-12)

@@ -1,0 +1,27 @@
+"""Figures 4 and 12 — per-query overhead of the three sampling strategies."""
+
+from collections import defaultdict
+
+from repro.harness.figures import figure4_sampling_strategy_timing
+from repro.harness.report import format_table
+
+
+def test_fig4_sampling_strategy_timing(run_once):
+    rows = run_once(
+        figure4_sampling_strategy_timing,
+        neuron_counts=(2000, 3000, 4000, 5000, 6000, 7000),
+        dim=128,
+        k=6,
+        l=20,
+        queries=10,
+    )
+    print()
+    print(format_table(rows, title="Figure 4/12: sampling strategy time per query (seconds)"))
+
+    # The paper's finding: TopK is the most expensive strategy (it aggregates
+    # and sorts candidate frequencies across all L tables); Vanilla is the
+    # cheapest.  Compare aggregate time across the sweep.
+    totals = defaultdict(float)
+    for row in rows:
+        totals[row["strategy"]] += row["seconds_per_query"]
+    assert totals["TopK Sampling"] > totals["Vanilla Sampling"]

@@ -1,0 +1,62 @@
+"""Figure 5 — SLIDE vs TF-GPU vs TF-CPU, time- and iteration-wise accuracy.
+
+The paper's headline: SLIDE on a 44-core CPU reaches any accuracy level
+1.8x (Delicious-200K) / 2.7x (Amazon-670K) faster than TF on a V100, and
+roughly 8x faster than TF on the same CPU, while iteration-wise convergence
+matches the full-softmax baseline.
+"""
+
+from repro.harness.experiment import AMAZON_PAPER_DIMS, DELICIOUS_PAPER_DIMS
+from repro.harness.figures import figure5_time_vs_accuracy
+from repro.harness.report import format_comparison, format_series, format_table
+
+
+def _report(result, dataset_name, paper_speedup_gpu, paper_speedup_cpu):
+    print()
+    print(format_table(result["summary"], title=f"Figure 5 summary ({dataset_name})"))
+    print(
+        format_series(
+            "time_s", "precision@1", result["time_series"], title="Time vs accuracy"
+        )
+    )
+    print(
+        format_series(
+            "iteration",
+            "precision@1",
+            result["iteration_series"],
+            title="Iteration vs accuracy",
+        )
+    )
+    print(format_comparison(paper_speedup_gpu, result["speedup_vs_gpu"], "speed-up vs TF-GPU", "x"))
+    print(format_comparison(paper_speedup_cpu, result["speedup_vs_cpu"], "speed-up vs TF-CPU", "x"))
+
+
+def test_fig5_delicious_like(run_once, delicious_config):
+    result = run_once(
+        figure5_time_vs_accuracy, delicious_config, cores=44, paper_dims=DELICIOUS_PAPER_DIMS
+    )
+    _report(result, "Delicious-200K-like", paper_speedup_gpu=1.8, paper_speedup_cpu=8.0)
+    # Shape checks: SLIDE wins against both baselines at 44 cores, and the
+    # CPU baseline is the slowest of the three.
+    assert result["speedup_vs_gpu"] > 1.0
+    assert result["speedup_vs_cpu"] > result["speedup_vs_gpu"]
+
+
+def test_fig5_amazon_like(run_once, amazon_config):
+    result = run_once(
+        figure5_time_vs_accuracy, amazon_config, cores=44, paper_dims=AMAZON_PAPER_DIMS
+    )
+    _report(result, "Amazon-670K-like", paper_speedup_gpu=2.7, paper_speedup_cpu=10.0)
+    assert result["speedup_vs_gpu"] > 1.0
+    assert result["speedup_vs_cpu"] > result["speedup_vs_gpu"]
+
+
+def test_fig5_iteration_wise_parity(run_once, delicious_config):
+    """Iteration-wise, SLIDE's convergence must not trail the full softmax:
+    adaptive sampling costs no accuracy per iteration."""
+    result = run_once(
+        figure5_time_vs_accuracy, delicious_config, cores=44, paper_dims=DELICIOUS_PAPER_DIMS
+    )
+    slide_iters, slide_acc = result["iteration_series"]["SLIDE CPU"]
+    gpu_iters, gpu_acc = result["iteration_series"]["TF-GPU"]
+    assert slide_acc[-1] >= gpu_acc[-1] - 0.05

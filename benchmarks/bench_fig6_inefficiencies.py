@@ -1,0 +1,25 @@
+"""Figure 6 — distribution of CPU pipeline inefficiencies (top-down analysis).
+
+Paper finding: memory-bound stalls dominate for both frameworks; they *grow*
+with thread count for TF-CPU and *shrink* for SLIDE.
+"""
+
+from repro.harness.figures import figure6_inefficiency_breakdown
+from repro.harness.report import format_table
+
+
+def test_fig6_inefficiency_breakdown(run_once):
+    rows = run_once(figure6_inefficiency_breakdown, threads=(8, 16, 32))
+    print()
+    print(format_table(rows, title="Figure 6: CPU usage inefficiency breakdown"))
+
+    tf_rows = [r for r in rows if r["framework"] == "Tensorflow-CPU"]
+    slide_rows = [r for r in rows if r["framework"] == "SLIDE"]
+
+    # Memory-bound is the dominant inefficiency everywhere.
+    for row in rows:
+        assert row["memory_bound"] >= row["front_end_bound"]
+        assert row["memory_bound"] >= row["core_bound"]
+    # Opposite trends with increasing threads.
+    assert tf_rows[0]["memory_bound"] < tf_rows[-1]["memory_bound"]
+    assert slide_rows[0]["memory_bound"] > slide_rows[-1]["memory_bound"]

@@ -1,0 +1,33 @@
+"""Figure 8 — effect of batch size (SLIDE vs TF-GPU vs Sampled Softmax).
+
+Paper finding: SLIDE outperforms TF-GPU at every batch size, and the gap
+widens as the batch grows (SLIDE processes all samples of a batch in
+parallel with asynchronous updates).
+"""
+
+from collections import defaultdict
+
+from repro.harness.experiment import AMAZON_PAPER_DIMS
+from repro.harness.figures import figure8_batch_size_effect
+from repro.harness.report import format_table
+
+
+def test_fig8_batch_size_effect(run_once, amazon_config):
+    rows = run_once(
+        figure8_batch_size_effect,
+        amazon_config,
+        batch_sizes=(16, 32, 64),
+        cores=44,
+        paper_dims=AMAZON_PAPER_DIMS,
+    )
+    print()
+    print(format_table(rows, title="Figure 8: batch-size effect (Amazon-670K-like)"))
+
+    by_batch: dict[int, dict[str, float]] = defaultdict(dict)
+    for row in rows:
+        by_batch[int(row["batch_size"])][str(row["framework"])] = float(
+            row["convergence_time_s"]
+        )
+    # SLIDE beats TF-GPU at every batch size (the paper's headline for Fig 8).
+    for batch_size, times in by_batch.items():
+        assert times["SLIDE CPU"] < times["TF-GPU"], f"batch={batch_size}"

@@ -1,0 +1,53 @@
+"""Figures 9 and 13 — scalability with CPU core count.
+
+Paper findings: SLIDE's convergence time falls steeply with added cores
+(near-linear), TF-CPU's flattens after ~16 cores, TF-GPU is oblivious to CPU
+cores, and SLIDE overtakes TF-GPU somewhere between 8 and 32 cores.
+"""
+
+from repro.harness.experiment import AMAZON_PAPER_DIMS, DELICIOUS_PAPER_DIMS
+from repro.harness.figures import figure9_scalability, figure13_scalability_ratio
+from repro.harness.report import format_table
+
+CORE_COUNTS = (2, 4, 8, 16, 32, 44)
+
+
+def _crossover(rows, column):
+    """Smallest core count at which SLIDE beats the given baseline column."""
+    for row in rows:
+        if row["SLIDE_convergence_s"] < row[column]:
+            return int(row["cores"])
+    return None
+
+
+def _run(run_once, config, dims, name):
+    rows = run_once(figure9_scalability, config, core_counts=CORE_COUNTS, paper_dims=dims)
+    print()
+    print(format_table(rows, title=f"Figure 9: convergence time vs cores ({name})"))
+    ratios = figure13_scalability_ratio(rows)
+    print(format_table(ratios, title=f"Figure 13: ratio to best convergence time ({name})"))
+    return rows, ratios
+
+
+def test_fig9_delicious_like(run_once, delicious_config):
+    rows, ratios = _run(run_once, delicious_config, DELICIOUS_PAPER_DIMS, "Delicious-200K-like")
+    # SLIDE improves monotonically with cores; at 44 cores it beats the GPU.
+    slide_times = [r["SLIDE_convergence_s"] for r in rows]
+    assert all(b < a for a, b in zip(slide_times, slide_times[1:]))
+    assert rows[-1]["SLIDE_convergence_s"] < rows[-1]["TF-GPU_convergence_s"]
+    # A GPU crossover exists and is not at the minimum core count (paper:
+    # between 16 and 32 cores).
+    gpu_crossover = _crossover(rows, "TF-GPU_convergence_s")
+    print(f"GPU crossover at {gpu_crossover} cores (paper: between 16 and 32)")
+    assert gpu_crossover is not None and gpu_crossover > 2
+    # SLIDE scales better than TF-CPU: its ratio-to-best falls faster (Fig 13).
+    assert ratios[0]["SLIDE_ratio"] > ratios[0]["TF-CPU_ratio"] * 0.9
+
+
+def test_fig9_amazon_like(run_once, amazon_config):
+    rows, _ = _run(run_once, amazon_config, AMAZON_PAPER_DIMS, "Amazon-670K-like")
+    assert rows[-1]["SLIDE_convergence_s"] < rows[-1]["TF-GPU_convergence_s"]
+    # Against TF-CPU, SLIDE wins from a very small core count (paper: 2).
+    cpu_crossover = _crossover(rows, "TF-CPU_convergence_s")
+    print(f"TF-CPU crossover at {cpu_crossover} cores (paper: 2)")
+    assert cpu_crossover is not None and cpu_crossover <= 8

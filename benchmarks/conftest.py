@@ -1,0 +1,48 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper (see DESIGN.md §4
+for the index and EXPERIMENTS.md for paper-vs-measured numbers).  Bench
+functions print the regenerated artefact with ``repro.harness.report`` so the
+captured output can be compared against the paper, and time the driver with
+pytest-benchmark (single round — these are experiment drivers, not
+micro-benchmarks).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.harness.experiment import ExperimentConfig, small_experiment_config  # noqa: E402
+
+
+def _bench_config(dataset: str) -> ExperimentConfig:
+    """Benchmark-scale head-to-head config (a few hundred labels, 2 epochs)."""
+    scale = 1.0 / 1024.0 if dataset == "delicious" else 1.0 / 2048.0
+    return small_experiment_config(dataset=dataset, scale=scale, epochs=2, seed=0)
+
+
+@pytest.fixture(scope="session")
+def delicious_config() -> ExperimentConfig:
+    return _bench_config("delicious")
+
+
+@pytest.fixture(scope="session")
+def amazon_config() -> ExperimentConfig:
+    return _bench_config("amazon")
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment driver exactly once under pytest-benchmark timing."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)
+
+    return _run

@@ -1,0 +1,125 @@
+"""Extending SLIDE with a custom LSH family.
+
+The paper notes that "SLIDE also provides the interface to add customized
+hash functions based on need" (Section 3.2).  This example registers a new
+family — a plain dense signed random projection without the sparse-projection
+trick — and trains a SLIDE network with it, comparing the result against the
+built-in SimHash.
+
+Run:  python examples/custom_hash_function.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+import numpy as np
+
+from repro.config import (
+    LayerConfig,
+    LSHConfig,
+    OptimizerConfig,
+    SamplingConfig,
+    SlideNetworkConfig,
+    TrainingConfig,
+)
+from repro.core.network import SlideNetwork
+from repro.core.trainer import SlideTrainer
+from repro.datasets.synthetic import SyntheticXCConfig, generate_synthetic_xc
+from repro.hashing.base import LSHFamily
+from repro.hashing.factory import register_hash_family
+from repro.utils.rng import derive_rng
+
+
+class DenseSignHash(LSHFamily):
+    """Signed random projections with dense Gaussian projection vectors.
+
+    Functionally equivalent to SimHash for cosine similarity, but without the
+    {+1, 0, -1} sparse-projection optimisation — a useful baseline for seeing
+    what that optimisation buys.
+    """
+
+    def __init__(self, input_dim: int, k: int, l: int, seed: int = 0) -> None:
+        super().__init__(input_dim=input_dim, k=k, l=l, seed=seed)
+        rng = derive_rng(seed, stream=999)
+        self._projections = rng.normal(size=(k * l, input_dim))
+
+    @property
+    def code_cardinality(self) -> int:
+        return 2
+
+    def hash_vector(self, vector):
+        dense = self._as_dense(vector)
+        signs = (self._projections @ dense) > 0
+        return signs.astype(np.int64).reshape(self.l, self.k)
+
+
+def train_with_family(dataset, family_name: str) -> float:
+    network = SlideNetwork(
+        SlideNetworkConfig(
+            input_dim=dataset.feature_dim,
+            layers=(
+                LayerConfig(size=64, activation="relu"),
+                LayerConfig(
+                    size=dataset.label_dim,
+                    activation="softmax",
+                    lsh=_lsh_config(family_name),
+                    sampling=SamplingConfig(strategy="vanilla", target_active=24, min_active=12),
+                ),
+            ),
+            seed=3,
+        )
+    )
+    trainer = SlideTrainer(
+        network,
+        TrainingConfig(batch_size=32, epochs=2, optimizer=OptimizerConfig(learning_rate=2e-3), seed=4),
+    )
+    trainer.train(dataset.train, dataset.test)
+    return trainer.evaluate(dataset.test)
+
+
+def _lsh_config(family_name: str) -> LSHConfig:
+    config = LSHConfig(hash_family="simhash", k=5, l=16, bucket_size=48)
+    if family_name != "simhash":
+        # LSHConfig validates hash_family against the Literal type at
+        # construction; for custom families we swap the name afterwards.
+        object.__setattr__(config, "hash_family", family_name)
+    return config
+
+
+def main() -> None:
+    # Register the custom family under a new name.  The builder receives the
+    # layer's fan-in, the LSHConfig and a seed.
+    register_hash_family(
+        "dense-sign", lambda dim, cfg, seed: DenseSignHash(dim, cfg.k, cfg.l, seed)
+    )
+    print("registered custom hash family 'dense-sign'")
+
+    dataset = generate_synthetic_xc(
+        SyntheticXCConfig(
+            feature_dim=512,
+            label_dim=128,
+            num_train=768,
+            num_test=192,
+            avg_features_per_example=30,
+            avg_labels_per_example=2.0,
+            seed=11,
+            name="custom-hash-demo",
+        )
+    )
+
+    for family in ("simhash", "dense-sign"):
+        accuracy = train_with_family(dataset, family)
+        print(f"final precision@1 with {family:>10}: {accuracy:.3f}")
+    print(
+        "\nBoth families target cosine similarity, so accuracy should be similar;\n"
+        "the built-in SimHash additionally uses sparse {+1,0,-1} projections so each\n"
+        "hash costs a third of the additions (Section 3.2 / Appendix A of the paper)."
+    )
+
+
+if __name__ == "__main__":
+    main()

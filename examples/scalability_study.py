@@ -1,0 +1,66 @@
+"""Scalability study: how SLIDE's advantage depends on the CPU core count.
+
+Reproduces the analysis behind Figures 9 and 13 of the paper: train SLIDE and
+the dense baseline once (the per-iteration *work* does not depend on the core
+count), then attribute wall-clock time with the calibrated device profiles at
+2-44 cores and find the crossover points where SLIDE overtakes TF-CPU and
+TF-GPU.
+
+Run:  python examples/scalability_study.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from repro.harness.experiment import (
+    AMAZON_PAPER_DIMS,
+    DELICIOUS_PAPER_DIMS,
+    small_experiment_config,
+)
+from repro.harness.figures import figure9_scalability, figure13_scalability_ratio
+from repro.harness.report import format_table
+
+CORE_COUNTS = (2, 4, 8, 16, 32, 44)
+
+
+def crossover(rows, column):
+    """Smallest core count at which SLIDE's convergence time beats a baseline."""
+    for row in rows:
+        if row["SLIDE_convergence_s"] < row[column]:
+            return int(row["cores"])
+    return None
+
+
+def study(dataset: str, dims, paper_note: str) -> None:
+    config = small_experiment_config(dataset=dataset, scale=1.0 / 1024.0, epochs=2)
+    print(f"\n=== {dims.name} (synthetic stand-in: {config.dataset.name}) ===")
+    rows = figure9_scalability(config, core_counts=CORE_COUNTS, paper_dims=dims)
+    print(format_table(rows, title="Convergence time (s) vs CPU cores"))
+    ratios = figure13_scalability_ratio(rows)
+    print(format_table(ratios, title="Ratio to the 44-core convergence time"))
+
+    cpu_cross = crossover(rows, "TF-CPU_convergence_s")
+    gpu_cross = crossover(rows, "TF-GPU_convergence_s")
+    print(f"SLIDE overtakes TF-CPU at {cpu_cross} cores and TF-GPU at {gpu_cross} cores.")
+    print(f"paper: {paper_note}")
+
+
+def main() -> None:
+    study(
+        "delicious",
+        DELICIOUS_PAPER_DIMS,
+        "SLIDE beats TF-CPU with 8 cores and TF-GPU with fewer than 32 cores",
+    )
+    study(
+        "amazon",
+        AMAZON_PAPER_DIMS,
+        "SLIDE beats TF-CPU with 2 cores and TF-GPU with 8 cores",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that legacy editable installs (``pip install -e . --no-use-pep517``) work in
+environments without the ``wheel`` package, e.g. offline CI images.
+"""
+
+from setuptools import setup
+
+setup()

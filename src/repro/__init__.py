@@ -1,0 +1,52 @@
+"""repro — a Python reproduction of SLIDE (Sub-LInear Deep learning Engine).
+
+SLIDE (Chen et al., MLSys 2020) trains very wide fully connected networks by
+replacing dense matrix multiplication with adaptive sparsity: Locality
+Sensitive Hash tables over each layer's neurons select, per input, the small
+set of neurons worth computing, and backpropagation touches only those.
+
+Public API overview
+-------------------
+* :mod:`repro.core` — ``SlideNetwork`` / ``SlideTrainer``, the paper's
+  contribution.
+* :mod:`repro.hashing`, :mod:`repro.lsh`, :mod:`repro.sampling` — the LSH
+  substrate (hash families, bounded-bucket tables, sampling strategies).
+* :mod:`repro.baselines` — dense full-softmax and sampled-softmax baselines.
+* :mod:`repro.datasets` — synthetic extreme-classification data and the XC
+  repository loader.
+* :mod:`repro.parallel` — HOGWILD-style asynchronous update simulation and
+  conflict analysis.
+* :mod:`repro.perf` — operation counting, calibrated device profiles and the
+  wall-clock / CPU-counter / memory models behind the paper's figures.
+* :mod:`repro.harness` — one driver per table and figure of the evaluation.
+"""
+
+from repro.config import (
+    LayerConfig,
+    LSHConfig,
+    OptimizerConfig,
+    RebuildScheduleConfig,
+    SamplingConfig,
+    SlideNetworkConfig,
+    TrainingConfig,
+)
+from repro.core import SlideNetwork, SlideTrainer
+from repro.types import SparseBatch, SparseExample, SparseVector
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "LayerConfig",
+    "LSHConfig",
+    "OptimizerConfig",
+    "RebuildScheduleConfig",
+    "SamplingConfig",
+    "SlideNetworkConfig",
+    "TrainingConfig",
+    "SlideNetwork",
+    "SlideTrainer",
+    "SparseBatch",
+    "SparseExample",
+    "SparseVector",
+]

@@ -1,0 +1,221 @@
+"""Configuration dataclasses for SLIDE networks and experiments.
+
+These configs mirror the tunable parameters called out in the paper:
+
+* ``(K, L)`` — number of hash bits per table and number of tables
+  (Section 3.2).
+* bucket size limit and insertion policy (Section 4.2, Table 3).
+* rebuild schedule ``N0``/``lambda`` — exponential decay of the hash-table
+  update frequency (Section 4.2).
+* sampling strategy and target active-set size ``beta`` (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+__all__ = [
+    "HashFamilyName",
+    "SamplingStrategyName",
+    "InsertionPolicyName",
+    "LSHConfig",
+    "RebuildScheduleConfig",
+    "SamplingConfig",
+    "LayerConfig",
+    "SlideNetworkConfig",
+    "OptimizerConfig",
+    "TrainingConfig",
+]
+
+HashFamilyName = Literal["simhash", "wta", "dwta", "doph", "minhash"]
+SamplingStrategyName = Literal["vanilla", "topk", "hard_threshold"]
+InsertionPolicyName = Literal["fifo", "reservoir"]
+
+
+@dataclass(frozen=True)
+class LSHConfig:
+    """Parameters of the per-layer LSH index.
+
+    Attributes
+    ----------
+    hash_family:
+        One of ``simhash``, ``wta``, ``dwta``, ``doph``, ``minhash``.
+    k:
+        Number of elementary hash functions concatenated per table
+        (``K`` in the paper).
+    l:
+        Number of hash tables (``L`` in the paper).
+    bucket_size:
+        Maximum number of neuron ids stored per bucket.
+    insertion_policy:
+        ``fifo`` or ``reservoir`` replacement when a bucket is full.
+    simhash_sparsity:
+        Fraction of non-zero coordinates in SimHash projection vectors
+        (the paper uses 1/3 sparse random projections).
+    wta_bin_size:
+        ``m`` -- the number of coordinates per permutation bin for
+        WTA/DWTA hashing.
+    doph_top_k:
+        Number of top coordinates kept when binarising dense inputs for
+        DOPH/MinHash.
+    """
+
+    hash_family: HashFamilyName = "simhash"
+    k: int = 6
+    l: int = 20
+    bucket_size: int = 128
+    insertion_policy: InsertionPolicyName = "fifo"
+    simhash_sparsity: float = 1.0 / 3.0
+    wta_bin_size: int = 8
+    doph_top_k: int = 32
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise ValueError("k must be positive")
+        if self.l <= 0:
+            raise ValueError("l must be positive")
+        if self.bucket_size <= 0:
+            raise ValueError("bucket_size must be positive")
+        if not 0.0 < self.simhash_sparsity <= 1.0:
+            raise ValueError("simhash_sparsity must be in (0, 1]")
+        if self.wta_bin_size < 2:
+            raise ValueError("wta_bin_size must be at least 2")
+        if self.doph_top_k <= 0:
+            raise ValueError("doph_top_k must be positive")
+
+
+@dataclass(frozen=True)
+class RebuildScheduleConfig:
+    """Exponential-decay schedule for hash-table rebuilds (Section 4.2).
+
+    The ``t``-th rebuild happens ``N0 * exp(lambda * (t-1))`` iterations after
+    the ``(t-1)``-th one, i.e. rebuilds become progressively rarer as training
+    approaches convergence.
+    """
+
+    initial_period: int = 50
+    decay: float = 0.1
+    max_period: int = 10_000
+
+    def __post_init__(self) -> None:
+        if self.initial_period <= 0:
+            raise ValueError("initial_period must be positive")
+        if self.decay < 0:
+            raise ValueError("decay must be non-negative")
+        if self.max_period < self.initial_period:
+            raise ValueError("max_period must be >= initial_period")
+
+
+@dataclass(frozen=True)
+class SamplingConfig:
+    """Active-neuron sampling parameters (Section 4.1)."""
+
+    strategy: SamplingStrategyName = "vanilla"
+    # Target number of active neurons to retrieve (``beta`` in the paper).
+    # ``None`` means "whatever the buckets return".
+    target_active: int | None = None
+    # Minimum frequency for hard-thresholding.
+    hard_threshold: int = 2
+    # Always include ground-truth label neurons in the output layer's active
+    # set during training (the reference implementation does this).
+    include_labels: bool = True
+    # Fall back to a uniformly random set of this size when the hash tables
+    # return nothing (prevents dead iterations early in training).
+    min_active: int = 16
+
+    def __post_init__(self) -> None:
+        if self.target_active is not None and self.target_active <= 0:
+            raise ValueError("target_active must be positive when provided")
+        if self.hard_threshold <= 0:
+            raise ValueError("hard_threshold must be positive")
+        if self.min_active < 0:
+            raise ValueError("min_active must be non-negative")
+
+
+@dataclass(frozen=True)
+class LayerConfig:
+    """Configuration for a single fully connected SLIDE layer."""
+
+    size: int
+    activation: Literal["relu", "softmax", "linear"] = "relu"
+    # ``None`` disables LSH sampling (the layer is computed densely).
+    lsh: LSHConfig | None = None
+    sampling: SamplingConfig = field(default_factory=SamplingConfig)
+    rebuild: RebuildScheduleConfig = field(default_factory=RebuildScheduleConfig)
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError("layer size must be positive")
+
+    @property
+    def uses_lsh(self) -> bool:
+        return self.lsh is not None
+
+
+@dataclass(frozen=True)
+class OptimizerConfig:
+    """Optimiser hyper-parameters (the paper uses Adam throughout)."""
+
+    name: Literal["adam", "sgd"] = "adam"
+    learning_rate: float = 1e-3
+    beta1: float = 0.9
+    beta2: float = 0.999
+    epsilon: float = 1e-8
+    momentum: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0 <= self.beta1 < 1 or not 0 <= self.beta2 < 1:
+            raise ValueError("beta1/beta2 must lie in [0, 1)")
+        if self.epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        if not 0 <= self.momentum < 1:
+            raise ValueError("momentum must lie in [0, 1)")
+
+
+@dataclass(frozen=True)
+class SlideNetworkConfig:
+    """Full network architecture specification."""
+
+    input_dim: int
+    layers: tuple[LayerConfig, ...]
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.input_dim <= 0:
+            raise ValueError("input_dim must be positive")
+        if not self.layers:
+            raise ValueError("at least one layer is required")
+        if self.layers[-1].activation != "softmax":
+            raise ValueError("the final layer must use softmax activation")
+
+    @property
+    def output_dim(self) -> int:
+        return self.layers[-1].size
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Training-loop parameters."""
+
+    batch_size: int = 128
+    epochs: int = 1
+    optimizer: OptimizerConfig = field(default_factory=OptimizerConfig)
+    shuffle: bool = True
+    seed: int = 0
+    # Evaluate precision@1 on held-out data every this many iterations
+    # (0 disables periodic evaluation).
+    eval_every: int = 0
+    eval_samples: int = 512
+
+    def __post_init__(self) -> None:
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if self.epochs <= 0:
+            raise ValueError("epochs must be positive")
+        if self.eval_every < 0:
+            raise ValueError("eval_every must be non-negative")
+        if self.eval_samples <= 0:
+            raise ValueError("eval_samples must be positive")

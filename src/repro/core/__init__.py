@@ -1,0 +1,23 @@
+"""SLIDE core: sparse layers, network, trainer and inference."""
+
+from repro.core.activations import relu, relu_grad, sparse_softmax, log_sparse_softmax
+from repro.core.layer import SlideLayer, LayerForwardState
+from repro.core.network import SlideNetwork, ForwardResult
+from repro.core.trainer import SlideTrainer, TrainingHistory, IterationRecord
+from repro.core.inference import predict_top_k, evaluate_precision_at_1
+
+__all__ = [
+    "relu",
+    "relu_grad",
+    "sparse_softmax",
+    "log_sparse_softmax",
+    "SlideLayer",
+    "LayerForwardState",
+    "SlideNetwork",
+    "ForwardResult",
+    "SlideTrainer",
+    "TrainingHistory",
+    "IterationRecord",
+    "predict_top_k",
+    "evaluate_precision_at_1",
+]

@@ -1,0 +1,48 @@
+"""Activation functions used by SLIDE layers.
+
+The only non-standard piece is the *sparse softmax*: SLIDE normalises the
+softmax over the **active** output neurons only, so the partition function is
+a sum over the sampled set rather than all classes (paper Section 3.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.types import FloatArray
+
+__all__ = ["relu", "relu_grad", "sparse_softmax", "log_sparse_softmax"]
+
+
+def relu(z: FloatArray) -> FloatArray:
+    """Rectified linear unit, element-wise."""
+    return np.maximum(z, 0.0)
+
+
+def relu_grad(z: FloatArray) -> FloatArray:
+    """Derivative of ReLU with respect to its pre-activation ``z``."""
+    return (z > 0.0).astype(np.float64)
+
+
+def sparse_softmax(logits: FloatArray) -> FloatArray:
+    """Softmax normalised over the provided (active) logits only.
+
+    Numerically stabilised by subtracting the max logit.  An empty input
+    returns an empty array.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    if logits.size == 0:
+        return logits.copy()
+    shifted = logits - logits.max()
+    exp = np.exp(shifted)
+    return exp / exp.sum()
+
+
+def log_sparse_softmax(logits: FloatArray) -> FloatArray:
+    """Log of :func:`sparse_softmax`, computed stably."""
+    logits = np.asarray(logits, dtype=np.float64)
+    if logits.size == 0:
+        return logits.copy()
+    shifted = logits - logits.max()
+    log_norm = np.log(np.exp(shifted).sum())
+    return shifted - log_norm

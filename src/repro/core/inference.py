@@ -1,0 +1,46 @@
+"""Inference helpers: top-k prediction and precision@1 evaluation.
+
+The paper's accuracy metric on Delicious-200K and Amazon-670K is precision@1
+(the standard extreme-classification metric): the fraction of test examples
+whose highest-scoring predicted class is one of the example's true labels.
+
+Evaluation uses the *dense* forward pass: SLIDE's hash tables accelerate
+training, but at evaluation time we want the model's true argmax, and the
+evaluation sets used by the harness are small.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.types import IntArray, SparseExample
+from repro.utils.topk import top_k_indices
+
+__all__ = ["predict_top_k", "evaluate_precision_at_1", "evaluate_precision_at_k"]
+
+
+def predict_top_k(network, example: SparseExample, k: int = 1) -> IntArray:
+    """Indices of the ``k`` highest-probability output classes for ``example``."""
+    scores = network.predict_dense(example)
+    return top_k_indices(scores, k)
+
+
+def evaluate_precision_at_1(network, examples: list[SparseExample]) -> float:
+    """Precision@1 over ``examples`` (skips examples with no labels)."""
+    return evaluate_precision_at_k(network, examples, k=1)
+
+
+def evaluate_precision_at_k(network, examples: list[SparseExample], k: int = 1) -> float:
+    """Precision@k: mean fraction of the top-k predictions that are true labels."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    scores = []
+    for example in examples:
+        if example.labels.size == 0:
+            continue
+        predictions = predict_top_k(network, example, k=k)
+        hits = np.isin(predictions, example.labels).sum()
+        scores.append(hits / k)
+    if not scores:
+        return 0.0
+    return float(np.mean(scores))

@@ -1,0 +1,310 @@
+"""A single fully connected SLIDE layer with optional LSH neuron sampling.
+
+Responsibilities (paper Figure 2):
+
+* own the weight matrix ``W`` (``size x fan_in``) and bias vector;
+* own an :class:`~repro.lsh.index.LSHIndex` over the rows of ``W`` when LSH
+  sampling is enabled for the layer;
+* given a sparse input, choose the **active** output neurons (via the hash
+  tables, or all of them when LSH is disabled) and compute only their
+  activations;
+* during backpropagation, update only the weights connecting active outputs
+  to active inputs, and re-hash neurons on the layer's rebuild schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import LayerConfig
+from repro.core.activations import relu, relu_grad, sparse_softmax
+from repro.lsh.index import LSHIndex
+from repro.lsh.scheduler import ExponentialDecaySchedule, RebuildSchedule
+from repro.optim.base import Optimizer
+from repro.sampling.strategies import SamplingStrategy, make_sampling_strategy
+from repro.types import FloatArray, IntArray
+from repro.utils.rng import derive_rng
+
+__all__ = ["SlideLayer", "LayerForwardState"]
+
+
+@dataclass
+class LayerForwardState:
+    """Per-sample bookkeeping produced by the forward pass of one layer.
+
+    Mirrors the per-neuron arrays in Figure 2 of the paper (activation,
+    active flag, accumulated gradient) but stores them sparsely: only the
+    active neurons' entries exist.
+    """
+
+    active_in: IntArray
+    input_values: FloatArray
+    active_out: IntArray
+    pre_activation: FloatArray
+    activation: FloatArray
+    # Filled in during backprop: gradient of the loss w.r.t. pre-activation.
+    delta: FloatArray | None = None
+    # Diagnostics for the cost model.
+    sampled_from_tables: int = 0
+    fallback_random: int = 0
+
+    @property
+    def num_active(self) -> int:
+        return int(self.active_out.shape[0])
+
+    @property
+    def num_active_weights(self) -> int:
+        return int(self.active_out.shape[0] * self.active_in.shape[0])
+
+
+class SlideLayer:
+    """One fully connected layer with adaptive-sparsity support."""
+
+    def __init__(
+        self,
+        fan_in: int,
+        config: LayerConfig,
+        seed: int = 0,
+        name: str = "layer",
+    ) -> None:
+        if fan_in <= 0:
+            raise ValueError("fan_in must be positive")
+        self.fan_in = int(fan_in)
+        self.config = config
+        self.size = int(config.size)
+        self.activation_name = config.activation
+        self.name = name
+        self._rng = derive_rng(seed, stream=11)
+
+        # He/Glorot-style initialisation scaled by fan-in keeps early logits
+        # small enough for the softmax layer of extreme-classification nets.
+        scale = np.sqrt(2.0 / self.fan_in)
+        self.weights: FloatArray = self._rng.normal(
+            scale=scale, size=(self.size, self.fan_in)
+        )
+        self.biases: FloatArray = np.zeros(self.size, dtype=np.float64)
+
+        # LSH machinery (optional).
+        self.lsh_index: LSHIndex | None = None
+        self.sampler: SamplingStrategy | None = None
+        self.rebuild_schedule: RebuildSchedule | None = None
+        if config.uses_lsh:
+            assert config.lsh is not None
+            self.lsh_index = LSHIndex(input_dim=self.fan_in, config=config.lsh, seed=seed)
+            self.sampler = make_sampling_strategy(config.sampling, rng=self._rng)
+            self.rebuild_schedule = ExponentialDecaySchedule(
+                initial_period=config.rebuild.initial_period,
+                decay=config.rebuild.decay,
+                max_period=config.rebuild.max_period,
+            )
+            self.lsh_index.build(self.weights)
+
+        # Neurons whose weights changed since the last rebuild; only these are
+        # re-hashed when the rebuild schedule fires.
+        self._dirty_neurons: set[int] = set()
+        # Counters surfaced to the cost model / diagnostics.
+        self.num_rebuilds = 0
+        self.num_forward_calls = 0
+
+    # ------------------------------------------------------------------
+    # Optimiser wiring
+    # ------------------------------------------------------------------
+    def register_parameters(self, optimizer: Optimizer) -> None:
+        """Register this layer's weight and bias tensors with ``optimizer``."""
+        optimizer.register(f"{self.name}.weights", self.weights.shape)
+        optimizer.register(f"{self.name}.biases", self.biases.shape)
+
+    # ------------------------------------------------------------------
+    # Active-set selection
+    # ------------------------------------------------------------------
+    def select_active(
+        self,
+        input_indices: IntArray,
+        input_values: FloatArray,
+        forced_active: IntArray | None = None,
+    ) -> tuple[IntArray, int, int]:
+        """Choose the active output neurons for one sparse input.
+
+        Returns ``(active_ids, sampled_from_tables, fallback_random)``.
+        ``forced_active`` (e.g. the ground-truth labels of the sample) is
+        always unioned into the result, matching the reference implementation.
+        """
+        if self.lsh_index is None or self.sampler is None:
+            active = np.arange(self.size, dtype=np.int64)
+            return active, 0, 0
+
+        dense_query = np.zeros(self.fan_in, dtype=np.float64)
+        dense_query[input_indices] = input_values
+        target = self.config.sampling.target_active
+        sampled = self.sampler.sample(self.lsh_index, dense_query, target)
+        from_tables = int(sampled.size)
+
+        fallback = 0
+        min_active = self.config.sampling.min_active
+        if sampled.size < min_active and min_active > 0:
+            # Early in training the tables can be nearly empty for a query;
+            # pad with uniformly random neurons so learning never stalls.
+            needed = min(min_active - sampled.size, self.size)
+            extra = self._rng.choice(self.size, size=needed, replace=False)
+            sampled = np.union1d(sampled, extra.astype(np.int64))
+            fallback = int(needed)
+
+        if forced_active is not None and forced_active.size:
+            sampled = np.union1d(sampled, np.asarray(forced_active, dtype=np.int64))
+        return sampled.astype(np.int64), from_tables, fallback
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+    def forward(
+        self,
+        input_indices: IntArray,
+        input_values: FloatArray,
+        forced_active: IntArray | None = None,
+    ) -> LayerForwardState:
+        """Sparse forward pass for one sample.
+
+        Only the activations of the selected active neurons are computed;
+        everything else is implicitly zero.
+        """
+        input_indices = np.asarray(input_indices, dtype=np.int64)
+        input_values = np.asarray(input_values, dtype=np.float64)
+        active_out, from_tables, fallback = self.select_active(
+            input_indices, input_values, forced_active
+        )
+
+        if active_out.size and input_indices.size:
+            block = self.weights[np.ix_(active_out, input_indices)]
+            pre = block @ input_values + self.biases[active_out]
+        else:
+            pre = self.biases[active_out].copy() if active_out.size else np.zeros(0)
+
+        if self.activation_name == "relu":
+            act = relu(pre)
+        elif self.activation_name == "softmax":
+            act = sparse_softmax(pre)
+        elif self.activation_name == "linear":
+            act = pre.copy()
+        else:  # pragma: no cover - config validation prevents this
+            raise ValueError(f"unknown activation {self.activation_name!r}")
+
+        self.num_forward_calls += 1
+        return LayerForwardState(
+            active_in=input_indices,
+            input_values=input_values,
+            active_out=active_out,
+            pre_activation=pre,
+            activation=act,
+            sampled_from_tables=from_tables,
+            fallback_random=fallback,
+        )
+
+    # ------------------------------------------------------------------
+    # Backward
+    # ------------------------------------------------------------------
+    def backward(
+        self,
+        state: LayerForwardState,
+        upstream_delta: FloatArray,
+    ) -> FloatArray:
+        """Compute gradients for one sample and the delta for the layer below.
+
+        ``upstream_delta`` is dL/d(pre-activation) for the *active* neurons of
+        this layer.  The returned array is dL/d(activation of the previous
+        layer), restricted to ``state.active_in``.
+        """
+        upstream_delta = np.asarray(upstream_delta, dtype=np.float64)
+        if upstream_delta.shape[0] != state.active_out.shape[0]:
+            raise ValueError("delta must align with the active output neurons")
+        state.delta = upstream_delta
+        if state.active_out.size == 0 or state.active_in.size == 0:
+            return np.zeros(state.active_in.shape[0], dtype=np.float64)
+        block = self.weights[np.ix_(state.active_out, state.active_in)]
+        return block.T @ upstream_delta
+
+    def gradient_blocks(
+        self, state: LayerForwardState
+    ) -> tuple[FloatArray, FloatArray]:
+        """Weight-block and bias-block gradients implied by ``state.delta``.
+
+        The weight gradient is the outer product of the active-neuron delta
+        with the active-input values — exactly the ``s^2`` fraction of weights
+        the paper says get updated.
+        """
+        if state.delta is None:
+            raise ValueError("backward() must run before gradient_blocks()")
+        weight_grad = np.outer(state.delta, state.input_values)
+        bias_grad = state.delta.copy()
+        return weight_grad, bias_grad
+
+    def apply_gradients(
+        self,
+        optimizer: Optimizer,
+        state: LayerForwardState,
+        weight_grad: FloatArray,
+        bias_grad: FloatArray,
+    ) -> None:
+        """Apply sparse gradient blocks through ``optimizer`` and mark dirty."""
+        optimizer.sparse_step(
+            f"{self.name}.weights",
+            self.weights,
+            state.active_out,
+            state.active_in,
+            weight_grad,
+        )
+        optimizer.sparse_step(
+            f"{self.name}.biases",
+            self.biases,
+            state.active_out,
+            None,
+            bias_grad,
+        )
+        if self.lsh_index is not None:
+            self._dirty_neurons.update(int(n) for n in state.active_out)
+
+    # ------------------------------------------------------------------
+    # Hash-table maintenance
+    # ------------------------------------------------------------------
+    def maybe_rebuild(self, iteration: int) -> bool:
+        """Re-hash dirty neurons if the rebuild schedule says it is time."""
+        if self.lsh_index is None or self.rebuild_schedule is None:
+            return False
+        if not self.rebuild_schedule.should_rebuild(iteration):
+            return False
+        self.rebuild(iteration)
+        return True
+
+    def rebuild(self, iteration: int | None = None) -> None:
+        """Re-hash all neurons whose weights changed since the last rebuild."""
+        if self.lsh_index is None:
+            return
+        if self._dirty_neurons:
+            dirty = np.fromiter(self._dirty_neurons, dtype=np.int64)
+            self.lsh_index.update(dirty, self.weights[dirty])
+            self._dirty_neurons.clear()
+        if self.rebuild_schedule is not None and iteration is not None:
+            self.rebuild_schedule.record_rebuild(iteration)
+        self.num_rebuilds += 1
+
+    @property
+    def dirty_neuron_count(self) -> int:
+        """Number of neurons awaiting a re-hash."""
+        return len(self._dirty_neurons)
+
+    # ------------------------------------------------------------------
+    # Dense helpers (used by inference and the parity tests)
+    # ------------------------------------------------------------------
+    def dense_forward(self, dense_input: FloatArray) -> FloatArray:
+        """Full (non-sampled) forward pass for a dense input vector."""
+        pre = self.weights @ dense_input + self.biases
+        if self.activation_name == "relu":
+            return relu(pre)
+        if self.activation_name == "softmax":
+            return sparse_softmax(pre)
+        return pre
+
+    def relu_backward_mask(self, state: LayerForwardState) -> FloatArray:
+        """ReLU derivative evaluated at this state's pre-activations."""
+        return relu_grad(state.pre_activation)

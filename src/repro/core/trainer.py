@@ -1,0 +1,165 @@
+"""Training driver for SLIDE networks.
+
+The trainer owns the epoch/batch loop, the optimiser, periodic evaluation and
+— crucially for the benchmark harness — per-iteration records of the *work*
+performed (active neurons, active weights, hash-table operations), which the
+performance model in :mod:`repro.perf` converts into simulated wall-clock
+times for the paper's time-vs-accuracy figures.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import TrainingConfig
+from repro.core.inference import evaluate_precision_at_1
+from repro.core.network import SlideNetwork
+from repro.types import SparseBatch, SparseExample
+from repro.utils.rng import derive_rng
+
+__all__ = ["IterationRecord", "TrainingHistory", "SlideTrainer"]
+
+
+@dataclass
+class IterationRecord:
+    """Work and quality metrics for one training iteration (mini-batch)."""
+
+    iteration: int
+    loss: float
+    batch_size: int
+    active_neurons: int
+    active_weights: int
+    wall_time_s: float
+    accuracy: float | None = None
+
+
+@dataclass
+class TrainingHistory:
+    """Accumulated per-iteration records plus end-of-epoch evaluations."""
+
+    records: list[IterationRecord] = field(default_factory=list)
+    epoch_accuracy: list[float] = field(default_factory=list)
+
+    def iterations(self) -> np.ndarray:
+        return np.array([r.iteration for r in self.records], dtype=np.int64)
+
+    def losses(self) -> np.ndarray:
+        return np.array([r.loss for r in self.records], dtype=np.float64)
+
+    def accuracies(self) -> list[tuple[int, float]]:
+        """(iteration, accuracy) pairs for iterations that were evaluated."""
+        return [(r.iteration, r.accuracy) for r in self.records if r.accuracy is not None]
+
+    def total_active_neurons(self) -> int:
+        return int(sum(r.active_neurons for r in self.records))
+
+    def total_active_weights(self) -> int:
+        return int(sum(r.active_weights for r in self.records))
+
+    def total_wall_time(self) -> float:
+        return float(sum(r.wall_time_s for r in self.records))
+
+    def final_accuracy(self) -> float | None:
+        evaluated = self.accuracies()
+        if evaluated:
+            return evaluated[-1][1]
+        if self.epoch_accuracy:
+            return self.epoch_accuracy[-1]
+        return None
+
+
+class SlideTrainer:
+    """Runs the SLIDE training loop over a list of sparse examples."""
+
+    def __init__(
+        self,
+        network: SlideNetwork,
+        training: TrainingConfig,
+        hogwild: bool = True,
+    ) -> None:
+        self.network = network
+        self.training = training
+        self.hogwild = hogwild
+        self.optimizer = network.build_optimizer(training)
+        self._rng = derive_rng(training.seed, stream=31)
+        self.history = TrainingHistory()
+
+    # ------------------------------------------------------------------
+    # Batching
+    # ------------------------------------------------------------------
+    def _make_batches(self, examples: list[SparseExample]) -> list[SparseBatch]:
+        order = np.arange(len(examples))
+        if self.training.shuffle:
+            self._rng.shuffle(order)
+        batches = []
+        for start in range(0, len(examples), self.training.batch_size):
+            chunk = [examples[i] for i in order[start : start + self.training.batch_size]]
+            if not chunk:
+                continue
+            batches.append(
+                SparseBatch.from_examples(
+                    chunk,
+                    feature_dim=self.network.input_dim,
+                    label_dim=self.network.output_dim,
+                )
+            )
+        return batches
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        train_examples: list[SparseExample],
+        eval_examples: list[SparseExample] | None = None,
+    ) -> TrainingHistory:
+        """Run ``training.epochs`` epochs and return the full history."""
+        if not train_examples:
+            raise ValueError("train_examples must not be empty")
+        eval_pool = eval_examples or []
+        for _epoch in range(self.training.epochs):
+            for batch in self._make_batches(train_examples):
+                self._train_one_batch(batch, eval_pool)
+            if eval_pool:
+                self.history.epoch_accuracy.append(
+                    evaluate_precision_at_1(self.network, eval_pool)
+                )
+        return self.history
+
+    def _train_one_batch(
+        self, batch: SparseBatch, eval_pool: list[SparseExample]
+    ) -> IterationRecord:
+        start = time.perf_counter()
+        metrics = self.network.train_batch(batch, self.optimizer, hogwild=self.hogwild)
+        elapsed = time.perf_counter() - start
+
+        accuracy = None
+        if (
+            self.training.eval_every
+            and eval_pool
+            and self.network.iteration % self.training.eval_every == 0
+        ):
+            subset = eval_pool[: self.training.eval_samples]
+            accuracy = evaluate_precision_at_1(self.network, subset)
+
+        record = IterationRecord(
+            iteration=self.network.iteration,
+            loss=metrics["loss"],
+            batch_size=int(metrics["batch_size"]),
+            active_neurons=int(metrics["active_neurons"]),
+            active_weights=int(metrics["active_weights"]),
+            wall_time_s=elapsed,
+            accuracy=accuracy,
+        )
+        self.history.records.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def evaluate(self, examples: list[SparseExample]) -> float:
+        """Precision@1 of the current model on ``examples``."""
+        return evaluate_precision_at_1(self.network, examples)

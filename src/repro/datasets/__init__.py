@@ -1,0 +1,26 @@
+"""Datasets: synthetic extreme-classification generators (matching the shape
+of Delicious-200K / Amazon-670K) and a loader for the Extreme Classification
+Repository's libsvm-style file format."""
+
+from repro.datasets.synthetic import (
+    SyntheticXCConfig,
+    SyntheticXCDataset,
+    generate_synthetic_xc,
+    delicious_like_config,
+    amazon_like_config,
+)
+from repro.datasets.loaders import load_xc_file, parse_xc_line
+from repro.datasets.stats import DatasetStatistics, compute_statistics, PAPER_DATASET_STATS
+
+__all__ = [
+    "SyntheticXCConfig",
+    "SyntheticXCDataset",
+    "generate_synthetic_xc",
+    "delicious_like_config",
+    "amazon_like_config",
+    "load_xc_file",
+    "parse_xc_line",
+    "DatasetStatistics",
+    "compute_statistics",
+    "PAPER_DATASET_STATS",
+]

@@ -1,0 +1,101 @@
+"""Loader for the Extreme Classification Repository file format.
+
+The XC repository distributes Delicious-200K and Amazon-670K as text files
+whose first line is a header ``num_examples num_features num_labels`` and
+each subsequent line is::
+
+    label1,label2,... feat1:val1 feat2:val2 ...
+
+If the real files are available on disk this loader turns them into the same
+:class:`~repro.types.SparseExample` lists the synthetic generator produces,
+so every experiment in the harness can run on real data unchanged.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.types import SparseExample, SparseVector
+
+__all__ = ["parse_xc_line", "load_xc_file"]
+
+
+def parse_xc_line(line: str, feature_dim: int) -> SparseExample:
+    """Parse one example line of the XC repository format."""
+    line = line.strip()
+    if not line:
+        raise ValueError("cannot parse an empty line")
+    parts = line.split(" ")
+    label_part = parts[0]
+    feature_parts = parts[1:]
+
+    # A line may legitimately have no labels, in which case the first token is
+    # already a feature:value pair.
+    labels: list[int] = []
+    if ":" in label_part:
+        feature_parts = parts
+    elif label_part:
+        labels = [int(token) for token in label_part.split(",") if token != ""]
+
+    indices: list[int] = []
+    values: list[float] = []
+    for token in feature_parts:
+        if not token:
+            continue
+        feature, _, value = token.partition(":")
+        idx = int(feature)
+        if idx < 0 or idx >= feature_dim:
+            raise ValueError(f"feature index {idx} out of range [0, {feature_dim})")
+        indices.append(idx)
+        values.append(float(value))
+
+    order = np.argsort(indices)
+    features = SparseVector(
+        indices=np.asarray(indices, dtype=np.int64)[order],
+        values=np.asarray(values, dtype=np.float64)[order],
+        dimension=feature_dim,
+    )
+    return SparseExample(features=features, labels=np.asarray(labels, dtype=np.int64))
+
+
+def load_xc_file(path: str | Path, max_examples: int | None = None) -> tuple[list[SparseExample], int, int]:
+    """Load an XC-format file.
+
+    Returns ``(examples, feature_dim, label_dim)``.  ``max_examples`` truncates
+    the file (useful for smoke tests on the very large original datasets).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"dataset file not found: {path}")
+    examples: list[SparseExample] = []
+    with path.open("r", encoding="utf-8") as handle:
+        header = handle.readline().strip().split()
+        if len(header) != 3:
+            raise ValueError(
+                "expected header 'num_examples num_features num_labels', "
+                f"got {header!r}"
+            )
+        num_examples, feature_dim, label_dim = (int(token) for token in header)
+        for line_number, line in enumerate(handle):
+            if max_examples is not None and len(examples) >= max_examples:
+                break
+            if not line.strip():
+                continue
+            try:
+                example = parse_xc_line(line, feature_dim)
+            except ValueError as exc:
+                raise ValueError(f"failed to parse line {line_number + 2}: {exc}") from exc
+            if example.labels.size and example.labels.max() >= label_dim:
+                raise ValueError(
+                    f"label index {example.labels.max()} out of range on line {line_number + 2}"
+                )
+            examples.append(example)
+    expected = num_examples if max_examples is None else min(num_examples, max_examples)
+    if max_examples is None and len(examples) != num_examples:
+        raise ValueError(
+            f"header promised {num_examples} examples but file contains {len(examples)}"
+        )
+    del expected
+    return examples, feature_dim, label_dim

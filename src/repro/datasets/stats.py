@@ -1,0 +1,88 @@
+"""Dataset statistics (Table 1 of the paper).
+
+``PAPER_DATASET_STATS`` records the numbers reported in Table 1;
+:func:`compute_statistics` derives the same columns from any list of
+examples, so the benchmark harness can print a side-by-side comparison of
+the paper's datasets and the synthetic stand-ins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.types import SparseExample
+
+__all__ = ["DatasetStatistics", "compute_statistics", "PAPER_DATASET_STATS"]
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """The columns of Table 1."""
+
+    name: str
+    feature_dim: int
+    feature_sparsity: float
+    label_dim: int
+    training_size: int
+    testing_size: int
+
+    def feature_sparsity_percent(self) -> float:
+        return 100.0 * self.feature_sparsity
+
+    def as_row(self) -> dict[str, float | int | str]:
+        """Plain-dict form used by the report renderer."""
+        return {
+            "dataset": self.name,
+            "feature_dim": self.feature_dim,
+            "feature_sparsity_%": round(self.feature_sparsity_percent(), 4),
+            "label_dim": self.label_dim,
+            "training_size": self.training_size,
+            "testing_size": self.testing_size,
+        }
+
+
+# Table 1 as printed in the paper.
+PAPER_DATASET_STATS: dict[str, DatasetStatistics] = {
+    "Delicious-200K": DatasetStatistics(
+        name="Delicious-200K",
+        feature_dim=782_585,
+        feature_sparsity=0.00038,
+        label_dim=205_443,
+        training_size=196_606,
+        testing_size=100_095,
+    ),
+    "Amazon-670K": DatasetStatistics(
+        name="Amazon-670K",
+        feature_dim=135_909,
+        feature_sparsity=0.00055,
+        label_dim=670_091,
+        training_size=490_449,
+        testing_size=153_025,
+    ),
+}
+
+
+def compute_statistics(
+    name: str,
+    train: list[SparseExample],
+    test: list[SparseExample],
+    feature_dim: int,
+    label_dim: int,
+) -> DatasetStatistics:
+    """Compute Table 1 columns for an in-memory dataset."""
+    if feature_dim <= 0 or label_dim <= 0:
+        raise ValueError("feature_dim and label_dim must be positive")
+    if train:
+        mean_nnz = float(np.mean([ex.features.nnz for ex in train]))
+    else:
+        mean_nnz = 0.0
+    return DatasetStatistics(
+        name=name,
+        feature_dim=feature_dim,
+        feature_sparsity=mean_nnz / feature_dim if feature_dim else 0.0,
+        label_dim=label_dim,
+        training_size=len(train),
+        testing_size=len(test),
+    )

@@ -1,0 +1,21 @@
+"""Experiment harness: shared head-to-head machinery plus one driver per
+table and figure of the paper's evaluation section."""
+
+from repro.harness.report import format_table, format_series, format_comparison
+from repro.harness.experiment import (
+    ExperimentConfig,
+    HeadToHeadExperiment,
+    MeasuredRun,
+)
+from repro.harness import figures, tables
+
+__all__ = [
+    "format_table",
+    "format_series",
+    "format_comparison",
+    "ExperimentConfig",
+    "HeadToHeadExperiment",
+    "MeasuredRun",
+    "figures",
+    "tables",
+]

@@ -1,0 +1,92 @@
+"""Plain-text rendering of tables and series for the benchmark harness.
+
+The paper's artefacts are figures and tables; this reproduction prints the
+same rows/series as aligned text so the benches' captured output can be
+compared against the paper side by side (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_series", "format_comparison"]
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, object]], title: str | None = None) -> str:
+    """Render a list of homogeneous dict rows as an aligned text table."""
+    if not rows:
+        return f"{title or 'table'}: (empty)"
+    columns = list(rows[0].keys())
+    rendered = [[_format_value(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[idx]) for r in rendered)) for idx, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(widths[idx]) for idx, col in enumerate(columns))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append(" | ".join(r[idx].ljust(widths[idx]) for idx in range(len(columns))))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    y_label: str,
+    series: Mapping[str, tuple[Iterable[float], Iterable[float]]],
+    title: str | None = None,
+    max_points: int = 12,
+) -> str:
+    """Render named (x, y) series as rows of sampled points.
+
+    Long series are down-sampled to ``max_points`` evenly spaced points so
+    the output stays readable in bench logs.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    for name, (xs, ys) in series.items():
+        xs = np.asarray(list(xs), dtype=np.float64)
+        ys = np.asarray(list(ys), dtype=np.float64)
+        if xs.size != ys.size:
+            raise ValueError(f"series {name!r}: x and y lengths differ")
+        if xs.size == 0:
+            lines.append(f"  {name}: (empty)")
+            continue
+        if xs.size > max_points:
+            idx = np.linspace(0, xs.size - 1, max_points).round().astype(int)
+            xs, ys = xs[idx], ys[idx]
+        points = ", ".join(
+            f"({_format_value(float(x))}, {_format_value(float(y))})" for x, y in zip(xs, ys)
+        )
+        lines.append(f"  {name} [{x_label} -> {y_label}]: {points}")
+    return "\n".join(lines)
+
+
+def format_comparison(
+    paper_value: float,
+    measured_value: float,
+    label: str,
+    unit: str = "",
+) -> str:
+    """One-line paper-vs-measured comparison used in EXPERIMENTS.md extracts."""
+    unit_suffix = f" {unit}" if unit else ""
+    return (
+        f"{label}: paper={_format_value(paper_value)}{unit_suffix}, "
+        f"measured={_format_value(measured_value)}{unit_suffix}"
+    )

@@ -1,0 +1,181 @@
+"""One driver function per table of the paper's evaluation section."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.config import LSHConfig
+from repro.datasets.stats import PAPER_DATASET_STATS, compute_statistics
+from repro.datasets.synthetic import (
+    amazon_like_config,
+    delicious_like_config,
+    generate_synthetic_xc,
+)
+from repro.lsh.index import LSHIndex
+from repro.perf.cpu_counters import slide_breakdown, tf_breakdown
+from repro.perf.devices import SLIDE_UTILIZATION, TF_CPU_UTILIZATION
+from repro.perf.memory import hugepages_counter_comparison, slide_memory_footprint
+from repro.utils.rng import derive_rng
+
+__all__ = [
+    "table1_dataset_statistics",
+    "table2_core_utilization",
+    "table3_insertion_timing",
+    "table4_hugepages_counters",
+]
+
+
+# ----------------------------------------------------------------------
+# Table 1 — dataset statistics
+# ----------------------------------------------------------------------
+def table1_dataset_statistics(
+    scale: float = 1.0 / 1024.0, seed: int = 0
+) -> list[dict[str, float | int | str]]:
+    """Paper datasets (as reported) next to the synthetic stand-ins (as measured)."""
+    rows: list[dict[str, float | int | str]] = []
+    for stats in PAPER_DATASET_STATS.values():
+        row = stats.as_row()
+        row["source"] = "paper"
+        rows.append(row)
+
+    for builder in (delicious_like_config, amazon_like_config):
+        config = builder(scale=scale, seed=seed)
+        dataset = generate_synthetic_xc(config)
+        stats = compute_statistics(
+            config.name,
+            dataset.train,
+            dataset.test,
+            feature_dim=config.feature_dim,
+            label_dim=config.label_dim,
+        )
+        row = stats.as_row()
+        row["source"] = "synthetic"
+        rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table 2 — core utilisation
+# ----------------------------------------------------------------------
+def table2_core_utilization(
+    threads: tuple[int, ...] = (8, 16, 32),
+    output_dim: int = 670_091,
+    hidden_dim: int = 128,
+    batch_size: int = 256,
+    avg_active_output: float = 3000.0,
+) -> list[dict[str, float | int | str]]:
+    """Core utilisation of TF-CPU vs SLIDE at several thread counts.
+
+    Two columns are reported per framework: the calibrated utilisation curve
+    used by the wall-clock device model (anchored on the paper's Table 2),
+    and the utilisation implied by the mechanistic pipeline-slot model of
+    Figure 6 — showing that the model reproduces the *direction* of the
+    paper's measurement (SLIDE stays high and flat, TF-CPU degrades).
+    """
+    rows: list[dict[str, float | int | str]] = []
+    for t in threads:
+        tf_model = tf_breakdown(t, output_dim, hidden_dim, batch_size)
+        slide_model = slide_breakdown(t, avg_active_output, hidden_dim, batch_size, output_dim)
+        rows.append(
+            {
+                "threads": t,
+                "TF-CPU_utilization_calibrated": round(TF_CPU_UTILIZATION(t), 3),
+                "SLIDE_utilization_calibrated": round(SLIDE_UTILIZATION(t), 3),
+                "TF-CPU_utilization_model": round(tf_model.utilization(), 3),
+                "SLIDE_utilization_model": round(slide_model.utilization(), 3),
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table 3 — hash-table insertion schemes
+# ----------------------------------------------------------------------
+def table3_insertion_timing(
+    num_neurons: int = 20_000,
+    dim: int = 128,
+    k: int = 6,
+    l: int = 20,
+    bucket_size: int = 64,
+    seed: int = 0,
+) -> list[dict[str, float | int | str]]:
+    """Wall-clock of Reservoir vs FIFO insertion, excluding and including hashing.
+
+    Mirrors Table 3: "Insertion to HT" is the time to place pre-hashed neuron
+    ids into buckets; "Full Insertion" additionally includes computing every
+    neuron's hash codes.  (The paper inserts the 205,443 output neurons of
+    Delicious-200K; the default here is scaled down but the relative ordering
+    — reservoir slightly cheaper than FIFO, both dwarfed by hashing — is the
+    reproduced result.)
+    """
+    rng = derive_rng(seed)
+    weights = rng.normal(size=(num_neurons, dim))
+    rows: list[dict[str, float | int | str]] = []
+    for policy in ("reservoir", "fifo"):
+        config = LSHConfig(
+            hash_family="simhash", k=k, l=l, bucket_size=bucket_size, insertion_policy=policy
+        )
+        index = LSHIndex(dim, config, seed=seed)
+
+        # Full insertion: hashing plus bucket placement.
+        start_full = time.perf_counter()
+        all_codes = index.hash_family.hash_matrix(weights)
+        hash_seconds = time.perf_counter() - start_full
+
+        start_insert = time.perf_counter()
+        for neuron_id in range(num_neurons):
+            index._insert_with_codes(neuron_id, all_codes[neuron_id])
+        insert_seconds = time.perf_counter() - start_insert
+
+        rows.append(
+            {
+                "policy": "Reservoir Sampling" if policy == "reservoir" else "FIFO",
+                "insertion_to_ht_s": insert_seconds,
+                "full_insertion_s": hash_seconds + insert_seconds,
+                "num_neurons": num_neurons,
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table 4 — CPU counters with and without hugepages
+# ----------------------------------------------------------------------
+def table4_hugepages_counters(
+    input_dim: int = 135_909,
+    hidden_dim: int = 128,
+    output_dim: int = 670_091,
+    batch_size: int = 256,
+    avg_active_output: float = 3000.0,
+    avg_input_nnz: float = 75.0,
+    l_tables: int = 50,
+    iterations_per_second: float = 10.0,
+) -> list[dict[str, float | str]]:
+    """TLB / page-walk / page-fault metrics with 4 KB vs 2 MB pages (Table 4)."""
+    footprint = slide_memory_footprint(
+        input_dim=input_dim,
+        hidden_dim=hidden_dim,
+        output_dim=output_dim,
+        batch_size=batch_size,
+        avg_active_output=avg_active_output,
+        avg_input_nnz=avg_input_nnz,
+        l_tables=l_tables,
+    )
+    comparison = hugepages_counter_comparison(footprint, iterations_per_second)
+    rows: list[dict[str, float | str]] = []
+    for metric, values in comparison.items():
+        rows.append(
+            {
+                "metric": metric,
+                "without_hugepages": values["without_hugepages"],
+                "with_hugepages": values["with_hugepages"],
+                "improvement_factor": (
+                    values["without_hugepages"] / values["with_hugepages"]
+                    if values["with_hugepages"]
+                    else float("inf")
+                ),
+            }
+        )
+    return rows

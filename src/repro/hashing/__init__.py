@@ -1,0 +1,42 @@
+"""LSH hash families supported by SLIDE (paper Section 3.2 and Appendix A).
+
+The package exposes a uniform interface (:class:`~repro.hashing.base.LSHFamily`)
+over five families:
+
+* :class:`~repro.hashing.simhash.SimHash` — signed random projections for
+  cosine similarity, with the sparse-projection and incremental-rehash
+  optimisations described in the paper.
+* :class:`~repro.hashing.wta.WTAHash` — Winner-Take-All hashing for rank
+  correlation.
+* :class:`~repro.hashing.dwta.DWTAHash` — Densified WTA for sparse inputs.
+* :class:`~repro.hashing.doph.DOPH` — densified one-permutation minwise
+  hashing over binarised (top-k thresholded) inputs.
+* :class:`~repro.hashing.minhash.MinHash` — classic minwise hashing baseline.
+"""
+
+from repro.hashing.base import LSHFamily, HashCodes
+from repro.hashing.simhash import SimHash
+from repro.hashing.wta import WTAHash
+from repro.hashing.dwta import DWTAHash
+from repro.hashing.doph import DOPH
+from repro.hashing.minhash import MinHash
+from repro.hashing.collision import (
+    simhash_collision_probability,
+    meta_collision_probability,
+    retrieval_probability,
+)
+from repro.hashing.factory import make_hash_family
+
+__all__ = [
+    "LSHFamily",
+    "HashCodes",
+    "SimHash",
+    "WTAHash",
+    "DWTAHash",
+    "DOPH",
+    "MinHash",
+    "simhash_collision_probability",
+    "meta_collision_probability",
+    "retrieval_probability",
+    "make_hash_family",
+]

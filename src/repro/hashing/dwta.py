@@ -1,0 +1,139 @@
+"""Densified Winner-Take-All (DWTA) hashing (Chen & Shrivastava, 2018).
+
+WTA hashing degrades on very sparse inputs because most bins see only zero
+coordinates and therefore carry no information.  DWTA fixes this in two ways
+(Appendix A):
+
+1. it loops over the *non-zero* coordinates of the input only, so hashing
+   costs ``O(nnz * K * L * m / d)`` instead of ``O(K * L * m)``;
+2. *empty* bins borrow the code of a non-empty bin chosen by a fixed
+   pseudo-random probing sequence ("densification"), which restores the LSH
+   property for sparse vectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from math import gcd
+
+from repro.hashing.base import HashCodes, LSHFamily, VectorLike
+from repro.types import SparseVector
+from repro.utils.rng import derive_rng
+
+__all__ = ["DWTAHash"]
+
+
+def _coprime_offsets(rng: np.random.Generator, total: int) -> np.ndarray:
+    """Random ring-walk step sizes, each coprime with ``total``.
+
+    A step coprime with the ring size visits every position, which guarantees
+    the densification probe always finds a filled bin when one exists.
+    """
+    if total <= 1:
+        return np.ones(max(total, 1), dtype=np.int64)
+    offsets = np.empty(total, dtype=np.int64)
+    for idx in range(total):
+        step = int(rng.integers(1, total))
+        while gcd(step, total) != 1:
+            step = step % total + 1
+        offsets[idx] = step
+    return offsets
+
+
+class DWTAHash(LSHFamily):
+    """Densified WTA hashing for sparse inputs."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        k: int,
+        l: int,
+        bin_size: int = 8,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(input_dim=input_dim, k=k, l=l, seed=seed)
+        if bin_size < 2:
+            raise ValueError("bin_size must be at least 2")
+        self.bin_size = int(min(bin_size, input_dim))
+        rng = derive_rng(seed, stream=303)
+
+        total_codes = k * l
+        bins_per_perm = max(1, input_dim // self.bin_size)
+        n_perms = int(np.ceil(total_codes / bins_per_perm))
+        perms = np.stack([rng.permutation(input_dim) for _ in range(n_perms)])
+        usable = bins_per_perm * self.bin_size
+        bins = perms[:, :usable].reshape(n_perms * bins_per_perm, self.bin_size)
+        self._bins = bins[:total_codes]
+
+        # Inverse mapping: coordinate -> list of (code_index, position) pairs.
+        # Stored as flat arrays for cheap gathering in the sparse path.
+        coord_to_codes: list[list[tuple[int, int]]] = [[] for _ in range(input_dim)]
+        for code_idx in range(total_codes):
+            for pos in range(self.bin_size):
+                coord = int(self._bins[code_idx, pos])
+                coord_to_codes[coord].append((code_idx, pos))
+        self._coord_map = coord_to_codes
+
+        # Densification probing sequence: for each code index, a fixed random
+        # step size used to walk the ring of bins.  Steps are forced coprime
+        # with the ring size so the walk visits every bin and densification
+        # always terminates at a filled one.
+        self._probe_offsets = _coprime_offsets(rng, total_codes)
+        self._total_codes = total_codes
+
+    @property
+    def code_cardinality(self) -> int:
+        # +1 accounts for the sentinel "empty after densification" value.
+        return self.bin_size + 1
+
+    def hash_vector(self, vector: VectorLike) -> HashCodes:
+        sparse = self._as_sparse(vector)
+        codes, filled = self._raw_codes(sparse)
+        codes = self._densify(codes, filled)
+        return codes.reshape(self.l, self.k)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _raw_codes(self, sparse: SparseVector) -> tuple[np.ndarray, np.ndarray]:
+        """Winner positions per bin considering only non-zero coordinates."""
+        total = self._total_codes
+        best_value = np.full(total, -np.inf, dtype=np.float64)
+        codes = np.zeros(total, dtype=np.int64)
+        filled = np.zeros(total, dtype=bool)
+        for coord, value in zip(sparse.indices, sparse.values):
+            for code_idx, pos in self._coord_map[int(coord)]:
+                if value > best_value[code_idx]:
+                    best_value[code_idx] = value
+                    codes[code_idx] = pos
+                    filled[code_idx] = True
+        return codes, filled
+
+    def _densify(self, codes: np.ndarray, filled: np.ndarray) -> np.ndarray:
+        """Fill empty bins by probing other bins with a fixed random offset."""
+        if filled.all():
+            return codes
+        if not filled.any():
+            # Degenerate all-zero input: return the sentinel code everywhere.
+            return np.full_like(codes, self.bin_size)
+        total = self._total_codes
+        densified = codes.copy()
+        for code_idx in np.flatnonzero(~filled):
+            probe = code_idx
+            offset = int(self._probe_offsets[code_idx])
+            # Bounded probing: at most ``total`` hops (guaranteed to terminate
+            # because at least one bin is filled and offsets cycle the ring).
+            for attempt in range(1, total + 1):
+                probe = (code_idx + attempt * offset) % total
+                if filled[probe]:
+                    densified[code_idx] = codes[probe]
+                    break
+            else:  # pragma: no cover - unreachable given filled.any()
+                densified[code_idx] = self.bin_size
+        return densified
+
+    @property
+    def bins(self) -> np.ndarray:
+        """The ``(K*L, bin_size)`` coordinate bins (read-only view)."""
+        return self._bins

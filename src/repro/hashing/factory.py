@@ -1,0 +1,103 @@
+"""Factory mapping :class:`~repro.config.LSHConfig` to a hash-family instance.
+
+SLIDE "provides the interface to add customized hash functions based on need"
+(Section 3.2); :func:`register_hash_family` exposes the same extension point.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.config import LSHConfig
+from repro.hashing.base import LSHFamily
+from repro.hashing.doph import DOPH
+from repro.hashing.dwta import DWTAHash
+from repro.hashing.minhash import MinHash
+from repro.hashing.simhash import SimHash
+from repro.hashing.wta import WTAHash
+
+__all__ = ["make_hash_family", "register_hash_family", "available_hash_families"]
+
+# A builder receives (input_dim, config, seed) and returns an LSHFamily.
+HashFamilyBuilder = Callable[[int, LSHConfig, int], LSHFamily]
+
+
+def _build_simhash(input_dim: int, config: LSHConfig, seed: int) -> LSHFamily:
+    return SimHash(
+        input_dim=input_dim,
+        k=config.k,
+        l=config.l,
+        sparsity=config.simhash_sparsity,
+        seed=seed,
+    )
+
+
+def _build_wta(input_dim: int, config: LSHConfig, seed: int) -> LSHFamily:
+    return WTAHash(
+        input_dim=input_dim,
+        k=config.k,
+        l=config.l,
+        bin_size=config.wta_bin_size,
+        seed=seed,
+    )
+
+
+def _build_dwta(input_dim: int, config: LSHConfig, seed: int) -> LSHFamily:
+    return DWTAHash(
+        input_dim=input_dim,
+        k=config.k,
+        l=config.l,
+        bin_size=config.wta_bin_size,
+        seed=seed,
+    )
+
+
+def _build_doph(input_dim: int, config: LSHConfig, seed: int) -> LSHFamily:
+    return DOPH(
+        input_dim=input_dim,
+        k=config.k,
+        l=config.l,
+        top_k=config.doph_top_k,
+        seed=seed,
+    )
+
+
+def _build_minhash(input_dim: int, config: LSHConfig, seed: int) -> LSHFamily:
+    return MinHash(input_dim=input_dim, k=config.k, l=config.l, seed=seed)
+
+
+_REGISTRY: dict[str, HashFamilyBuilder] = {
+    "simhash": _build_simhash,
+    "wta": _build_wta,
+    "dwta": _build_dwta,
+    "doph": _build_doph,
+    "minhash": _build_minhash,
+}
+
+
+def register_hash_family(name: str, builder: HashFamilyBuilder) -> None:
+    """Register a custom hash-family builder under ``name``.
+
+    The builder is called as ``builder(input_dim, lsh_config, seed)`` and must
+    return an :class:`~repro.hashing.base.LSHFamily` subclass instance.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError("name must be a non-empty string")
+    _REGISTRY[name.lower()] = builder
+
+
+def available_hash_families() -> tuple[str, ...]:
+    """Names currently accepted by :func:`make_hash_family`."""
+    return tuple(sorted(_REGISTRY))
+
+
+def make_hash_family(input_dim: int, config: LSHConfig, seed: int = 0) -> LSHFamily:
+    """Instantiate the hash family described by ``config``."""
+    try:
+        builder = _REGISTRY[config.hash_family.lower()]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown hash family {config.hash_family!r}; "
+            f"available: {', '.join(available_hash_families())}"
+        ) from exc
+    return builder(input_dim, config, seed)

@@ -1,0 +1,65 @@
+"""Classic MinHash over the support (set of non-zero indices) of a vector.
+
+MinHash is the LSH family for Jaccard similarity.  SLIDE lists Minhash among
+its supported families; it is applicable when both the data and the neuron
+weights are treated as *sets* (binary vectors).  We binarise real-valued
+vectors by taking their support.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hashing.base import HashCodes, LSHFamily, VectorLike
+from repro.utils.rng import derive_rng
+
+__all__ = ["MinHash"]
+
+# A large Mersenne prime keeps the universal hash family well distributed
+# while staying inside int64 multiplication without overflow for d < 2^30.
+_MERSENNE_PRIME = (1 << 61) - 1
+
+
+class MinHash(LSHFamily):
+    """Minwise hashing of the support of a vector using universal hashing.
+
+    Each elementary hash is ``min over support of ((a*i + b) mod p) mod range``
+    for random ``a``, ``b`` — the standard permutation-free approximation of
+    MinHash.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        k: int,
+        l: int,
+        code_range: int = 64,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(input_dim=input_dim, k=k, l=l, seed=seed)
+        if code_range < 2:
+            raise ValueError("code_range must be at least 2")
+        self.code_range = int(code_range)
+        rng = derive_rng(seed, stream=404)
+        total = k * l
+        self._a = rng.integers(1, _MERSENNE_PRIME, size=total, dtype=np.int64)
+        self._b = rng.integers(0, _MERSENNE_PRIME, size=total, dtype=np.int64)
+
+    @property
+    def code_cardinality(self) -> int:
+        return self.code_range
+
+    def hash_vector(self, vector: VectorLike) -> HashCodes:
+        sparse = self._as_sparse(vector)
+        support = sparse.indices
+        if support.size == 0:
+            # Empty vectors map to a fixed sentinel bucket.
+            return np.zeros((self.l, self.k), dtype=np.int64)
+        # (total, nnz) universal hash values; object dtype avoided by staying
+        # in python ints only implicitly -- int64 is fine for d < 2^30.
+        hashed = (
+            self._a[:, None] * support[None, :] + self._b[:, None]
+        ) % _MERSENNE_PRIME
+        min_hash = hashed.min(axis=1)
+        codes = (min_hash % self.code_range).astype(np.int64)
+        return codes.reshape(self.l, self.k)

@@ -1,0 +1,145 @@
+"""SimHash — signed random projections for cosine similarity.
+
+This follows the paper's implementation notes (Section 3.2 and Appendix A):
+
+* projection vectors have components in ``{+1, 0, -1}`` so hashing needs
+  additions only, not multiplications;
+* the projections are *sparse* (by default only one third of the coordinates
+  are non-zero), which cuts the per-hash work from ``d`` to ``d/3``;
+* hash codes of a vector can be updated *incrementally* when only ``d' << d``
+  coordinates of the vector change, because the projections ``w.T x`` are
+  memoised (Section 4.2, item 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hashing.base import HashCodes, LSHFamily, VectorLike
+from repro.types import FloatArray, IntArray, SparseVector
+from repro.utils.rng import derive_rng
+
+__all__ = ["SimHash"]
+
+
+class SimHash(LSHFamily):
+    """Sparse signed-random-projection hashing.
+
+    Parameters
+    ----------
+    input_dim:
+        Dimensionality of the vectors being hashed.
+    k, l:
+        ``K`` elementary codes per table, ``L`` tables.
+    sparsity:
+        Fraction of non-zero coordinates per projection vector.
+    seed:
+        Seed for generating the (fixed) random projections.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        k: int,
+        l: int,
+        sparsity: float = 1.0 / 3.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(input_dim=input_dim, k=k, l=l, seed=seed)
+        if not 0.0 < sparsity <= 1.0:
+            raise ValueError("sparsity must lie in (0, 1]")
+        self.sparsity = float(sparsity)
+        rng = derive_rng(seed, stream=101)
+
+        total = k * l
+        nnz = max(1, int(round(input_dim * sparsity)))
+        self._nnz = nnz
+        # ``(total, nnz)`` non-zero coordinate indices of each projection and
+        # the matching signs.  Stored separately so a projection is a gather
+        # plus a signed sum — additions only.
+        self._proj_indices = np.empty((total, nnz), dtype=np.int64)
+        for row in range(total):
+            self._proj_indices[row] = rng.choice(input_dim, size=nnz, replace=False)
+        self._proj_signs = rng.choice(np.array([-1.0, 1.0]), size=(total, nnz))
+
+        # Dense ``(input_dim, total)`` projection matrix used for the
+        # vectorised matrix path (hashing all neurons of a layer at once).
+        dense = np.zeros((input_dim, total), dtype=np.float64)
+        rows = self._proj_indices.reshape(-1)
+        cols = np.repeat(np.arange(total), nnz)
+        dense[rows, cols] = self._proj_signs.reshape(-1)
+        self._dense_projection = dense
+
+    # ------------------------------------------------------------------
+    # LSHFamily interface
+    # ------------------------------------------------------------------
+    @property
+    def code_cardinality(self) -> int:
+        return 2
+
+    def hash_vector(self, vector: VectorLike) -> HashCodes:
+        projections = self.project(vector)
+        return (projections > 0).astype(np.int64).reshape(self.l, self.k)
+
+    def hash_matrix(self, matrix: FloatArray) -> HashCodes:
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[1] != self.input_dim:
+            raise ValueError("hash_matrix expects shape (rows, input_dim)")
+        projections = matrix @ self._dense_projection
+        codes = (projections > 0).astype(np.int64)
+        return codes.reshape(matrix.shape[0], self.l, self.k)
+
+    # ------------------------------------------------------------------
+    # Projections and incremental updates
+    # ------------------------------------------------------------------
+    def project(self, vector: VectorLike) -> FloatArray:
+        """Return the ``K*L`` signed projections ``w_i . x``."""
+        if isinstance(vector, SparseVector):
+            sparse = self._as_sparse(vector)
+            # Sparse path: iterate over the (few) non-zero input coordinates.
+            dense = np.zeros(self.input_dim, dtype=np.float64)
+            dense[sparse.indices] = sparse.values
+            gathered = dense[self._proj_indices]
+            return np.sum(gathered * self._proj_signs, axis=1)
+        dense = self._as_dense(vector)
+        gathered = dense[self._proj_indices]
+        return np.sum(gathered * self._proj_signs, axis=1)
+
+    def codes_from_projections(self, projections: FloatArray) -> HashCodes:
+        """Convert memoised projections into ``(L, K)`` elementary codes."""
+        projections = np.asarray(projections, dtype=np.float64)
+        if projections.shape[0] != self.k * self.l:
+            raise ValueError("projections must have length K*L")
+        return (projections > 0).astype(np.int64).reshape(self.l, self.k)
+
+    def update_projections(
+        self,
+        projections: FloatArray,
+        changed_indices: IntArray,
+        deltas: FloatArray,
+    ) -> FloatArray:
+        """Incrementally update memoised projections after a sparse change.
+
+        Given the previous projections of a vector ``x`` and a sparse update
+        ``x[changed_indices] += deltas``, return the projections of the new
+        vector in ``O(d' * K * L * sparsity)`` additions instead of a full
+        re-projection.  This implements the memoisation trick from
+        Section 4.2.
+        """
+        projections = np.array(projections, dtype=np.float64, copy=True)
+        changed_indices = np.asarray(changed_indices, dtype=np.int64)
+        deltas = np.asarray(deltas, dtype=np.float64)
+        if changed_indices.shape != deltas.shape:
+            raise ValueError("changed_indices and deltas must align")
+        if changed_indices.size == 0:
+            return projections
+        # Scatter the delta into a sparse correction and apply it through the
+        # dense projection matrix restricted to the changed rows.
+        correction = self._dense_projection[changed_indices].T @ deltas
+        projections += correction
+        return projections
+
+    @property
+    def projection_nnz(self) -> int:
+        """Number of non-zero coordinates per projection vector."""
+        return self._nnz

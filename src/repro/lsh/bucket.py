@@ -1,0 +1,96 @@
+"""A fixed-capacity bucket of neuron ids inside one hash table.
+
+The paper limits every bucket to a fixed size: "Such a limit helps with the
+memory usage and also balances the load on threads during parallel
+aggregation of neurons" (Section 3.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Bucket"]
+
+
+class Bucket:
+    """Fixed-size container of integer ids with slot-replacement support.
+
+    The bucket keeps insertion-order bookkeeping (``oldest_slot``) for the
+    FIFO policy and a ``seen`` counter for reservoir sampling.
+    """
+
+    __slots__ = ("capacity", "_items", "_arrival", "_next_arrival", "seen", "rejections")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self._items: list[int] = []
+        self._arrival: list[int] = []
+        self._next_arrival = 0
+        # Number of insertion attempts ever made against this bucket.
+        self.seen = 0
+        # Number of attempts rejected by the policy (reservoir only).
+        self.rejections = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, item: int) -> bool:
+        return item in self._items
+
+    @property
+    def items(self) -> np.ndarray:
+        """Current contents as an ``int64`` array (copy)."""
+        return np.asarray(self._items, dtype=np.int64)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def append(self, item: int) -> None:
+        """Add to a non-full bucket (raises if full)."""
+        if self.is_full:
+            raise ValueError("bucket is full; use a replacement policy")
+        self._items.append(int(item))
+        self._arrival.append(self._next_arrival)
+        self._next_arrival += 1
+        self.seen += 1
+
+    def replace(self, slot: int, item: int) -> None:
+        """Overwrite ``slot`` with ``item`` (counts as an arrival)."""
+        if not 0 <= slot < len(self._items):
+            raise IndexError(f"slot {slot} out of range")
+        self._items[slot] = int(item)
+        self._arrival[slot] = self._next_arrival
+        self._next_arrival += 1
+        self.seen += 1
+
+    def count_rejection(self) -> None:
+        """Record an arrival that the policy decided not to store."""
+        self.seen += 1
+        self.rejections += 1
+
+    def oldest_slot(self) -> int:
+        """Slot index of the item that arrived earliest (for FIFO)."""
+        if not self._items:
+            raise ValueError("bucket is empty")
+        return int(np.argmin(self._arrival))
+
+    def remove(self, item: int) -> bool:
+        """Remove one occurrence of ``item`` if present; return success."""
+        try:
+            slot = self._items.index(int(item))
+        except ValueError:
+            return False
+        self._items.pop(slot)
+        self._arrival.pop(slot)
+        return True
+
+    def clear(self) -> None:
+        """Drop all contents and reset the arrival/seen counters."""
+        self._items.clear()
+        self._arrival.clear()
+        self._next_arrival = 0
+        self.seen = 0
+        self.rejections = 0

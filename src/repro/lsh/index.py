@@ -1,0 +1,223 @@
+"""The per-layer LSH index: ``L`` hash tables over neuron weight vectors.
+
+This is the data structure at the heart of SLIDE (Figure 2).  It supports:
+
+* bulk construction from a weight matrix (one row per neuron);
+* querying with a layer input, returning per-table candidate buckets that the
+  sampling strategies (:mod:`repro.sampling`) turn into an active-neuron set;
+* full rebuilds and *incremental* rebuilds of a subset of neurons after
+  their weights change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import LSHConfig
+from repro.hashing.base import LSHFamily, VectorLike
+from repro.hashing.factory import make_hash_family
+from repro.lsh.policies import make_insertion_policy
+from repro.lsh.table import HashTable
+from repro.types import FloatArray, IntArray
+from repro.utils.rng import derive_rng
+
+__all__ = ["LSHIndex", "QueryResult"]
+
+
+@dataclass
+class QueryResult:
+    """Outcome of probing the ``L`` tables with one query vector.
+
+    Attributes
+    ----------
+    buckets:
+        One integer array of candidate neuron ids per table (length ``L``).
+    codes:
+        The ``(L, K)`` elementary hash codes of the query.
+    """
+
+    buckets: list[IntArray] = field(default_factory=list)
+    codes: IntArray | None = None
+
+    def union(self) -> IntArray:
+        """Unique union of all candidate ids across the probed tables."""
+        if not self.buckets:
+            return np.zeros(0, dtype=np.int64)
+        return np.unique(np.concatenate(self.buckets))
+
+    def frequencies(self) -> tuple[IntArray, IntArray]:
+        """Candidate ids with the number of tables in which each appeared."""
+        if not self.buckets:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty
+        concatenated = np.concatenate(self.buckets)
+        if concatenated.size == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty
+        ids, counts = np.unique(concatenated, return_counts=True)
+        return ids.astype(np.int64), counts.astype(np.int64)
+
+    @property
+    def total_candidates(self) -> int:
+        """Number of (non-unique) candidates returned across tables."""
+        return int(sum(bucket.size for bucket in self.buckets))
+
+
+class LSHIndex:
+    """``L`` hash tables built over the rows of a weight matrix."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        config: LSHConfig,
+        seed: int = 0,
+    ) -> None:
+        self.input_dim = int(input_dim)
+        self.config = config
+        self.seed = int(seed)
+        self._rng = derive_rng(seed, stream=7)
+        self.hash_family: LSHFamily = make_hash_family(input_dim, config, seed=seed)
+        self._tables = [
+            HashTable(
+                k=config.k,
+                code_cardinality=self.hash_family.code_cardinality,
+                bucket_size=config.bucket_size,
+                policy=make_insertion_policy(config.insertion_policy, rng=self._rng),
+            )
+            for _ in range(config.l)
+        ]
+        # Last-known codes of each inserted item, so incremental updates can
+        # remove the item from its previous buckets.
+        self._item_codes: dict[int, np.ndarray] = {}
+        # Counters used by the cost model and diagnostics.
+        self.num_insertions = 0
+        self.num_queries = 0
+
+    # ------------------------------------------------------------------
+    # Construction / maintenance
+    # ------------------------------------------------------------------
+    @property
+    def l(self) -> int:
+        return self.config.l
+
+    @property
+    def k(self) -> int:
+        return self.config.k
+
+    @property
+    def tables(self) -> list[HashTable]:
+        return self._tables
+
+    @property
+    def num_items(self) -> int:
+        """Number of distinct items currently indexed."""
+        return len(self._item_codes)
+
+    def insert(self, item: int, vector: VectorLike) -> None:
+        """Hash ``vector`` and store ``item`` in every table."""
+        codes = self.hash_family.hash_vector(vector)
+        self._insert_with_codes(item, codes)
+
+    def _insert_with_codes(self, item: int, codes: IntArray) -> None:
+        previous = self._item_codes.get(item)
+        if previous is not None:
+            for table_idx, table in enumerate(self._tables):
+                table.remove(previous[table_idx], item)
+        for table_idx, table in enumerate(self._tables):
+            table.insert(codes[table_idx], item)
+        self._item_codes[item] = np.array(codes, copy=True)
+        self.num_insertions += 1
+
+    def build(self, weights: FloatArray, item_ids: IntArray | None = None) -> None:
+        """(Re)build the index from scratch over the rows of ``weights``."""
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 2 or weights.shape[1] != self.input_dim:
+            raise ValueError("weights must have shape (n_items, input_dim)")
+        if item_ids is None:
+            item_ids = np.arange(weights.shape[0], dtype=np.int64)
+        else:
+            item_ids = np.asarray(item_ids, dtype=np.int64)
+            if item_ids.shape[0] != weights.shape[0]:
+                raise ValueError("item_ids must align with weights rows")
+        self.clear()
+        all_codes = self.hash_family.hash_matrix(weights)
+        for row, item in enumerate(item_ids):
+            self._insert_with_codes(int(item), all_codes[row])
+
+    def update(self, item_ids: IntArray, weights: FloatArray) -> None:
+        """Re-hash only the given items (incremental rebuild after updates)."""
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 2 or weights.shape[0] != item_ids.shape[0]:
+            raise ValueError("weights rows must align with item_ids")
+        codes = self.hash_family.hash_matrix(weights)
+        for row, item in enumerate(item_ids):
+            self._insert_with_codes(int(item), codes[row])
+
+    def remove(self, item: int) -> bool:
+        """Remove ``item`` from every table (if it was indexed)."""
+        codes = self._item_codes.pop(item, None)
+        if codes is None:
+            return False
+        for table_idx, table in enumerate(self._tables):
+            table.remove(codes[table_idx], item)
+        return True
+
+    def clear(self) -> None:
+        """Drop every bucket in every table."""
+        for table in self._tables:
+            table.clear()
+        self._item_codes.clear()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, vector: VectorLike, max_tables: int | None = None) -> QueryResult:
+        """Probe the tables with ``vector``.
+
+        Parameters
+        ----------
+        max_tables:
+            When given, only the first ``max_tables`` tables (in a random
+            order) are probed — the Vanilla-sampling fast path.
+        """
+        codes = self.hash_family.hash_vector(vector)
+        result = QueryResult(codes=codes)
+        order = np.arange(self.l)
+        if max_tables is not None and max_tables < self.l:
+            order = self._rng.permutation(self.l)[:max_tables]
+        for table_idx in order:
+            result.buckets.append(self._tables[table_idx].query(codes[table_idx]))
+        self.num_queries += 1
+        return result
+
+    def query_with_codes(self, codes: IntArray) -> QueryResult:
+        """Probe every table with pre-computed ``(L, K)`` codes."""
+        codes = np.asarray(codes, dtype=np.int64)
+        if codes.shape != (self.l, self.k):
+            raise ValueError(f"codes must have shape ({self.l}, {self.k})")
+        result = QueryResult(codes=codes)
+        for table_idx, table in enumerate(self._tables):
+            result.buckets.append(table.query(codes[table_idx]))
+        self.num_queries += 1
+        return result
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, float]:
+        """Summary statistics used by tests and the benchmark harness."""
+        bucket_counts = np.array([t.num_buckets for t in self._tables])
+        items = np.array([t.num_items for t in self._tables])
+        load = np.array([t.load_factor() for t in self._tables])
+        return {
+            "tables": float(self.l),
+            "indexed_items": float(self.num_items),
+            "mean_buckets_per_table": float(bucket_counts.mean()) if self.l else 0.0,
+            "mean_items_per_table": float(items.mean()) if self.l else 0.0,
+            "mean_load_factor": float(load.mean()) if self.l else 0.0,
+            "insertions": float(self.num_insertions),
+            "queries": float(self.num_queries),
+        }

@@ -1,0 +1,80 @@
+"""Bucket insertion policies (paper Section 4.2, Table 3).
+
+When a bucket is already at its size limit, SLIDE needs a replacement rule.
+The paper implements two:
+
+* **Reservoir sampling** (Vitter, 1985) — the new item replaces a uniformly
+  random existing slot with probability ``capacity / seen``, which preserves
+  the adaptive-sampling property of the LSH tables (Wang et al., 2018).
+* **FIFO** — the new item always replaces the oldest one.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["InsertionPolicy", "FIFOPolicy", "ReservoirPolicy", "make_insertion_policy"]
+
+
+class InsertionPolicy(abc.ABC):
+    """Decides what happens when an item arrives at a full bucket."""
+
+    name: str = "base"
+
+    @abc.abstractmethod
+    def insert(self, bucket: "Bucket", item: int) -> bool:
+        """Insert ``item`` into ``bucket``; return True if it was stored."""
+
+
+class FIFOPolicy(InsertionPolicy):
+    """Replace the oldest item when the bucket is full (always stores)."""
+
+    name = "fifo"
+
+    def insert(self, bucket, item: int) -> bool:
+        if len(bucket) < bucket.capacity:
+            bucket.append(item)
+        else:
+            bucket.replace(bucket.oldest_slot(), item)
+        return True
+
+
+class ReservoirPolicy(InsertionPolicy):
+    """Vitter's reservoir sampling replacement.
+
+    Each bucket tracks how many items it has *seen*; the ``n``-th arrival is
+    kept with probability ``capacity / n`` and, if kept, overwrites a
+    uniformly random slot.  The result is a uniform sample of everything ever
+    hashed to the bucket, which is exactly what the adaptive-sampling view of
+    LSH requires.
+    """
+
+    name = "reservoir"
+
+    def __init__(self, rng: np.random.Generator | None = None) -> None:
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def insert(self, bucket, item: int) -> bool:
+        if len(bucket) < bucket.capacity:
+            bucket.append(item)
+            return True
+        slot = int(self._rng.integers(0, bucket.seen + 1))
+        if slot < bucket.capacity:
+            bucket.replace(slot, item)
+            return True
+        bucket.count_rejection()
+        return False
+
+
+def make_insertion_policy(
+    name: str, rng: np.random.Generator | None = None
+) -> InsertionPolicy:
+    """Build an insertion policy by name (``fifo`` or ``reservoir``)."""
+    lowered = name.lower()
+    if lowered == "fifo":
+        return FIFOPolicy()
+    if lowered == "reservoir":
+        return ReservoirPolicy(rng=rng)
+    raise ValueError(f"unknown insertion policy {name!r}")

@@ -1,0 +1,114 @@
+"""Hash-table rebuild schedules (paper Section 4.2, heuristic 1).
+
+Recomputing every neuron's hash codes after every gradient step would erase
+SLIDE's advantage, so the paper rebuilds the tables on a schedule whose period
+grows exponentially: the ``t``-th rebuild happens ``N0 * exp(lambda * (t-1))``
+iterations after the previous one.  Early in training, when gradients are
+large and neuron weights move quickly, rebuilds are frequent; near
+convergence they become rare.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+__all__ = ["RebuildSchedule", "ExponentialDecaySchedule", "FixedPeriodSchedule"]
+
+
+class RebuildSchedule(abc.ABC):
+    """Decides at which iterations the hash tables should be rebuilt."""
+
+    @abc.abstractmethod
+    def should_rebuild(self, iteration: int) -> bool:
+        """Return True if a rebuild is due at ``iteration`` (0-based)."""
+
+    @abc.abstractmethod
+    def record_rebuild(self, iteration: int) -> None:
+        """Notify the schedule that a rebuild happened at ``iteration``."""
+
+    @abc.abstractmethod
+    def next_rebuild_iteration(self) -> int:
+        """Iteration at which the next rebuild is due."""
+
+
+class FixedPeriodSchedule(RebuildSchedule):
+    """Rebuild every ``period`` iterations (ablation baseline)."""
+
+    def __init__(self, period: int) -> None:
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.period = int(period)
+        self._next = self.period
+
+    def should_rebuild(self, iteration: int) -> bool:
+        return iteration >= self._next
+
+    def record_rebuild(self, iteration: int) -> None:
+        self._next = iteration + self.period
+
+    def next_rebuild_iteration(self) -> int:
+        return self._next
+
+
+class ExponentialDecaySchedule(RebuildSchedule):
+    """The paper's exponentially decaying rebuild frequency.
+
+    Parameters
+    ----------
+    initial_period:
+        ``N0`` — iterations before the first rebuild.
+    decay:
+        ``lambda`` — the decay constant; 0 reduces to a fixed period.
+    max_period:
+        Upper bound on the gap between consecutive rebuilds.
+    """
+
+    def __init__(self, initial_period: int, decay: float = 0.1, max_period: int = 10_000) -> None:
+        if initial_period <= 0:
+            raise ValueError("initial_period must be positive")
+        if decay < 0:
+            raise ValueError("decay must be non-negative")
+        if max_period < initial_period:
+            raise ValueError("max_period must be >= initial_period")
+        self.initial_period = int(initial_period)
+        self.decay = float(decay)
+        self.max_period = int(max_period)
+        self._rebuild_count = 0
+        self._next = self.initial_period
+
+    def current_period(self) -> int:
+        """Gap that will follow the *next* rebuild."""
+        period = self.initial_period * math.exp(self.decay * self._rebuild_count)
+        return int(min(round(period), self.max_period))
+
+    def should_rebuild(self, iteration: int) -> bool:
+        return iteration >= self._next
+
+    def record_rebuild(self, iteration: int) -> None:
+        self._rebuild_count += 1
+        self._next = iteration + self.current_period()
+
+    def next_rebuild_iteration(self) -> int:
+        return self._next
+
+    @property
+    def rebuild_count(self) -> int:
+        """Number of rebuilds recorded so far."""
+        return self._rebuild_count
+
+    def planned_iterations(self, num_rebuilds: int) -> list[int]:
+        """The first ``num_rebuilds`` rebuild iterations implied by the schedule.
+
+        Matches the paper's formula: the ``t``-th update happens at iteration
+        ``sum_{i=0}^{t-1} N0 * exp(lambda * i)``.
+        """
+        if num_rebuilds < 0:
+            raise ValueError("num_rebuilds must be non-negative")
+        iterations = []
+        total = 0.0
+        for t in range(num_rebuilds):
+            gap = min(self.initial_period * math.exp(self.decay * t), self.max_period)
+            total += gap
+            iterations.append(int(round(total)))
+        return iterations

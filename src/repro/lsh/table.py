@@ -1,0 +1,127 @@
+"""A single LSH hash table.
+
+One table owns one *meta* hash function — the concatenation of ``K``
+elementary codes — and a dictionary from the resulting fingerprint to a
+fixed-size :class:`~repro.lsh.bucket.Bucket` of neuron ids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lsh.bucket import Bucket
+from repro.lsh.policies import InsertionPolicy
+from repro.types import IntArray
+
+__all__ = ["HashTable"]
+
+
+class HashTable:
+    """Dictionary from meta-hash fingerprints to bounded buckets.
+
+    Parameters
+    ----------
+    code_cardinality:
+        Number of distinct values an elementary code can take; used to pack
+        the ``K`` codes into a single integer fingerprint without collisions
+        between distinct tuples.
+    bucket_size:
+        Maximum ids per bucket.
+    policy:
+        Replacement policy applied when a bucket is full.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        code_cardinality: int,
+        bucket_size: int,
+        policy: InsertionPolicy,
+    ) -> None:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if code_cardinality < 2:
+            raise ValueError("code_cardinality must be at least 2")
+        if bucket_size <= 0:
+            raise ValueError("bucket_size must be positive")
+        self.k = int(k)
+        self.code_cardinality = int(code_cardinality)
+        self.bucket_size = int(bucket_size)
+        self.policy = policy
+        self._buckets: dict[int, Bucket] = {}
+
+    # ------------------------------------------------------------------
+    # Fingerprinting
+    # ------------------------------------------------------------------
+    def fingerprint(self, codes: IntArray) -> int:
+        """Pack ``K`` elementary codes into one integer (mixed-radix)."""
+        codes = np.asarray(codes, dtype=np.int64)
+        if codes.shape != (self.k,):
+            raise ValueError(f"expected {self.k} codes, got shape {codes.shape}")
+        if codes.min() < 0 or codes.max() >= self.code_cardinality:
+            raise ValueError("code value out of range for code_cardinality")
+        fingerprint = 0
+        for code in codes:
+            fingerprint = fingerprint * self.code_cardinality + int(code)
+        return fingerprint
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, codes: IntArray, item: int) -> bool:
+        """Insert ``item`` under the bucket addressed by ``codes``."""
+        key = self.fingerprint(codes)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = Bucket(self.bucket_size)
+            self._buckets[key] = bucket
+        return self.policy.insert(bucket, item)
+
+    def remove(self, codes: IntArray, item: int) -> bool:
+        """Remove ``item`` from the bucket addressed by ``codes`` if present."""
+        key = self.fingerprint(codes)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            return False
+        removed = bucket.remove(item)
+        if removed and len(bucket) == 0:
+            del self._buckets[key]
+        return removed
+
+    def clear(self) -> None:
+        """Drop every bucket."""
+        self._buckets.clear()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, codes: IntArray) -> np.ndarray:
+        """Return the ids stored in the bucket addressed by ``codes``."""
+        key = self.fingerprint(codes)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            return np.zeros(0, dtype=np.int64)
+        return bucket.items
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_buckets(self) -> int:
+        """Number of non-empty buckets currently allocated."""
+        return len(self._buckets)
+
+    @property
+    def num_items(self) -> int:
+        """Total number of ids stored across all buckets."""
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    def bucket_sizes(self) -> np.ndarray:
+        """Sizes of all non-empty buckets (for load-balance diagnostics)."""
+        return np.asarray([len(b) for b in self._buckets.values()], dtype=np.int64)
+
+    def load_factor(self) -> float:
+        """Mean bucket occupancy relative to the bucket size limit."""
+        if not self._buckets:
+            return 0.0
+        return float(self.bucket_sizes().mean() / self.bucket_size)

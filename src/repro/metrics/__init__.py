@@ -1,0 +1,16 @@
+"""Evaluation metrics: precision@k and convergence-time extraction."""
+
+from repro.metrics.accuracy import precision_at_k, precision_at_1
+from repro.metrics.convergence import (
+    time_to_accuracy,
+    convergence_time,
+    accuracy_at_time,
+)
+
+__all__ = [
+    "precision_at_k",
+    "precision_at_1",
+    "time_to_accuracy",
+    "convergence_time",
+    "accuracy_at_time",
+]

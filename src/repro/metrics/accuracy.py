@@ -1,0 +1,51 @@
+"""Precision@k for multi-label (extreme classification) predictions.
+
+Unlike :mod:`repro.core.inference`, which evaluates a live network, these
+functions operate on plain score matrices / label lists so they can be used
+by any model (SLIDE, dense, sampled softmax) and by unit tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.types import FloatArray, IntArray
+from repro.utils.topk import top_k_indices
+
+__all__ = ["precision_at_k", "precision_at_1"]
+
+
+def precision_at_k(scores: FloatArray, labels: list[IntArray], k: int = 1) -> float:
+    """Mean precision@k.
+
+    Parameters
+    ----------
+    scores:
+        ``(num_examples, num_classes)`` score matrix.
+    labels:
+        One array of true label indices per example.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 2:
+        raise ValueError("scores must be a 2-D matrix")
+    if len(labels) != scores.shape[0]:
+        raise ValueError("labels must align with the rows of scores")
+    if k <= 0:
+        raise ValueError("k must be positive")
+
+    per_example = []
+    for row, true_labels in enumerate(labels):
+        true_labels = np.asarray(true_labels, dtype=np.int64)
+        if true_labels.size == 0:
+            continue
+        predicted = top_k_indices(scores[row], k)
+        hits = np.isin(predicted, true_labels).sum()
+        per_example.append(hits / k)
+    if not per_example:
+        return 0.0
+    return float(np.mean(per_example))
+
+
+def precision_at_1(scores: FloatArray, labels: list[IntArray]) -> float:
+    """Precision@1 — the accuracy metric used throughout the paper."""
+    return precision_at_k(scores, labels, k=1)

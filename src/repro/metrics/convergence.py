@@ -1,0 +1,61 @@
+"""Convergence-time extraction from (time, accuracy) series.
+
+The scalability figures (9 and 13) plot *convergence time* — the wall-clock
+time at which a run first reaches (a fraction of) its final accuracy — as a
+function of core count.  These helpers compute that quantity from arbitrary
+time/accuracy series.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.types import FloatArray
+
+__all__ = ["time_to_accuracy", "convergence_time", "accuracy_at_time"]
+
+
+def _validate(times: FloatArray, accuracies: FloatArray) -> tuple[np.ndarray, np.ndarray]:
+    times = np.asarray(times, dtype=np.float64)
+    accuracies = np.asarray(accuracies, dtype=np.float64)
+    if times.ndim != 1 or accuracies.ndim != 1:
+        raise ValueError("times and accuracies must be one-dimensional")
+    if times.shape != accuracies.shape:
+        raise ValueError("times and accuracies must have the same length")
+    if times.size and np.any(np.diff(times) < 0):
+        raise ValueError("times must be non-decreasing")
+    return times, accuracies
+
+
+def time_to_accuracy(times: FloatArray, accuracies: FloatArray, target: float) -> float | None:
+    """First time at which ``accuracies`` reaches ``target`` (None if never)."""
+    times, accuracies = _validate(times, accuracies)
+    reached = np.flatnonzero(accuracies >= target)
+    if reached.size == 0:
+        return None
+    return float(times[reached[0]])
+
+
+def convergence_time(
+    times: FloatArray, accuracies: FloatArray, fraction_of_best: float = 0.98
+) -> float:
+    """Time to reach ``fraction_of_best`` of the series' maximum accuracy."""
+    times, accuracies = _validate(times, accuracies)
+    if accuracies.size == 0:
+        return 0.0
+    if not 0 < fraction_of_best <= 1:
+        raise ValueError("fraction_of_best must lie in (0, 1]")
+    target = float(accuracies.max()) * fraction_of_best
+    reached = time_to_accuracy(times, accuracies, target)
+    return float(times[-1]) if reached is None else reached
+
+
+def accuracy_at_time(times: FloatArray, accuracies: FloatArray, at_time: float) -> float:
+    """Best accuracy achieved by ``at_time`` (0 if the run had not started)."""
+    times, accuracies = _validate(times, accuracies)
+    if accuracies.size == 0:
+        return 0.0
+    mask = times <= at_time
+    if not mask.any():
+        return 0.0
+    return float(accuracies[mask].max())

@@ -1,0 +1,8 @@
+"""Sparse-aware optimisers (the paper trains everything with Adam)."""
+
+from repro.optim.base import Optimizer
+from repro.optim.adam import AdamOptimizer
+from repro.optim.sgd import SGDOptimizer
+from repro.optim.factory import make_optimizer
+
+__all__ = ["Optimizer", "AdamOptimizer", "SGDOptimizer", "make_optimizer"]

@@ -1,0 +1,86 @@
+"""Optimiser interface shared by SLIDE layers and the dense baselines.
+
+SLIDE's gradient updates are *sparse*: only the weights connecting active
+neurons to active inputs change on a given step.  To exploit that, the
+optimiser exposes both a dense ``step`` (used by the baselines) and a
+``sparse_step`` that updates an arbitrary sub-block of a parameter, touching
+only the corresponding slices of its internal state.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.types import FloatArray, IntArray
+
+__all__ = ["Optimizer"]
+
+
+class Optimizer(abc.ABC):
+    """Keeps per-parameter state and applies (possibly sparse) updates."""
+
+    def __init__(self, learning_rate: float) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.learning_rate = float(learning_rate)
+        self._state: dict[str, dict[str, FloatArray]] = {}
+        # Global step counter; sparse and dense steps both advance it.
+        self.step_count = 0
+
+    # ------------------------------------------------------------------
+    # Parameter registration
+    # ------------------------------------------------------------------
+    def register(self, name: str, shape: tuple[int, ...]) -> None:
+        """Allocate state for a parameter named ``name`` with ``shape``."""
+        if name in self._state:
+            raise ValueError(f"parameter {name!r} already registered")
+        self._state[name] = self._init_state(shape)
+
+    def has_parameter(self, name: str) -> bool:
+        return name in self._state
+
+    @abc.abstractmethod
+    def _init_state(self, shape: tuple[int, ...]) -> dict[str, FloatArray]:
+        """Create optimiser state arrays for a parameter of ``shape``."""
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def begin_step(self) -> None:
+        """Advance the global step counter (call once per mini-batch)."""
+        self.step_count += 1
+
+    @abc.abstractmethod
+    def step(self, name: str, param: FloatArray, grad: FloatArray) -> None:
+        """Dense in-place update of ``param`` given its full gradient."""
+
+    @abc.abstractmethod
+    def sparse_step(
+        self,
+        name: str,
+        param: FloatArray,
+        rows: IntArray,
+        cols: IntArray | None,
+        grad_block: FloatArray,
+    ) -> None:
+        """In-place update of ``param[rows][:, cols]`` given its gradient block.
+
+        When ``cols`` is ``None`` the update applies to whole rows (used for
+        biases, which are one-dimensional).
+        """
+
+    # ------------------------------------------------------------------
+    # Introspection (used by tests)
+    # ------------------------------------------------------------------
+    def state_of(self, name: str) -> dict[str, FloatArray]:
+        """Return the internal state arrays of a parameter (no copy)."""
+        return self._state[name]
+
+    @staticmethod
+    def _block_view(param: FloatArray, rows: IntArray, cols: IntArray | None):
+        """Index helper returning a fancy-index tuple for a sub-block."""
+        if cols is None:
+            return (rows,)
+        return np.ix_(rows, cols)

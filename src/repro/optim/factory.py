@@ -1,0 +1,26 @@
+"""Build an optimiser from an :class:`~repro.config.OptimizerConfig`."""
+
+from __future__ import annotations
+
+from repro.config import OptimizerConfig
+from repro.optim.adam import AdamOptimizer
+from repro.optim.base import Optimizer
+from repro.optim.sgd import SGDOptimizer
+
+__all__ = ["make_optimizer"]
+
+
+def make_optimizer(config: OptimizerConfig) -> Optimizer:
+    """Instantiate the optimiser described by ``config``."""
+    if config.name == "adam":
+        return AdamOptimizer(
+            learning_rate=config.learning_rate,
+            beta1=config.beta1,
+            beta2=config.beta2,
+            epsilon=config.epsilon,
+        )
+    if config.name == "sgd":
+        return SGDOptimizer(
+            learning_rate=config.learning_rate, momentum=config.momentum
+        )
+    raise ValueError(f"unknown optimizer {config.name!r}")

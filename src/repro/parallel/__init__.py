@@ -1,0 +1,14 @@
+"""Parallelism substrate: HOGWILD-style asynchronous accumulation, update
+conflict analysis, and a batch-parallel executor."""
+
+from repro.parallel.conflicts import ConflictReport, analyze_update_conflicts
+from repro.parallel.hogwild import HogwildSimulator, HogwildStepReport
+from repro.parallel.executor import BatchParallelExecutor
+
+__all__ = [
+    "ConflictReport",
+    "analyze_update_conflicts",
+    "HogwildSimulator",
+    "HogwildStepReport",
+    "BatchParallelExecutor",
+]

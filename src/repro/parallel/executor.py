@@ -1,0 +1,79 @@
+"""Thread-pool execution of per-sample gradient computation.
+
+SLIDE assigns each sample of a batch to its own OpenMP thread.  The Python
+equivalent uses a ``ThreadPoolExecutor``: gradient computation is dominated
+by NumPy kernels that release the GIL, so per-sample work genuinely overlaps,
+while the final (tiny) gradient application stays on the calling thread to
+keep the update semantics identical to the sequential path.
+
+This substrate exists for fidelity and for the scalability experiments'
+*measured work* inputs; the headline scaling numbers of Figure 9 come from
+the analytical device model in :mod:`repro.perf` (see DESIGN.md for why).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.network import SampleGradient, SlideNetwork
+from repro.optim.base import Optimizer
+from repro.types import SparseBatch
+
+__all__ = ["BatchParallelExecutor"]
+
+
+@dataclass
+class _BatchOutcome:
+    loss: float
+    active_neurons: int
+    active_weights: int
+
+
+class BatchParallelExecutor:
+    """Compute per-sample gradients on a thread pool, apply them serially."""
+
+    def __init__(self, network: SlideNetwork, optimizer: Optimizer, num_threads: int = 4) -> None:
+        if num_threads <= 0:
+            raise ValueError("num_threads must be positive")
+        self.network = network
+        self.optimizer = optimizer
+        self.num_threads = int(num_threads)
+
+    def train_batch(self, batch: SparseBatch) -> dict[str, float]:
+        """One batch step with thread-parallel gradient computation."""
+        self.optimizer.begin_step()
+        with ThreadPoolExecutor(max_workers=self.num_threads) as pool:
+            gradients: list[SampleGradient] = list(
+                pool.map(self.network.compute_sample_gradient, list(batch))
+            )
+
+        for gradient in gradients:
+            for layer, state, w_grad, b_grad in zip(
+                self.network.layers,
+                gradient.layer_states,
+                gradient.weight_grads,
+                gradient.bias_grads,
+            ):
+                layer.apply_gradients(self.optimizer, state, w_grad, b_grad)
+
+        self.network.iteration += 1
+        for layer in self.network.layers:
+            layer.maybe_rebuild(self.network.iteration)
+
+        outcome = _BatchOutcome(
+            loss=float(np.mean([g.loss for g in gradients])) if gradients else 0.0,
+            active_neurons=sum(s.num_active for g in gradients for s in g.layer_states),
+            active_weights=sum(
+                s.num_active_weights for g in gradients for s in g.layer_states
+            ),
+        )
+        return {
+            "loss": outcome.loss,
+            "active_neurons": float(outcome.active_neurons),
+            "active_weights": float(outcome.active_weights),
+            "batch_size": float(len(batch)),
+            "num_threads": float(self.num_threads),
+        }

@@ -1,0 +1,175 @@
+"""Operation counting for SLIDE and the baselines.
+
+Per-iteration *work* is the quantity this reproduction measures exactly: the
+SLIDE implementation reports its true active-neuron / active-weight counts,
+and the formulas here convert them (plus the hash/table bookkeeping the
+algorithm performs) into a :class:`WorkloadCounts` record.  The device
+profiles in :mod:`repro.perf.devices` then attribute time to those counts.
+
+Terminology: a "MAC" is one multiply-accumulate; forward + backward passes
+are charged 3 MACs per active weight (forward product, weight gradient,
+delta propagation), the standard rule of thumb.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "WorkloadCounts",
+    "slide_iteration_work",
+    "dense_iteration_work",
+    "sampled_softmax_iteration_work",
+]
+
+# Forward + weight-gradient + delta-propagation passes per active weight.
+_PASSES_PER_WEIGHT = 3
+
+
+@dataclass(frozen=True)
+class WorkloadCounts:
+    """Operation counts for one training iteration (one mini-batch).
+
+    Attributes
+    ----------
+    dense_macs:
+        Multiply-accumulates executed as dense BLAS kernels (contiguous
+        access; the baselines' work, and the dense hidden layer of SLIDE is
+        also charged here because its input gather is contiguous per row).
+    sparse_macs:
+        Multiply-accumulates executed as scattered gather/scatter operations
+        (SLIDE's active-weight updates in the huge output layer).
+    hash_ops:
+        Elementary operations spent computing LSH hash codes.
+    table_lookups:
+        Hash-table bucket probes (queries plus insertions).
+    bytes_touched:
+        Approximate bytes of parameter/activation data read or written.
+    """
+
+    dense_macs: float = 0.0
+    sparse_macs: float = 0.0
+    hash_ops: float = 0.0
+    table_lookups: float = 0.0
+    bytes_touched: float = 0.0
+
+    def __add__(self, other: "WorkloadCounts") -> "WorkloadCounts":
+        return WorkloadCounts(
+            dense_macs=self.dense_macs + other.dense_macs,
+            sparse_macs=self.sparse_macs + other.sparse_macs,
+            hash_ops=self.hash_ops + other.hash_ops,
+            table_lookups=self.table_lookups + other.table_lookups,
+            bytes_touched=self.bytes_touched + other.bytes_touched,
+        )
+
+    def scaled(self, factor: float) -> "WorkloadCounts":
+        """Multiply every count by ``factor`` (e.g. iterations per epoch)."""
+        return WorkloadCounts(
+            dense_macs=self.dense_macs * factor,
+            sparse_macs=self.sparse_macs * factor,
+            hash_ops=self.hash_ops * factor,
+            table_lookups=self.table_lookups * factor,
+            bytes_touched=self.bytes_touched * factor,
+        )
+
+    @property
+    def total_macs(self) -> float:
+        return self.dense_macs + self.sparse_macs
+
+
+def slide_iteration_work(
+    batch_size: int,
+    avg_input_nnz: float,
+    hidden_dim: int,
+    avg_active_output: float,
+    k: int,
+    l: int,
+    rebuild_fraction: float = 0.02,
+    output_dim: int | None = None,
+    bytes_per_value: int = 4,
+) -> WorkloadCounts:
+    """Work performed by one SLIDE iteration.
+
+    Parameters
+    ----------
+    avg_active_output:
+        Mean number of active output neurons per sample (measured by the
+        training loop; ~1000 for Delicious-200K, ~3000 for Amazon-670K in the
+        paper).
+    rebuild_fraction:
+        Fraction of output neurons re-hashed per iteration, amortising the
+        exponential-decay rebuild schedule.
+    """
+    if batch_size <= 0 or hidden_dim <= 0:
+        raise ValueError("batch_size and hidden_dim must be positive")
+    if avg_input_nnz < 0 or avg_active_output < 0:
+        raise ValueError("work counts cannot be negative")
+
+    # Hidden layer: dense rows over a sparse input (contiguous per row).
+    hidden_weights = avg_input_nnz * hidden_dim
+    # Output layer: only the active neurons' rows are touched.
+    output_weights = hidden_dim * avg_active_output
+
+    dense_macs = _PASSES_PER_WEIGHT * batch_size * hidden_weights
+    sparse_macs = _PASSES_PER_WEIGHT * batch_size * output_weights
+
+    # Hashing the output layer's input (the hidden activation, ~hidden_dim/3
+    # coordinates per SimHash projection) for every sample.
+    hash_ops = batch_size * k * l * (hidden_dim / 3.0)
+    # One bucket probe per table per sample plus amortised re-insertions.
+    rebuild_items = rebuild_fraction * (output_dim if output_dim else avg_active_output)
+    table_lookups = batch_size * l + rebuild_items * l
+
+    bytes_touched = bytes_per_value * (
+        batch_size * (hidden_weights + output_weights) * 2  # read + write
+        + batch_size * (hidden_dim + avg_active_output)
+    )
+    return WorkloadCounts(
+        dense_macs=dense_macs,
+        sparse_macs=sparse_macs,
+        hash_ops=hash_ops,
+        table_lookups=table_lookups,
+        bytes_touched=bytes_touched,
+    )
+
+
+def dense_iteration_work(
+    batch_size: int,
+    avg_input_nnz: float,
+    hidden_dim: int,
+    output_dim: int,
+    bytes_per_value: int = 4,
+) -> WorkloadCounts:
+    """Work performed by one full-softmax dense iteration (the TF baselines).
+
+    TF's sparse input pipelines avoid multiplying by explicit zeros in the
+    first layer, so the input layer is charged at ``avg_input_nnz``; the
+    output layer is a full dense matmul over every class.
+    """
+    if min(batch_size, hidden_dim, output_dim) <= 0:
+        raise ValueError("batch_size, hidden_dim and output_dim must be positive")
+    hidden_weights = avg_input_nnz * hidden_dim
+    output_weights = hidden_dim * output_dim
+    dense_macs = _PASSES_PER_WEIGHT * batch_size * (hidden_weights + output_weights)
+    bytes_touched = bytes_per_value * (
+        batch_size * (hidden_weights + output_weights)
+        + output_weights  # weight matrix streamed once per batch
+    )
+    return WorkloadCounts(dense_macs=dense_macs, bytes_touched=bytes_touched)
+
+
+def sampled_softmax_iteration_work(
+    batch_size: int,
+    avg_input_nnz: float,
+    hidden_dim: int,
+    num_sampled: int,
+    bytes_per_value: int = 4,
+) -> WorkloadCounts:
+    """Work for one sampled-softmax iteration (candidate set of ``num_sampled``)."""
+    if min(batch_size, hidden_dim, num_sampled) <= 0:
+        raise ValueError("batch_size, hidden_dim and num_sampled must be positive")
+    hidden_weights = avg_input_nnz * hidden_dim
+    output_weights = hidden_dim * num_sampled
+    dense_macs = _PASSES_PER_WEIGHT * batch_size * (hidden_weights + output_weights)
+    bytes_touched = bytes_per_value * batch_size * (hidden_weights + output_weights)
+    return WorkloadCounts(dense_macs=dense_macs, bytes_touched=bytes_touched)

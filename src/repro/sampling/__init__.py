@@ -1,0 +1,25 @@
+"""Active-neuron sampling strategies (paper Section 4.1, Appendix B)."""
+
+from repro.sampling.strategies import (
+    SamplingStrategy,
+    VanillaSampling,
+    TopKSampling,
+    HardThresholdSampling,
+    make_sampling_strategy,
+)
+from repro.sampling.probability import (
+    vanilla_selection_probability,
+    hard_threshold_selection_probability,
+    hard_threshold_curve,
+)
+
+__all__ = [
+    "SamplingStrategy",
+    "VanillaSampling",
+    "TopKSampling",
+    "HardThresholdSampling",
+    "make_sampling_strategy",
+    "vanilla_selection_probability",
+    "hard_threshold_selection_probability",
+    "hard_threshold_curve",
+]

@@ -1,0 +1,47 @@
+"""Closed-form selection probabilities for the sampling strategies.
+
+These are the formulas behind Equations (2) and (3) in the paper and the
+trade-off curves of Figure 11.  They re-export the implementations in
+:mod:`repro.hashing.collision` under sampling-centric names and add the
+Figure 11 curve generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hashing.collision import (
+    hard_threshold_selection_probability,
+    vanilla_selection_probability,
+)
+
+__all__ = [
+    "vanilla_selection_probability",
+    "hard_threshold_selection_probability",
+    "hard_threshold_curve",
+]
+
+
+def hard_threshold_curve(
+    k: int,
+    l: int,
+    m: int,
+    collision_probabilities: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Selection probability as a function of collision probability.
+
+    Reproduces one curve of Figure 11: for a frequency threshold ``m`` and
+    ``L`` tables, evaluate ``Pr(selected)`` over a sweep of elementary-hash
+    collision probabilities ``p``.
+
+    Returns
+    -------
+    (p_values, selection_probabilities)
+    """
+    if collision_probabilities is None:
+        collision_probabilities = np.linspace(0.1, 0.9, 17)
+    p_values = np.asarray(collision_probabilities, dtype=np.float64)
+    selected = np.array(
+        [hard_threshold_selection_probability(p, k, l, m) for p in p_values]
+    )
+    return p_values, selected

@@ -1,0 +1,174 @@
+"""The three active-neuron sampling strategies (paper Section 4.1).
+
+Given the per-table candidate buckets returned by
+:meth:`repro.lsh.index.LSHIndex.query`, each strategy decides which neuron
+ids become *active* for the current input:
+
+* **Vanilla** — probe tables one at a time in random order, stop as soon as
+  ``beta`` distinct neurons have been collected.  ``O(beta)`` time, lowest
+  quality.
+* **TopK** — aggregate candidate frequencies across all ``L`` tables, keep the
+  ``beta`` most frequent.  Highest quality, pays a sort.
+* **Hard thresholding** — keep every candidate that appears in at least ``m``
+  tables; avoids the sort while still filtering low-collision candidates.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.config import SamplingConfig
+from repro.lsh.index import LSHIndex, QueryResult
+from repro.types import IntArray
+from repro.utils.topk import top_k_indices
+
+__all__ = [
+    "SamplingStrategy",
+    "VanillaSampling",
+    "TopKSampling",
+    "HardThresholdSampling",
+    "make_sampling_strategy",
+]
+
+
+class SamplingStrategy(abc.ABC):
+    """Turns LSH query results into a set of active neuron ids."""
+
+    name: str = "base"
+
+    def __init__(self, rng: np.random.Generator | None = None) -> None:
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    @abc.abstractmethod
+    def sample(
+        self,
+        index: LSHIndex,
+        query_vector,
+        target_active: int | None,
+    ) -> IntArray:
+        """Return a unique array of active neuron ids for ``query_vector``."""
+
+    # Shared helper: strategies that already have a QueryResult can reuse it.
+    @abc.abstractmethod
+    def select_from_result(
+        self, result: QueryResult, target_active: int | None
+    ) -> IntArray:
+        """Select ids from an existing :class:`QueryResult`."""
+
+
+class VanillaSampling(SamplingStrategy):
+    """Random-table probing until ``beta`` neurons are collected.
+
+    The time complexity is ``O(beta)`` because each additional table probe is
+    a single bucket lookup and the loop stops as soon as enough candidates
+    have been gathered.
+    """
+
+    name = "vanilla"
+
+    def sample(self, index: LSHIndex, query_vector, target_active: int | None) -> IntArray:
+        codes = index.hash_family.hash_vector(query_vector)
+        order = self._rng.permutation(index.l)
+        collected: list[np.ndarray] = []
+        count = 0
+        for table_idx in order:
+            bucket = index.tables[table_idx].query(codes[table_idx])
+            if bucket.size:
+                collected.append(bucket)
+                count = np.unique(np.concatenate(collected)).size
+            if target_active is not None and count >= target_active:
+                break
+        index.num_queries += 1
+        if not collected:
+            return np.zeros(0, dtype=np.int64)
+        unique = np.unique(np.concatenate(collected))
+        if target_active is not None and unique.size > target_active:
+            # Keep a uniformly random subset so the expected size matches beta.
+            keep = self._rng.choice(unique.size, size=target_active, replace=False)
+            unique = np.sort(unique[keep])
+        return unique.astype(np.int64)
+
+    def select_from_result(self, result: QueryResult, target_active: int | None) -> IntArray:
+        collected: list[np.ndarray] = []
+        order = self._rng.permutation(len(result.buckets))
+        count = 0
+        for table_idx in order:
+            bucket = result.buckets[table_idx]
+            if bucket.size:
+                collected.append(bucket)
+                count = np.unique(np.concatenate(collected)).size
+            if target_active is not None and count >= target_active:
+                break
+        if not collected:
+            return np.zeros(0, dtype=np.int64)
+        unique = np.unique(np.concatenate(collected))
+        if target_active is not None and unique.size > target_active:
+            keep = self._rng.choice(unique.size, size=target_active, replace=False)
+            unique = np.sort(unique[keep])
+        return unique.astype(np.int64)
+
+
+class TopKSampling(SamplingStrategy):
+    """Frequency aggregation across all tables, keep the top ``beta``."""
+
+    name = "topk"
+
+    def sample(self, index: LSHIndex, query_vector, target_active: int | None) -> IntArray:
+        result = index.query(query_vector)
+        return self.select_from_result(result, target_active)
+
+    def select_from_result(self, result: QueryResult, target_active: int | None) -> IntArray:
+        ids, counts = result.frequencies()
+        if ids.size == 0:
+            return ids
+        if target_active is None or ids.size <= target_active:
+            return np.sort(ids)
+        keep = top_k_indices(counts.astype(np.float64), target_active)
+        return np.sort(ids[keep]).astype(np.int64)
+
+
+class HardThresholdSampling(SamplingStrategy):
+    """Keep candidates appearing in at least ``m`` of the ``L`` tables."""
+
+    name = "hard_threshold"
+
+    def __init__(self, threshold: int = 2, rng: np.random.Generator | None = None) -> None:
+        super().__init__(rng=rng)
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.threshold = int(threshold)
+
+    def sample(self, index: LSHIndex, query_vector, target_active: int | None) -> IntArray:
+        result = index.query(query_vector)
+        return self.select_from_result(result, target_active)
+
+    def select_from_result(self, result: QueryResult, target_active: int | None) -> IntArray:
+        ids, counts = result.frequencies()
+        if ids.size == 0:
+            return ids
+        selected = ids[counts >= self.threshold]
+        if selected.size == 0:
+            # Degrade gracefully: fall back to the most frequent candidates so
+            # the layer never goes completely dark.
+            keep = top_k_indices(counts.astype(np.float64), target_active or ids.size)
+            selected = ids[keep]
+        if target_active is not None and selected.size > target_active:
+            keep = self._rng.choice(selected.size, size=target_active, replace=False)
+            selected = selected[keep]
+        return np.sort(selected).astype(np.int64)
+
+
+def make_sampling_strategy(
+    config: SamplingConfig, rng: np.random.Generator | None = None
+) -> SamplingStrategy:
+    """Instantiate the strategy described by a :class:`SamplingConfig`."""
+    name = config.strategy.lower()
+    if name == "vanilla":
+        return VanillaSampling(rng=rng)
+    if name == "topk":
+        return TopKSampling(rng=rng)
+    if name == "hard_threshold":
+        return HardThresholdSampling(threshold=config.hard_threshold, rng=rng)
+    raise ValueError(f"unknown sampling strategy {config.strategy!r}")

@@ -1,0 +1,33 @@
+"""Argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["check_positive", "check_probability", "check_array_1d", "check_in_range"]
+
+
+def check_positive(value: float, name: str) -> None:
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_probability(value: float, name: str) -> None:
+    """Raise ``ValueError`` unless ``value`` lies in ``[0, 1]``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+
+
+def check_array_1d(array: np.ndarray, name: str) -> np.ndarray:
+    """Coerce to ``ndarray`` and raise unless it is one-dimensional."""
+    array = np.asarray(array)
+    if array.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {array.shape}")
+    return array
+
+
+def check_in_range(value: float, low: float, high: float, name: str) -> None:
+    """Raise ``ValueError`` unless ``low <= value <= high``."""
+    if not low <= value <= high:
+        raise ValueError(f"{name} must lie in [{low}, {high}], got {value!r}")

@@ -1,0 +1,91 @@
+"""Shared fixtures for the test suite.
+
+Everything is deliberately tiny: unit tests should run in milliseconds, and
+even the end-to-end training tests use datasets of a few hundred examples
+with a few dozen labels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    LayerConfig,
+    LSHConfig,
+    OptimizerConfig,
+    SamplingConfig,
+    SlideNetworkConfig,
+    TrainingConfig,
+)
+from repro.datasets.synthetic import SyntheticXCConfig, generate_synthetic_xc
+from repro.types import SparseExample, SparseVector
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A small learnable extreme-classification dataset (shared, read-only)."""
+    config = SyntheticXCConfig(
+        feature_dim=256,
+        label_dim=48,
+        num_train=192,
+        num_test=64,
+        avg_features_per_example=20,
+        avg_labels_per_example=2.0,
+        prototype_nnz=12,
+        noise_scale=0.2,
+        seed=7,
+        name="tiny-xc",
+    )
+    return generate_synthetic_xc(config)
+
+
+@pytest.fixture
+def tiny_network_config(tiny_dataset) -> SlideNetworkConfig:
+    """A two-layer SLIDE config (LSH on the output layer) for the tiny dataset."""
+    lsh = LSHConfig(hash_family="simhash", k=4, l=12, bucket_size=32)
+    layers = (
+        LayerConfig(size=32, activation="relu", lsh=None),
+        LayerConfig(
+            size=tiny_dataset.config.label_dim,
+            activation="softmax",
+            lsh=lsh,
+            sampling=SamplingConfig(strategy="vanilla", target_active=12, min_active=8),
+        ),
+    )
+    return SlideNetworkConfig(
+        input_dim=tiny_dataset.config.feature_dim, layers=layers, seed=3
+    )
+
+
+@pytest.fixture
+def tiny_training_config() -> TrainingConfig:
+    return TrainingConfig(
+        batch_size=16,
+        epochs=1,
+        optimizer=OptimizerConfig(name="adam", learning_rate=1e-3),
+        eval_every=0,
+        seed=11,
+    )
+
+
+def make_sparse_example(
+    rng: np.random.Generator,
+    dimension: int = 64,
+    nnz: int = 8,
+    num_labels: int = 2,
+    label_dim: int = 16,
+) -> SparseExample:
+    """Helper used across tests to build a random sparse example."""
+    indices = rng.choice(dimension, size=min(nnz, dimension), replace=False)
+    values = rng.normal(size=indices.shape[0])
+    labels = rng.choice(label_dim, size=min(num_labels, label_dim), replace=False)
+    return SparseExample(
+        features=SparseVector(indices=np.sort(indices), values=values, dimension=dimension),
+        labels=labels,
+    )

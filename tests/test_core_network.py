@@ -1,0 +1,220 @@
+"""Tests for :class:`repro.core.network.SlideNetwork`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    LayerConfig,
+    LSHConfig,
+    OptimizerConfig,
+    SamplingConfig,
+    SlideNetworkConfig,
+    TrainingConfig,
+)
+from repro.core.network import SlideNetwork
+from repro.types import SparseBatch, SparseExample, SparseVector
+
+
+def small_dense_network(input_dim=24, hidden=8, classes=10, seed=0) -> SlideNetwork:
+    """A SLIDE network with LSH disabled everywhere (pure sparse-dense math)."""
+    config = SlideNetworkConfig(
+        input_dim=input_dim,
+        layers=(
+            LayerConfig(size=hidden, activation="relu"),
+            LayerConfig(size=classes, activation="softmax"),
+        ),
+        seed=seed,
+    )
+    return SlideNetwork(config)
+
+
+def small_lsh_network(input_dim=24, hidden=8, classes=40, seed=0) -> SlideNetwork:
+    config = SlideNetworkConfig(
+        input_dim=input_dim,
+        layers=(
+            LayerConfig(size=hidden, activation="relu"),
+            LayerConfig(
+                size=classes,
+                activation="softmax",
+                lsh=LSHConfig(hash_family="simhash", k=3, l=10, bucket_size=16),
+                sampling=SamplingConfig(strategy="vanilla", target_active=10, min_active=6),
+            ),
+        ),
+        seed=seed,
+    )
+    return SlideNetwork(config)
+
+
+def make_example(rng, input_dim=24, classes=10, nnz=5, num_labels=2) -> SparseExample:
+    indices = np.sort(rng.choice(input_dim, size=nnz, replace=False))
+    return SparseExample(
+        features=SparseVector(indices=indices, values=rng.normal(size=nnz), dimension=input_dim),
+        labels=rng.choice(classes, size=num_labels, replace=False),
+    )
+
+
+class TestForward:
+    def test_forward_shapes_and_probabilities(self, rng):
+        network = small_dense_network()
+        example = make_example(rng)
+        result = network.forward_sample(example)
+        assert len(result.layer_states) == 2
+        assert result.output_probabilities.sum() == pytest.approx(1.0)
+        assert result.output_state.num_active == 10
+
+    def test_forward_sparse_matches_dense_when_lsh_disabled(self, rng):
+        network = small_dense_network()
+        example = make_example(rng)
+        result = network.forward_sample(example)
+        dense_scores = network.predict_dense(example)
+        sparse_scores = np.zeros(network.output_dim)
+        sparse_scores[result.active_output_ids] = result.output_probabilities
+        np.testing.assert_allclose(sparse_scores, dense_scores, atol=1e-10)
+
+    def test_include_labels_forces_label_neurons_active(self, rng):
+        network = small_lsh_network()
+        example = make_example(rng, classes=40)
+        result = network.forward_sample(example, include_labels=True)
+        assert set(example.labels.tolist()).issubset(set(result.active_output_ids.tolist()))
+
+    def test_lsh_network_output_is_sparse(self, rng):
+        network = small_lsh_network(classes=60)
+        example = make_example(rng, classes=60)
+        result = network.forward_sample(example, include_labels=False)
+        assert result.output_state.num_active < 60
+
+    def test_work_counters(self, rng):
+        network = small_dense_network()
+        example = make_example(rng)
+        result = network.forward_sample(example)
+        assert result.total_active_neurons() == 8 + 10
+        # The output layer only consumes the *non-zero* hidden activations
+        # (ReLU prunes the rest), so the active-weight count reflects that.
+        hidden_nonzero = int(np.count_nonzero(result.layer_states[0].activation))
+        assert result.total_active_weights() == (
+            8 * example.features.nnz + 10 * hidden_nonzero
+        )
+
+    def test_num_parameters(self):
+        network = small_dense_network(input_dim=24, hidden=8, classes=10)
+        assert network.num_parameters() == 24 * 8 + 8 + 8 * 10 + 10
+
+
+class TestGradients:
+    def test_gradient_matches_finite_differences(self, rng):
+        """Numerical gradient check of the sparse backprop on a dense (no-LSH)
+        network, where the active set covers every neuron."""
+        network = small_dense_network(input_dim=12, hidden=6, classes=5, seed=1)
+        example = make_example(rng, input_dim=12, classes=5, nnz=4, num_labels=1)
+        label = int(example.labels[0])
+
+        gradient = network.compute_sample_gradient(example)
+        output_grad = gradient.weight_grads[1]
+        hidden_grad = gradient.weight_grads[0]
+
+        def loss_fn() -> float:
+            scores = network.predict_dense(example)
+            return -float(np.log(scores[label] + 1e-12))
+
+        eps = 1e-6
+        # Check a handful of output-layer weights touched by the example.
+        out_state = gradient.layer_states[1]
+        for i in [0, 2, 4]:
+            for j_pos in range(min(2, out_state.active_in.size)):
+                j = int(out_state.active_in[j_pos])
+                original = network.layers[1].weights[i, j]
+                network.layers[1].weights[i, j] = original + eps
+                loss_plus = loss_fn()
+                network.layers[1].weights[i, j] = original - eps
+                loss_minus = loss_fn()
+                network.layers[1].weights[i, j] = original
+                numerical = (loss_plus - loss_minus) / (2 * eps)
+                analytic = output_grad[i, j_pos]
+                assert analytic == pytest.approx(numerical, abs=1e-4)
+
+        # And a couple of hidden-layer weights on the example's support.
+        hidden_state = gradient.layer_states[0]
+        for i in [0, 3]:
+            j_pos = 0
+            j = int(hidden_state.active_in[j_pos])
+            original = network.layers[0].weights[i, j]
+            network.layers[0].weights[i, j] = original + eps
+            loss_plus = loss_fn()
+            network.layers[0].weights[i, j] = original - eps
+            loss_minus = loss_fn()
+            network.layers[0].weights[i, j] = original
+            numerical = (loss_plus - loss_minus) / (2 * eps)
+            analytic = hidden_grad[i, j_pos]
+            assert analytic == pytest.approx(numerical, abs=1e-4)
+
+    def test_loss_is_non_negative(self, rng):
+        network = small_dense_network()
+        example = make_example(rng)
+        gradient = network.compute_sample_gradient(example)
+        assert gradient.loss >= 0.0
+
+    def test_gradient_footprint_limited_to_active_sets(self, rng):
+        network = small_lsh_network(classes=50)
+        example = make_example(rng, classes=50)
+        gradient = network.compute_sample_gradient(example)
+        out_state = gradient.layer_states[1]
+        assert gradient.weight_grads[1].shape == (
+            out_state.num_active,
+            out_state.active_in.size,
+        )
+
+
+class TestTraining:
+    def _training_setup(self, rng, network, classes, batch_size=8):
+        examples = [make_example(rng, classes=classes) for _ in range(batch_size)]
+        batch = SparseBatch.from_examples(
+            examples, feature_dim=network.input_dim, label_dim=network.output_dim
+        )
+        optimizer = network.build_optimizer(
+            TrainingConfig(optimizer=OptimizerConfig(learning_rate=5e-3))
+        )
+        return batch, optimizer
+
+    def test_train_batch_reduces_loss(self, rng):
+        network = small_dense_network(classes=10, seed=2)
+        batch, optimizer = self._training_setup(rng, network, classes=10)
+        losses = [network.train_batch(batch, optimizer)["loss"] for _ in range(25)]
+        assert losses[-1] < losses[0]
+
+    def test_hogwild_and_batch_modes_both_learn(self, rng):
+        for hogwild in (True, False):
+            network = small_dense_network(classes=10, seed=3)
+            batch, optimizer = self._training_setup(rng, network, classes=10)
+            first = network.train_batch(batch, optimizer, hogwild=hogwild)["loss"]
+            for _ in range(20):
+                last = network.train_batch(batch, optimizer, hogwild=hogwild)["loss"]
+            assert last < first
+
+    def test_train_batch_metrics_keys(self, rng):
+        network = small_dense_network()
+        batch, optimizer = self._training_setup(rng, network, classes=10)
+        metrics = network.train_batch(batch, optimizer)
+        assert {"loss", "active_neurons", "active_weights", "batch_size"} <= set(metrics)
+        assert metrics["batch_size"] == len(batch)
+
+    def test_iteration_counter_and_rebuilds(self, rng):
+        network = small_lsh_network(classes=40, seed=4)
+        batch, optimizer = self._training_setup(rng, network, classes=40)
+        for _ in range(3):
+            network.train_batch(batch, optimizer)
+        assert network.iteration == 3
+
+    def test_rebuild_all_tables(self, rng):
+        network = small_lsh_network(classes=40, seed=5)
+        before = network.output_layer.num_rebuilds
+        network.rebuild_all_tables()
+        assert network.output_layer.num_rebuilds == before + 1
+
+    def test_average_output_active(self, rng):
+        network = small_lsh_network(classes=60, seed=6)
+        examples = [make_example(rng, classes=60) for _ in range(5)]
+        avg = network.average_output_active(examples)
+        assert 0 < avg < 60
+        assert network.average_output_active([]) == 0.0

@@ -1,0 +1,125 @@
+"""Tests for DOPH and MinHash families."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.doph import DOPH
+from repro.hashing.minhash import MinHash
+from repro.types import SparseVector
+
+
+class TestMinHash:
+    def test_shape_and_determinism(self, rng):
+        family = MinHash(input_dim=128, k=2, l=6, seed=1)
+        dense = np.zeros(128)
+        dense[rng.choice(128, size=10, replace=False)] = 1.0
+        codes = family.hash_vector(dense)
+        assert codes.shape == (6, 2)
+        np.testing.assert_array_equal(codes, family.hash_vector(dense))
+
+    def test_codes_in_range(self, rng):
+        family = MinHash(input_dim=64, k=3, l=4, code_range=16, seed=2)
+        dense = np.zeros(64)
+        dense[rng.choice(64, size=8, replace=False)] = 1.0
+        codes = family.hash_vector(dense)
+        assert codes.min() >= 0 and codes.max() < 16
+
+    def test_empty_vector_sentinel(self):
+        family = MinHash(input_dim=32, k=2, l=3, seed=3)
+        codes = family.hash_vector(np.zeros(32))
+        assert np.all(codes == 0)
+
+    def test_jaccard_monotonicity(self, rng):
+        """Sets with higher Jaccard similarity collide more often."""
+        family = MinHash(input_dim=512, k=1, l=400, seed=4)
+
+        def to_vec(support):
+            dense = np.zeros(512)
+            dense[np.asarray(list(support))] = 1.0
+            return dense
+
+        base = set(rng.choice(512, size=60, replace=False).tolist())
+        high_overlap = set(list(base)[:50]) | set(
+            rng.choice(512, size=10, replace=False).tolist()
+        )
+        low_overlap = set(rng.choice(512, size=60, replace=False).tolist())
+
+        codes_base = family.hash_vector(to_vec(base)).ravel()
+        high_rate = np.mean(codes_base == family.hash_vector(to_vec(high_overlap)).ravel())
+        low_rate = np.mean(codes_base == family.hash_vector(to_vec(low_overlap)).ravel())
+        assert high_rate > low_rate
+
+    def test_invalid_code_range_raises(self):
+        with pytest.raises(ValueError):
+            MinHash(input_dim=16, k=2, l=2, code_range=1)
+
+
+class TestDOPH:
+    def test_shape_and_determinism(self, rng):
+        family = DOPH(input_dim=128, k=2, l=8, top_k=16, seed=1)
+        vector = np.abs(rng.normal(size=128))
+        codes = family.hash_vector(vector)
+        assert codes.shape == (8, 2)
+        np.testing.assert_array_equal(codes, family.hash_vector(vector))
+
+    def test_binarise_keeps_top_k(self, rng):
+        family = DOPH(input_dim=32, k=2, l=2, top_k=4, seed=2)
+        vector = np.arange(32, dtype=np.float64)
+        support = family.binarise(vector)
+        np.testing.assert_array_equal(np.sort(support), [28, 29, 30, 31])
+
+    def test_binarise_sparse_below_top_k_keeps_all(self, rng):
+        family = DOPH(input_dim=64, k=2, l=2, top_k=10, seed=3)
+        sparse = SparseVector(indices=[4, 9], values=[1.0, 2.0], dimension=64)
+        support = family.binarise(sparse)
+        np.testing.assert_array_equal(np.sort(support), [4, 9])
+
+    def test_binarise_drops_exact_zeros(self):
+        family = DOPH(input_dim=16, k=2, l=2, top_k=8, seed=4)
+        vector = np.zeros(16)
+        vector[3] = 1.0
+        support = family.binarise(vector)
+        np.testing.assert_array_equal(support, [3])
+
+    def test_codes_in_range(self, rng):
+        family = DOPH(input_dim=96, k=3, l=5, top_k=20, seed=5)
+        codes = family.hash_vector(np.abs(rng.normal(size=96)))
+        assert codes.min() >= 0 and codes.max() < family.code_cardinality
+
+    def test_overlapping_supports_collide_more(self, rng):
+        # Keep K*L well below the input dimension so each bin spans several
+        # coordinates and the minwise position actually carries information.
+        family = DOPH(input_dim=256, k=2, l=10, top_k=30, seed=6)
+        base = np.zeros(256)
+        support = rng.choice(256, size=30, replace=False)
+        base[support] = 1.0
+        similar = np.zeros(256)
+        similar[support[:25]] = 1.0
+        similar[rng.choice(np.setdiff1d(np.arange(256), support), size=5, replace=False)] = 1.0
+        different = np.zeros(256)
+        different[rng.choice(np.setdiff1d(np.arange(256), support), size=30, replace=False)] = 1.0
+
+        codes_base = family.hash_vector(base).ravel()
+        sim_rate = np.mean(codes_base == family.hash_vector(similar).ravel())
+        diff_rate = np.mean(codes_base == family.hash_vector(different).ravel())
+        assert sim_rate > diff_rate
+
+    def test_invalid_top_k_raises(self):
+        with pytest.raises(ValueError):
+            DOPH(input_dim=16, k=2, l=2, top_k=0)
+
+
+@given(seed=st.integers(0, 500), nnz=st.integers(1, 12))
+@settings(max_examples=25, deadline=None)
+def test_doph_codes_within_cardinality_property(seed, nnz):
+    rng = np.random.default_rng(seed)
+    family = DOPH(input_dim=64, k=2, l=4, top_k=8, seed=seed)
+    dense = np.zeros(64)
+    dense[rng.choice(64, size=nnz, replace=False)] = rng.random(size=nnz) + 0.1
+    codes = family.hash_vector(dense)
+    assert codes.min() >= 0
+    assert codes.max() < family.code_cardinality

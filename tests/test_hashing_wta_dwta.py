@@ -1,0 +1,124 @@
+"""Tests for WTA and Densified WTA hashing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.dwta import DWTAHash
+from repro.hashing.wta import WTAHash
+from repro.types import SparseVector
+
+
+class TestWTAHash:
+    def test_shape_and_range(self, rng):
+        family = WTAHash(input_dim=64, k=3, l=5, bin_size=8, seed=1)
+        codes = family.hash_vector(rng.normal(size=64))
+        assert codes.shape == (5, 3)
+        assert codes.min() >= 0 and codes.max() < family.code_cardinality
+
+    def test_deterministic(self, rng):
+        family = WTAHash(input_dim=32, k=2, l=4, bin_size=4, seed=2)
+        vector = rng.normal(size=32)
+        np.testing.assert_array_equal(family.hash_vector(vector), family.hash_vector(vector))
+
+    def test_rank_preserving_monotone_transform_invariance(self, rng):
+        """WTA codes depend only on the ordering of coordinates."""
+        family = WTAHash(input_dim=40, k=3, l=6, bin_size=5, seed=3)
+        vector = rng.normal(size=40)
+        transformed = np.exp(vector)  # strictly monotone
+        np.testing.assert_array_equal(
+            family.hash_vector(vector), family.hash_vector(transformed)
+        )
+
+    def test_bins_cover_requested_codes(self):
+        family = WTAHash(input_dim=64, k=4, l=8, bin_size=8, seed=0)
+        assert family.bins.shape == (4 * 8, 8)
+
+    def test_bin_size_capped_by_input_dim(self):
+        family = WTAHash(input_dim=4, k=2, l=2, bin_size=100, seed=0)
+        assert family.bin_size == 4
+
+    def test_invalid_bin_size_raises(self):
+        with pytest.raises(ValueError):
+            WTAHash(input_dim=16, k=2, l=2, bin_size=1)
+
+
+class TestDWTAHash:
+    def test_shape_and_determinism(self, rng):
+        family = DWTAHash(input_dim=64, k=3, l=5, bin_size=8, seed=1)
+        dense = np.zeros(64)
+        idx = rng.choice(64, size=6, replace=False)
+        dense[idx] = rng.random(size=6) + 0.1
+        codes_a = family.hash_vector(dense)
+        codes_b = family.hash_vector(dense)
+        assert codes_a.shape == (5, 3)
+        np.testing.assert_array_equal(codes_a, codes_b)
+
+    def test_sparse_and_dense_inputs_agree(self, rng):
+        family = DWTAHash(input_dim=48, k=2, l=6, bin_size=6, seed=4)
+        dense = np.zeros(48)
+        idx = rng.choice(48, size=5, replace=False)
+        dense[idx] = rng.random(size=5) + 0.5
+        sparse = SparseVector.from_dense(dense)
+        np.testing.assert_array_equal(family.hash_vector(dense), family.hash_vector(sparse))
+
+    def test_densification_fills_empty_bins(self, rng):
+        """With very sparse input most bins are empty; densification must fill
+        them with codes borrowed from non-empty bins (not the sentinel)."""
+        family = DWTAHash(input_dim=256, k=4, l=8, bin_size=8, seed=5)
+        dense = np.zeros(256)
+        dense[3] = 1.0  # a single non-zero coordinate
+        codes = family.hash_vector(dense).ravel()
+        sentinel = family.bin_size
+        assert np.all(codes != sentinel)
+
+    def test_all_zero_input_uses_sentinel(self):
+        family = DWTAHash(input_dim=32, k=2, l=3, bin_size=4, seed=6)
+        codes = family.hash_vector(np.zeros(32)).ravel()
+        assert np.all(codes == family.bin_size)
+
+    def test_similar_sparse_vectors_collide_more(self, rng):
+        """DWTA codes of overlapping sparse vectors agree more often than
+        codes of disjoint ones (the rank-correlation LSH property)."""
+        family = DWTAHash(input_dim=128, k=1, l=200, bin_size=8, seed=7)
+        base = np.zeros(128)
+        support = rng.choice(128, size=20, replace=False)
+        base[support] = rng.random(size=20) + 0.5
+
+        similar = base.copy()
+        similar[support[:5]] += 0.05 * rng.random(size=5)
+
+        disjoint = np.zeros(128)
+        other_support = np.setdiff1d(np.arange(128), support)[:20]
+        disjoint[other_support] = rng.random(size=20) + 0.5
+
+        codes_base = family.hash_vector(base).ravel()
+        codes_similar = family.hash_vector(similar).ravel()
+        codes_disjoint = family.hash_vector(disjoint).ravel()
+        sim_rate = np.mean(codes_base == codes_similar)
+        dis_rate = np.mean(codes_base == codes_disjoint)
+        assert sim_rate > dis_rate + 0.2
+
+    def test_code_range_respects_cardinality(self, rng):
+        family = DWTAHash(input_dim=64, k=3, l=4, bin_size=8, seed=8)
+        dense = np.abs(rng.normal(size=64))
+        codes = family.hash_vector(dense)
+        assert codes.max() < family.code_cardinality
+
+
+@given(nnz=st.integers(min_value=0, max_value=20), seed=st.integers(0, 1000))
+@settings(max_examples=30, deadline=None)
+def test_dwta_codes_always_in_range(nnz, seed):
+    rng = np.random.default_rng(seed)
+    family = DWTAHash(input_dim=64, k=2, l=4, bin_size=8, seed=seed)
+    dense = np.zeros(64)
+    if nnz:
+        idx = rng.choice(64, size=nnz, replace=False)
+        dense[idx] = rng.random(size=nnz) + 0.01
+    codes = family.hash_vector(dense)
+    assert codes.shape == (4, 2)
+    assert codes.min() >= 0
+    assert codes.max() < family.code_cardinality

@@ -1,0 +1,145 @@
+"""Tests for buckets and insertion policies (FIFO / reservoir sampling)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lsh.bucket import Bucket
+from repro.lsh.policies import FIFOPolicy, ReservoirPolicy, make_insertion_policy
+
+
+class TestBucket:
+    def test_append_and_contains(self):
+        bucket = Bucket(capacity=3)
+        bucket.append(7)
+        assert 7 in bucket
+        assert len(bucket) == 1
+        np.testing.assert_array_equal(bucket.items, [7])
+
+    def test_append_beyond_capacity_raises(self):
+        bucket = Bucket(capacity=1)
+        bucket.append(1)
+        with pytest.raises(ValueError, match="full"):
+            bucket.append(2)
+
+    def test_replace_tracks_arrival_order(self):
+        bucket = Bucket(capacity=2)
+        bucket.append(1)
+        bucket.append(2)
+        assert bucket.oldest_slot() == 0
+        bucket.replace(0, 3)
+        # Slot 1 (holding 2) is now the oldest.
+        assert bucket.oldest_slot() == 1
+
+    def test_replace_out_of_range_raises(self):
+        bucket = Bucket(capacity=2)
+        bucket.append(1)
+        with pytest.raises(IndexError):
+            bucket.replace(5, 9)
+
+    def test_remove(self):
+        bucket = Bucket(capacity=3)
+        bucket.append(1)
+        bucket.append(2)
+        assert bucket.remove(1)
+        assert not bucket.remove(99)
+        assert len(bucket) == 1
+
+    def test_clear_resets_counters(self):
+        bucket = Bucket(capacity=2)
+        bucket.append(1)
+        bucket.count_rejection()
+        bucket.clear()
+        assert len(bucket) == 0
+        assert bucket.seen == 0
+        assert bucket.rejections == 0
+
+    def test_oldest_slot_on_empty_raises(self):
+        with pytest.raises(ValueError):
+            Bucket(capacity=2).oldest_slot()
+
+    def test_invalid_capacity_raises(self):
+        with pytest.raises(ValueError):
+            Bucket(capacity=0)
+
+
+class TestFIFOPolicy:
+    def test_fills_then_replaces_oldest(self):
+        bucket = Bucket(capacity=2)
+        policy = FIFOPolicy()
+        assert policy.insert(bucket, 1)
+        assert policy.insert(bucket, 2)
+        assert policy.insert(bucket, 3)  # replaces 1
+        items = set(bucket.items.tolist())
+        assert items == {2, 3}
+        policy.insert(bucket, 4)  # replaces 2
+        assert set(bucket.items.tolist()) == {3, 4}
+
+    def test_always_stores(self):
+        bucket = Bucket(capacity=1)
+        policy = FIFOPolicy()
+        for item in range(10):
+            assert policy.insert(bucket, item)
+        assert bucket.items.tolist() == [9]
+
+
+class TestReservoirPolicy:
+    def test_fills_up_to_capacity(self):
+        bucket = Bucket(capacity=4)
+        policy = ReservoirPolicy(rng=np.random.default_rng(0))
+        for item in range(4):
+            assert policy.insert(bucket, item)
+        assert len(bucket) == 4
+
+    def test_rejections_are_counted(self):
+        bucket = Bucket(capacity=1)
+        policy = ReservoirPolicy(rng=np.random.default_rng(1))
+        for item in range(200):
+            policy.insert(bucket, item)
+        assert bucket.rejections > 0
+        assert bucket.seen == 200
+
+    def test_reservoir_is_approximately_uniform(self):
+        """Each of N streamed items should be retained with probability ~capacity/N."""
+        capacity, stream_length, trials = 4, 40, 600
+        hits = np.zeros(stream_length)
+        rng = np.random.default_rng(7)
+        for _ in range(trials):
+            bucket = Bucket(capacity=capacity)
+            policy = ReservoirPolicy(rng=rng)
+            for item in range(stream_length):
+                policy.insert(bucket, item)
+            hits[bucket.items] += 1
+        retention = hits / trials
+        expected = capacity / stream_length
+        # Uniformity: no item's retention rate strays far from capacity/N.
+        assert np.all(np.abs(retention - expected) < 0.08)
+
+
+class TestPolicyFactory:
+    def test_make_by_name(self):
+        assert isinstance(make_insertion_policy("fifo"), FIFOPolicy)
+        assert isinstance(make_insertion_policy("reservoir"), ReservoirPolicy)
+        assert isinstance(make_insertion_policy("FIFO"), FIFOPolicy)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            make_insertion_policy("lru")
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=8),
+    items=st.lists(st.integers(min_value=0, max_value=1000), min_size=0, max_size=50),
+)
+@settings(max_examples=60, deadline=None)
+def test_bucket_never_exceeds_capacity_under_any_policy(capacity, items):
+    for policy_name in ("fifo", "reservoir"):
+        bucket = Bucket(capacity=capacity)
+        policy = make_insertion_policy(policy_name, rng=np.random.default_rng(0))
+        for item in items:
+            policy.insert(bucket, item)
+        assert len(bucket) <= capacity
+        assert bucket.seen == len(items)

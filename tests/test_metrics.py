@@ -1,0 +1,76 @@
+"""Tests for precision@k and convergence-time metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.accuracy import precision_at_1, precision_at_k
+from repro.metrics.convergence import accuracy_at_time, convergence_time, time_to_accuracy
+
+
+class TestPrecision:
+    def test_perfect_predictions(self):
+        scores = np.array([[0.1, 0.9], [0.8, 0.2]])
+        labels = [np.array([1]), np.array([0])]
+        assert precision_at_1(scores, labels) == 1.0
+
+    def test_all_wrong(self):
+        scores = np.array([[0.9, 0.1], [0.9, 0.1]])
+        labels = [np.array([1]), np.array([1])]
+        assert precision_at_1(scores, labels) == 0.0
+
+    def test_precision_at_k_partial_credit(self):
+        scores = np.array([[0.5, 0.4, 0.3, 0.0]])
+        labels = [np.array([0, 3])]
+        # top-2 = {0, 1}; only 0 is correct -> 0.5
+        assert precision_at_k(scores, labels, k=2) == pytest.approx(0.5)
+
+    def test_examples_without_labels_are_skipped(self):
+        scores = np.array([[0.9, 0.1], [0.1, 0.9]])
+        labels = [np.array([], dtype=np.int64), np.array([1])]
+        assert precision_at_1(scores, labels) == 1.0
+
+    def test_all_empty_labels_returns_zero(self):
+        scores = np.array([[0.9, 0.1]])
+        assert precision_at_1(scores, [np.array([], dtype=np.int64)]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            precision_at_k(np.zeros(3), [np.array([0])], k=1)
+        with pytest.raises(ValueError):
+            precision_at_k(np.zeros((2, 3)), [np.array([0])], k=1)
+        with pytest.raises(ValueError):
+            precision_at_k(np.zeros((1, 3)), [np.array([0])], k=0)
+
+
+class TestConvergence:
+    def test_time_to_accuracy(self):
+        times = np.array([1.0, 2.0, 3.0, 4.0])
+        accs = np.array([0.1, 0.2, 0.4, 0.5])
+        assert time_to_accuracy(times, accs, 0.3) == 3.0
+        assert time_to_accuracy(times, accs, 0.9) is None
+
+    def test_convergence_time_fraction_of_best(self):
+        times = np.array([1.0, 2.0, 3.0, 4.0])
+        accs = np.array([0.1, 0.45, 0.49, 0.5])
+        assert convergence_time(times, accs, fraction_of_best=0.9) == 2.0
+        assert convergence_time(times, accs, fraction_of_best=1.0) == 4.0
+
+    def test_accuracy_at_time(self):
+        times = np.array([1.0, 2.0, 3.0])
+        accs = np.array([0.1, 0.3, 0.2])
+        assert accuracy_at_time(times, accs, 2.5) == pytest.approx(0.3)
+        assert accuracy_at_time(times, accs, 0.5) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            time_to_accuracy(np.array([2.0, 1.0]), np.array([0.1, 0.2]), 0.1)
+        with pytest.raises(ValueError):
+            convergence_time(np.array([1.0]), np.array([0.1]), fraction_of_best=0.0)
+        with pytest.raises(ValueError):
+            time_to_accuracy(np.array([1.0]), np.array([0.1, 0.2]), 0.1)
+
+    def test_empty_series(self):
+        assert convergence_time(np.array([]), np.array([])) == 0.0
+        assert accuracy_at_time(np.array([]), np.array([]), 1.0) == 0.0

@@ -1,0 +1,215 @@
+"""Tests for the sparse-aware Adam and SGD optimisers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import OptimizerConfig
+from repro.optim.adam import AdamOptimizer
+from repro.optim.factory import make_optimizer
+from repro.optim.sgd import SGDOptimizer
+
+
+def reference_adam_step(param, grad, m, v, lr, b1, b2, eps, t):
+    """Textbook Adam update used as ground truth."""
+    m = b1 * m + (1 - b1) * grad
+    v = b2 * v + (1 - b2) * grad**2
+    m_hat = m / (1 - b1**t)
+    v_hat = v / (1 - b2**t)
+    return param - lr * m_hat / (np.sqrt(v_hat) + eps), m, v
+
+
+class TestAdamDense:
+    def test_matches_reference_formula(self, rng):
+        opt = AdamOptimizer(learning_rate=0.01)
+        param = rng.normal(size=(4, 3))
+        opt.register("w", param.shape)
+        expected = param.copy()
+        m = np.zeros_like(param)
+        v = np.zeros_like(param)
+        for t in range(1, 4):
+            grad = rng.normal(size=param.shape)
+            opt.begin_step()
+            opt.step("w", param, grad)
+            expected, m, v = reference_adam_step(
+                expected, grad, m, v, 0.01, 0.9, 0.999, 1e-8, t
+            )
+            np.testing.assert_allclose(param, expected, atol=1e-12)
+
+    def test_minimises_quadratic(self):
+        opt = AdamOptimizer(learning_rate=0.1)
+        param = np.array([5.0, -3.0])
+        opt.register("x", param.shape)
+        for _ in range(300):
+            opt.begin_step()
+            opt.step("x", param, 2 * param)  # gradient of ||x||^2
+        assert np.linalg.norm(param) < 0.05
+
+    def test_duplicate_registration_raises(self):
+        opt = AdamOptimizer()
+        opt.register("w", (2, 2))
+        with pytest.raises(ValueError):
+            opt.register("w", (2, 2))
+
+    def test_invalid_hyperparameters_raise(self):
+        with pytest.raises(ValueError):
+            AdamOptimizer(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            AdamOptimizer(beta1=1.0)
+        with pytest.raises(ValueError):
+            AdamOptimizer(epsilon=0.0)
+
+
+class TestAdamSparse:
+    def test_sparse_step_equals_dense_on_touched_block(self, rng):
+        """A sparse step on a block must equal the dense step restricted to
+        that block when the gradient is zero everywhere else."""
+        shape = (6, 5)
+        grad = np.zeros(shape)
+        rows = np.array([1, 4])
+        cols = np.array([0, 2, 3])
+        block = rng.normal(size=(rows.size, cols.size))
+        grad[np.ix_(rows, cols)] = block
+
+        dense_opt = AdamOptimizer(learning_rate=0.05)
+        sparse_opt = AdamOptimizer(learning_rate=0.05)
+        dense_param = rng.normal(size=shape)
+        sparse_param = dense_param.copy()
+        dense_opt.register("w", shape)
+        sparse_opt.register("w", shape)
+
+        dense_opt.begin_step()
+        dense_opt.step("w", dense_param, grad)
+        sparse_opt.begin_step()
+        sparse_opt.sparse_step("w", sparse_param, rows, cols, block)
+
+        np.testing.assert_allclose(
+            sparse_param[np.ix_(rows, cols)], dense_param[np.ix_(rows, cols)], atol=1e-12
+        )
+        # Untouched coordinates stay exactly as they were.
+        untouched = np.ones(shape, dtype=bool)
+        untouched[np.ix_(rows, cols)] = False
+        np.testing.assert_array_equal(sparse_param[untouched], dense_param[untouched])
+
+    def test_sparse_step_on_bias_vector(self, rng):
+        opt = AdamOptimizer(learning_rate=0.01)
+        bias = np.zeros(10)
+        opt.register("b", bias.shape)
+        rows = np.array([2, 7])
+        opt.begin_step()
+        opt.sparse_step("b", bias, rows, None, np.array([1.0, -1.0]))
+        assert bias[2] != 0 and bias[7] != 0
+        assert np.all(bias[[0, 1, 3, 4, 5, 6, 8, 9]] == 0)
+
+    def test_empty_rows_is_noop(self, rng):
+        opt = AdamOptimizer()
+        param = rng.normal(size=(3, 3))
+        before = param.copy()
+        opt.register("w", param.shape)
+        opt.begin_step()
+        opt.sparse_step("w", param, np.array([], dtype=np.int64), None, np.zeros((0,)))
+        np.testing.assert_array_equal(param, before)
+
+    def test_repeated_sparse_updates_accumulate_moments(self, rng):
+        opt = AdamOptimizer(learning_rate=0.1)
+        param = np.zeros((4, 4))
+        opt.register("w", param.shape)
+        rows, cols = np.array([0]), np.array([0])
+        for _ in range(50):
+            opt.begin_step()
+            opt.sparse_step("w", param, rows, cols, np.array([[1.0]]))
+        # Persistent positive gradient must drive the weight down monotonically.
+        assert param[0, 0] < -1.0
+        state = opt.state_of("w")
+        assert state["m"][0, 0] > 0
+        assert state["v"][0, 0] > 0
+
+
+class TestSGD:
+    def test_plain_sgd_step(self):
+        opt = SGDOptimizer(learning_rate=0.5)
+        param = np.array([1.0, 2.0])
+        opt.register("x", param.shape)
+        opt.begin_step()
+        opt.step("x", param, np.array([1.0, -1.0]))
+        np.testing.assert_allclose(param, [0.5, 2.5])
+
+    def test_momentum_accelerates(self):
+        plain = SGDOptimizer(learning_rate=0.1)
+        momentum = SGDOptimizer(learning_rate=0.1, momentum=0.9)
+        p1 = np.array([1.0])
+        p2 = np.array([1.0])
+        plain.register("x", (1,))
+        momentum.register("x", (1,))
+        for _ in range(5):
+            plain.begin_step()
+            momentum.begin_step()
+            plain.step("x", p1, np.array([1.0]))
+            momentum.step("x", p2, np.array([1.0]))
+        assert p2[0] < p1[0]
+
+    def test_sparse_step_matches_dense_block(self, rng):
+        opt_a = SGDOptimizer(learning_rate=0.2, momentum=0.5)
+        opt_b = SGDOptimizer(learning_rate=0.2, momentum=0.5)
+        shape = (5, 4)
+        dense = rng.normal(size=shape)
+        sparse = dense.copy()
+        opt_a.register("w", shape)
+        opt_b.register("w", shape)
+        rows, cols = np.array([0, 3]), np.array([1, 2])
+        block = rng.normal(size=(2, 2))
+        grad = np.zeros(shape)
+        grad[np.ix_(rows, cols)] = block
+        for _ in range(3):
+            opt_a.begin_step()
+            opt_b.begin_step()
+            opt_a.step("w", dense, grad)
+            opt_b.sparse_step("w", sparse, rows, cols, block)
+        np.testing.assert_allclose(sparse, dense, atol=1e-12)
+
+    def test_invalid_momentum_raises(self):
+        with pytest.raises(ValueError):
+            SGDOptimizer(momentum=1.0)
+
+
+class TestFactory:
+    def test_builds_adam(self):
+        opt = make_optimizer(OptimizerConfig(name="adam", learning_rate=0.01))
+        assert isinstance(opt, AdamOptimizer)
+        assert opt.learning_rate == 0.01
+
+    def test_builds_sgd(self):
+        opt = make_optimizer(OptimizerConfig(name="sgd", learning_rate=0.1, momentum=0.5))
+        assert isinstance(opt, SGDOptimizer)
+        assert opt.momentum == 0.5
+
+
+@given(
+    lr=st.floats(min_value=1e-4, max_value=0.5),
+    steps=st.integers(min_value=1, max_value=20),
+)
+@settings(max_examples=30, deadline=None)
+def test_adam_sparse_dense_equivalence_property(lr, steps):
+    """Property: for gradients supported on a fixed block, sparse and dense
+    Adam trajectories coincide on that block."""
+    rng = np.random.default_rng(0)
+    shape = (4, 4)
+    rows, cols = np.array([1, 2]), np.array([0, 3])
+    dense_opt = AdamOptimizer(learning_rate=lr)
+    sparse_opt = AdamOptimizer(learning_rate=lr)
+    dense_param = rng.normal(size=shape)
+    sparse_param = dense_param.copy()
+    dense_opt.register("w", shape)
+    sparse_opt.register("w", shape)
+    for _ in range(steps):
+        block = rng.normal(size=(2, 2))
+        grad = np.zeros(shape)
+        grad[np.ix_(rows, cols)] = block
+        dense_opt.begin_step()
+        sparse_opt.begin_step()
+        dense_opt.step("w", dense_param, grad)
+        sparse_opt.sparse_step("w", sparse_param, rows, cols, block)
+    np.testing.assert_allclose(sparse_param, dense_param, atol=1e-10)

@@ -1,0 +1,149 @@
+"""Tests for conflict analysis, the HOGWILD simulator and the thread executor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import OptimizerConfig, TrainingConfig
+from repro.core.network import SlideNetwork
+from repro.parallel.conflicts import (
+    analyze_update_conflicts,
+    expected_conflict_fraction,
+)
+from repro.parallel.executor import BatchParallelExecutor
+from repro.parallel.hogwild import HogwildSimulator
+from repro.types import SparseBatch
+
+
+class TestConflictAnalysis:
+    def test_disjoint_sets_have_no_conflicts(self):
+        report = analyze_update_conflicts(
+            [np.array([0, 1]), np.array([2, 3]), np.array([4, 5])], layer_size=10
+        )
+        assert report.conflicted_update_fraction == 0.0
+        assert report.pairwise_overlap_rate == 0.0
+        assert report.distinct_neurons_updated == 6
+        assert report.is_sparse_enough_for_hogwild
+
+    def test_identical_sets_fully_conflict(self):
+        report = analyze_update_conflicts(
+            [np.array([0, 1, 2]), np.array([0, 1, 2])], layer_size=10
+        )
+        assert report.conflicted_update_fraction == pytest.approx(1.0)
+        assert report.pairwise_overlap_rate == pytest.approx(1.0)
+        assert not report.is_sparse_enough_for_hogwild
+
+    def test_partial_overlap(self):
+        report = analyze_update_conflicts(
+            [np.array([0, 1, 2, 3]), np.array([3, 4, 5, 6])], layer_size=20
+        )
+        # Only neuron 3 is contested: 2 of 8 updates conflict.
+        assert report.conflicted_update_fraction == pytest.approx(0.25)
+        assert report.mean_active == pytest.approx(4.0)
+
+    def test_empty_batch(self):
+        report = analyze_update_conflicts([], layer_size=10)
+        assert report.batch_size == 0
+        assert report.conflicted_update_fraction == 0.0
+
+    def test_expected_conflict_fraction_formula(self):
+        # 1 - (1 - a/n)^(B-1)
+        assert expected_conflict_fraction(2, 10, 100) == pytest.approx(0.1)
+        assert expected_conflict_fraction(1, 10, 100) == pytest.approx(0.0)
+        assert expected_conflict_fraction(5, 1, 1000) < 0.005
+
+    def test_expected_conflict_fraction_validation(self):
+        with pytest.raises(ValueError):
+            expected_conflict_fraction(0, 1, 10)
+        with pytest.raises(ValueError):
+            expected_conflict_fraction(2, 20, 10)
+
+    def test_sparser_activations_conflict_less(self, rng):
+        """The core HOGWILD-enabling property: conflicts shrink with sparsity."""
+        layer_size = 10_000
+        batch = 16
+
+        def random_sets(active):
+            return [
+                rng.choice(layer_size, size=active, replace=False) for _ in range(batch)
+            ]
+
+        sparse_report = analyze_update_conflicts(random_sets(10), layer_size)
+        dense_report = analyze_update_conflicts(random_sets(2500), layer_size)
+        assert (
+            sparse_report.conflicted_update_fraction
+            < dense_report.conflicted_update_fraction
+        )
+        assert sparse_report.is_sparse_enough_for_hogwild
+        assert not dense_report.is_sparse_enough_for_hogwild
+
+
+class TestHogwildSimulator:
+    def _setup(self, tiny_dataset, tiny_network_config):
+        network = SlideNetwork(tiny_network_config)
+        optimizer = network.build_optimizer(
+            TrainingConfig(optimizer=OptimizerConfig(learning_rate=2e-3))
+        )
+        batch = SparseBatch.from_examples(
+            tiny_dataset.train[:16],
+            feature_dim=tiny_dataset.config.feature_dim,
+            label_dim=tiny_dataset.config.label_dim,
+        )
+        return network, optimizer, batch
+
+    def test_step_reports_conflicts_and_loss(self, tiny_dataset, tiny_network_config):
+        network, optimizer, batch = self._setup(tiny_dataset, tiny_network_config)
+        simulator = HogwildSimulator(network, optimizer, seed=0)
+        report = simulator.step(batch)
+        assert report.loss >= 0
+        assert report.active_neurons > 0
+        assert 0.0 <= report.conflict_report.conflicted_update_fraction <= 1.0
+        assert simulator.mean_conflict_fraction() == pytest.approx(
+            report.conflict_report.conflicted_update_fraction
+        )
+
+    def test_maximally_stale_updates_still_learn(self, tiny_dataset, tiny_network_config):
+        network, optimizer, batch = self._setup(tiny_dataset, tiny_network_config)
+        simulator = HogwildSimulator(network, optimizer, seed=1)
+        first = simulator.step(batch).loss
+        for _ in range(15):
+            last = simulator.step(batch).loss
+        assert last < first
+
+    def test_iteration_counter_advances(self, tiny_dataset, tiny_network_config):
+        network, optimizer, batch = self._setup(tiny_dataset, tiny_network_config)
+        simulator = HogwildSimulator(network, optimizer, seed=2)
+        simulator.step(batch)
+        simulator.step(batch)
+        assert network.iteration == 2
+
+    def test_mean_conflict_fraction_empty(self, tiny_dataset, tiny_network_config):
+        network, optimizer, _ = self._setup(tiny_dataset, tiny_network_config)
+        assert HogwildSimulator(network, optimizer).mean_conflict_fraction() == 0.0
+
+
+class TestBatchParallelExecutor:
+    def test_parallel_training_learns(self, tiny_dataset, tiny_network_config):
+        network = SlideNetwork(tiny_network_config)
+        optimizer = network.build_optimizer(
+            TrainingConfig(optimizer=OptimizerConfig(learning_rate=2e-3))
+        )
+        executor = BatchParallelExecutor(network, optimizer, num_threads=4)
+        batch = SparseBatch.from_examples(
+            tiny_dataset.train[:16],
+            feature_dim=tiny_dataset.config.feature_dim,
+            label_dim=tiny_dataset.config.label_dim,
+        )
+        first = executor.train_batch(batch)["loss"]
+        for _ in range(10):
+            metrics = executor.train_batch(batch)
+        assert metrics["loss"] < first
+        assert metrics["num_threads"] == 4
+        assert network.iteration == 11
+
+    def test_invalid_thread_count_raises(self, tiny_dataset, tiny_network_config):
+        network = SlideNetwork(tiny_network_config)
+        optimizer = network.build_optimizer(TrainingConfig())
+        with pytest.raises(ValueError):
+            BatchParallelExecutor(network, optimizer, num_threads=0)

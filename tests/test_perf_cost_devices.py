@@ -1,0 +1,195 @@
+"""Tests for the cost model, device profiles and wall-clock simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perf.cost_model import (
+    WorkloadCounts,
+    dense_iteration_work,
+    sampled_softmax_iteration_work,
+    slide_iteration_work,
+)
+from repro.perf.devices import (
+    CPUProfile,
+    GPUProfile,
+    SLIDE_CPU_PROFILE,
+    SLIDE_UTILIZATION,
+    TF_CPU_PROFILE,
+    TF_CPU_UTILIZATION,
+    TF_GPU_PROFILE,
+    UtilizationCurve,
+)
+from repro.perf.simulator import SimulatedRun, WallClockSimulator
+
+
+class TestWorkloadCounts:
+    def test_addition_and_scaling(self):
+        a = WorkloadCounts(dense_macs=10, sparse_macs=5, hash_ops=2, table_lookups=1, bytes_touched=100)
+        b = WorkloadCounts(dense_macs=1, sparse_macs=1, hash_ops=1, table_lookups=1, bytes_touched=1)
+        total = a + b
+        assert total.dense_macs == 11
+        assert total.total_macs == 17
+        scaled = a.scaled(2.0)
+        assert scaled.sparse_macs == 10
+        assert scaled.bytes_touched == 200
+
+    def test_slide_work_much_smaller_than_dense(self):
+        """The fundamental SLIDE claim: with <1 % active neurons the sparse
+        workload is orders of magnitude below the dense one."""
+        dense = dense_iteration_work(batch_size=128, avg_input_nnz=75, hidden_dim=128, output_dim=670_091)
+        slide = slide_iteration_work(
+            batch_size=128, avg_input_nnz=75, hidden_dim=128,
+            avg_active_output=3000, k=8, l=50, output_dim=670_091,
+        )
+        assert slide.total_macs < dense.total_macs / 50
+
+    def test_sampled_softmax_work_between_slide_and_dense(self):
+        dense = dense_iteration_work(128, 75, 128, 670_091)
+        ssm = sampled_softmax_iteration_work(128, 75, 128, num_sampled=int(0.2 * 670_091))
+        slide = slide_iteration_work(128, 75, 128, 3000, 8, 50, output_dim=670_091)
+        assert slide.total_macs < ssm.total_macs < dense.total_macs
+
+    def test_work_scales_linearly_with_batch(self):
+        small = slide_iteration_work(64, 75, 128, 1000, 9, 50)
+        large = slide_iteration_work(128, 75, 128, 1000, 9, 50)
+        assert large.sparse_macs == pytest.approx(2 * small.sparse_macs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            slide_iteration_work(0, 75, 128, 1000, 9, 50)
+        with pytest.raises(ValueError):
+            dense_iteration_work(8, 75, 0, 100)
+        with pytest.raises(ValueError):
+            sampled_softmax_iteration_work(8, 75, 128, 0)
+
+
+class TestUtilizationCurve:
+    def test_interpolates_between_anchors(self):
+        curve = UtilizationCurve(cores=(1, 10), utilization=(1.0, 0.5))
+        assert curve(1) == pytest.approx(1.0)
+        assert curve(10) == pytest.approx(0.5)
+        assert 0.5 < curve(5) < 1.0
+
+    def test_clamps_outside_range(self):
+        curve = UtilizationCurve(cores=(2, 8), utilization=(0.9, 0.6))
+        assert curve(1) == pytest.approx(0.9)
+        assert curve(64) == pytest.approx(0.6)
+
+    def test_speedup_is_cores_times_utilization(self):
+        curve = UtilizationCurve(cores=(1, 4), utilization=(1.0, 0.5))
+        assert curve.speedup(4) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UtilizationCurve(cores=(1,), utilization=(1.0,))
+        with pytest.raises(ValueError):
+            UtilizationCurve(cores=(4, 1), utilization=(0.5, 0.5))
+        with pytest.raises(ValueError):
+            UtilizationCurve(cores=(1, 2), utilization=(0.5, 1.5))
+
+    def test_paper_calibration_anchors(self):
+        """Table 2: SLIDE stays above 80 %, TF-CPU degrades below 50 %."""
+        for threads in (8, 16, 32):
+            assert SLIDE_UTILIZATION(threads) >= 0.8
+            assert TF_CPU_UTILIZATION(threads) <= 0.5
+
+
+class TestDeviceProfiles:
+    def _work(self):
+        return slide_iteration_work(128, 75, 128, 1000, 9, 50, output_dim=205_443)
+
+    def test_more_cores_is_faster(self):
+        work = self._work()
+        times = [SLIDE_CPU_PROFILE.iteration_seconds(work, cores=c) for c in (2, 8, 32, 44)]
+        assert all(b < a for a, b in zip(times, times[1:]))
+
+    def test_cores_capped_at_max(self):
+        work = self._work()
+        assert SLIDE_CPU_PROFILE.iteration_seconds(work, cores=44) == pytest.approx(
+            SLIDE_CPU_PROFILE.iteration_seconds(work, cores=1000)
+        )
+
+    def test_gpu_ignores_core_count(self):
+        work = dense_iteration_work(128, 75, 128, 205_443)
+        assert TF_GPU_PROFILE.iteration_seconds(work, cores=2) == pytest.approx(
+            TF_GPU_PROFILE.iteration_seconds(work, cores=44)
+        )
+
+    def test_invalid_cores_raise(self):
+        with pytest.raises(ValueError):
+            SLIDE_CPU_PROFILE.iteration_seconds(self._work(), cores=0)
+
+    def test_sparse_ops_cost_more_per_op_than_dense(self):
+        assert SLIDE_CPU_PROFILE.sparse_mac_seconds > SLIDE_CPU_PROFILE.dense_mac_seconds
+
+    def test_paper_headline_shape_slide_beats_gpu_beats_cpu_at_44_cores(self):
+        """Figure 5 qualitative check straight from the cost model: at the
+        paper's Amazon-670K dimensions, SLIDE on 44 cores is faster per
+        iteration than TF on the V100, which is faster than TF on 44 CPU
+        cores."""
+        dense_work = dense_iteration_work(256, 75, 128, 670_091)
+        slide_work = slide_iteration_work(256, 75, 128, 3000, 8, 50, output_dim=670_091)
+        slide_time = SLIDE_CPU_PROFILE.iteration_seconds(slide_work, cores=44)
+        gpu_time = TF_GPU_PROFILE.iteration_seconds(dense_work)
+        cpu_time = TF_CPU_PROFILE.iteration_seconds(dense_work, cores=44)
+        assert slide_time < gpu_time < cpu_time
+        # And the factors are in the right ballpark (paper: 2.7x and ~3x).
+        assert 1.5 < gpu_time / slide_time < 6.0
+        assert 1.5 < cpu_time / gpu_time < 8.0
+
+    def test_gpu_crossover_exists_at_intermediate_core_count(self):
+        """Figure 9: SLIDE needs some minimum number of cores to beat the GPU."""
+        dense_work = dense_iteration_work(128, 75, 128, 205_443)
+        slide_work = slide_iteration_work(128, 75, 128, 1000, 9, 50, output_dim=205_443)
+        gpu_time = TF_GPU_PROFILE.iteration_seconds(dense_work)
+        slide_2 = SLIDE_CPU_PROFILE.iteration_seconds(slide_work, cores=2)
+        slide_44 = SLIDE_CPU_PROFILE.iteration_seconds(slide_work, cores=44)
+        assert slide_2 > gpu_time  # too few cores: GPU wins
+        assert slide_44 < gpu_time  # full socket: SLIDE wins
+
+
+class TestSimulator:
+    def _runs(self):
+        work = [WorkloadCounts(dense_macs=1e6)] * 5
+        accuracies = [0.1, 0.2, 0.3, 0.35, 0.36]
+        sim = WallClockSimulator(GPUProfile(name="gpu"), cores=None)
+        return sim.simulate("gpu", work, accuracies)
+
+    def test_cumulative_times_increase(self):
+        run = self._runs()
+        assert np.all(np.diff(run.cumulative_seconds) > 0)
+        assert run.iterations.tolist() == [1, 2, 3, 4, 5]
+
+    def test_time_to_accuracy(self):
+        run = self._runs()
+        t = run.time_to_accuracy(0.3)
+        assert t == pytest.approx(run.cumulative_seconds[2])
+        assert run.time_to_accuracy(0.99) is None
+
+    def test_convergence_time_and_final_accuracy(self):
+        run = self._runs()
+        assert run.final_accuracy() == pytest.approx(0.36)
+        assert run.convergence_time() <= run.cumulative_seconds[-1]
+
+    def test_mismatched_lengths_raise(self):
+        sim = WallClockSimulator(GPUProfile(name="gpu"))
+        with pytest.raises(ValueError):
+            sim.simulate("x", [WorkloadCounts()], [0.1, 0.2])
+
+
+@given(
+    active=st.floats(min_value=1, max_value=5000),
+    cores=st.integers(min_value=1, max_value=44),
+)
+@settings(max_examples=40, deadline=None)
+def test_iteration_time_monotone_in_active_neurons(active, cores):
+    """More active neurons can never make an iteration faster."""
+    small = slide_iteration_work(64, 75, 128, active, 8, 50, output_dim=670_091)
+    large = slide_iteration_work(64, 75, 128, active * 2, 8, 50, output_dim=670_091)
+    t_small = SLIDE_CPU_PROFILE.iteration_seconds(small, cores=cores)
+    t_large = SLIDE_CPU_PROFILE.iteration_seconds(large, cores=cores)
+    assert t_large >= t_small
