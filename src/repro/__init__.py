@@ -17,8 +17,13 @@ Public API overview
 * :mod:`repro.parallel` — HOGWILD-style asynchronous update simulation and
   conflict analysis.
 * :mod:`repro.perf` — operation counting, calibrated device profiles and the
-  wall-clock / CPU-counter / memory models behind the paper's figures.
-* :mod:`repro.harness` — one driver per table and figure of the evaluation.
+  wall-clock / CPU-counter / memory models behind the paper's figures, plus
+  the real-measurement latency histogram used by the serving path.
+* :mod:`repro.harness` — one driver per table and figure of the evaluation,
+  plus the serving accuracy-vs-latency sweep.
+* :mod:`repro.serving` — beyond the paper: checkpointing, the
+  LSH-accelerated inference engine, micro-batching, a multi-worker engine
+  pool, and an HTTP/JSON model server (``repro-serve``).
 """
 
 from repro.config import (

@@ -18,9 +18,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.config import OptimizerConfig
-from repro.core.activations import relu, relu_grad
+from repro.core.activations import relu, relu_grad, softmax_rows
 from repro.optim.factory import make_optimizer
-from repro.types import FloatArray, IntArray, SparseBatch, SparseExample
+from repro.types import FloatArray, IntArray, SparseBatch, SparseExample, dense_features
 from repro.utils.rng import derive_rng
 from repro.utils.topk import top_k_indices
 
@@ -74,16 +74,21 @@ class DenseNetwork:
         hidden_pre = features @ self.w1.T + self.b1
         hidden = relu(hidden_pre)
         logits = hidden @ self.w2.T + self.b2
-        shifted = logits - logits.max(axis=1, keepdims=True)
-        exp = np.exp(shifted)
-        probabilities = exp / exp.sum(axis=1, keepdims=True)
-        return hidden_pre, hidden, probabilities
+        return hidden_pre, hidden, softmax_rows(logits)
 
     def predict_dense(self, example: SparseExample) -> FloatArray:
         """Class scores for one example (API-compatible with SlideNetwork)."""
         features = example.features.to_dense()[None, :]
         _, _, probabilities = self.forward(features)
         return probabilities[0]
+
+    def predict_dense_batch(self, examples: list[SparseExample]) -> FloatArray:
+        """Class scores for many examples (API-compatible with SlideNetwork)."""
+        if not examples:
+            return np.zeros((0, self.config.output_dim), dtype=np.float64)
+        features = dense_features(examples, self.config.input_dim)
+        _, _, probabilities = self.forward(features)
+        return probabilities
 
     def predict_top_k(self, example: SparseExample, k: int = 1) -> IntArray:
         return top_k_indices(self.predict_dense(example), k)

@@ -8,12 +8,18 @@ These configs mirror the tunable parameters called out in the paper:
 * rebuild schedule ``N0``/``lambda`` — exponential decay of the hash-table
   update frequency (Section 4.2).
 * sampling strategy and target active-set size ``beta`` (Section 4.1).
+
+Beyond training, :class:`ServingConfig` describes the inference side
+(:mod:`repro.serving`): engine kind, active-neuron budget, micro-batching
+and worker-pool parameters of the model server.  The ``*_to_dict`` /
+``*_from_dict`` helpers give every config a stable JSON representation used
+by the checkpoint format.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Literal
+from dataclasses import asdict, dataclass, field
+from typing import Any, Literal, Mapping
 
 __all__ = [
     "HashFamilyName",
@@ -26,6 +32,13 @@ __all__ = [
     "SlideNetworkConfig",
     "OptimizerConfig",
     "TrainingConfig",
+    "ServingConfig",
+    "network_config_to_dict",
+    "network_config_from_dict",
+    "optimizer_config_to_dict",
+    "optimizer_config_from_dict",
+    "serving_config_to_dict",
+    "serving_config_from_dict",
 ]
 
 HashFamilyName = Literal["simhash", "wta", "dwta", "doph", "minhash"]
@@ -219,3 +232,112 @@ class TrainingConfig:
             raise ValueError("eval_every must be non-negative")
         if self.eval_samples <= 0:
             raise ValueError("eval_samples must be positive")
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Parameters of the :mod:`repro.serving` model server.
+
+    Attributes
+    ----------
+    engine:
+        ``sparse`` routes requests through the LSH-accelerated engine;
+        ``dense`` always runs the exact full forward pass.
+    active_budget:
+        Maximum number of output neurons the sparse engine scores per
+        request (the accuracy/latency knob).  ``None`` scores every
+        candidate the hash tables return.
+    top_k:
+        Default number of predictions returned per request.
+    max_batch_size / max_wait_ms:
+        Micro-batching knobs: a worker dispatches as soon as it has
+        ``max_batch_size`` requests or the oldest queued request has waited
+        ``max_wait_ms`` milliseconds.
+    num_workers:
+        Size of the engine worker pool.
+    queue_capacity:
+        Bound on the number of queued (not yet dispatched) requests;
+        submissions beyond it block, providing back-pressure.
+    host / port:
+        Bind address of the HTTP front-end (:mod:`repro.serving.server`);
+        port 0 binds an OS-assigned free port.
+    """
+
+    engine: Literal["sparse", "dense"] = "sparse"
+    active_budget: int | None = None
+    top_k: int = 5
+    max_batch_size: int = 32
+    max_wait_ms: float = 2.0
+    num_workers: int = 2
+    queue_capacity: int = 1024
+    host: str = "127.0.0.1"
+    port: int = 8080
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("sparse", "dense"):
+            raise ValueError("engine must be 'sparse' or 'dense'")
+        if self.active_budget is not None and self.active_budget <= 0:
+            raise ValueError("active_budget must be positive when provided")
+        if self.top_k <= 0:
+            raise ValueError("top_k must be positive")
+        if self.max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        if self.max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be non-negative")
+        if self.num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        if self.queue_capacity <= 0:
+            raise ValueError("queue_capacity must be positive")
+        if not 0 <= self.port < 65536:
+            raise ValueError("port must lie in [0, 65536)")
+
+
+# ----------------------------------------------------------------------
+# JSON-friendly (de)serialisation used by the checkpoint format
+# ----------------------------------------------------------------------
+def network_config_to_dict(config: SlideNetworkConfig) -> dict[str, Any]:
+    """A plain-dict (JSON-serialisable) view of a network config."""
+    data = asdict(config)
+    data["layers"] = list(data["layers"])
+    return data
+
+
+def network_config_from_dict(data: Mapping[str, Any]) -> SlideNetworkConfig:
+    """Rebuild a :class:`SlideNetworkConfig` from its dict form."""
+    layers = []
+    for layer in data["layers"]:
+        lsh = layer.get("lsh")
+        layers.append(
+            LayerConfig(
+                size=int(layer["size"]),
+                activation=layer["activation"],
+                lsh=LSHConfig(**lsh) if lsh is not None else None,
+                sampling=SamplingConfig(**layer["sampling"]),
+                rebuild=RebuildScheduleConfig(**layer["rebuild"]),
+            )
+        )
+    return SlideNetworkConfig(
+        input_dim=int(data["input_dim"]),
+        layers=tuple(layers),
+        seed=int(data["seed"]),
+    )
+
+
+def optimizer_config_to_dict(config: OptimizerConfig) -> dict[str, Any]:
+    """A plain-dict (JSON-serialisable) view of an optimiser config."""
+    return asdict(config)
+
+
+def optimizer_config_from_dict(data: Mapping[str, Any]) -> OptimizerConfig:
+    """Rebuild an :class:`OptimizerConfig` from its dict form."""
+    return OptimizerConfig(**data)
+
+
+def serving_config_to_dict(config: ServingConfig) -> dict[str, Any]:
+    """A plain-dict (JSON-serialisable) view of a serving config."""
+    return asdict(config)
+
+
+def serving_config_from_dict(data: Mapping[str, Any]) -> ServingConfig:
+    """Rebuild a :class:`ServingConfig` from its dict form."""
+    return ServingConfig(**data)

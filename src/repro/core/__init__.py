@@ -1,15 +1,28 @@
 """SLIDE core: sparse layers, network, trainer and inference."""
 
-from repro.core.activations import relu, relu_grad, sparse_softmax, log_sparse_softmax
+from repro.core.activations import (
+    relu,
+    relu_grad,
+    sparse_softmax,
+    softmax_rows,
+    log_sparse_softmax,
+)
 from repro.core.layer import SlideLayer, LayerForwardState
 from repro.core.network import SlideNetwork, ForwardResult
 from repro.core.trainer import SlideTrainer, TrainingHistory, IterationRecord
-from repro.core.inference import predict_top_k, evaluate_precision_at_1
+from repro.core.inference import (
+    predict_top_k,
+    predict_top_k_batch,
+    predict_dense_batch,
+    evaluate_precision_at_1,
+    evaluate_precision_at_k,
+)
 
 __all__ = [
     "relu",
     "relu_grad",
     "sparse_softmax",
+    "softmax_rows",
     "log_sparse_softmax",
     "SlideLayer",
     "LayerForwardState",
@@ -19,5 +32,8 @@ __all__ = [
     "TrainingHistory",
     "IterationRecord",
     "predict_top_k",
+    "predict_top_k_batch",
+    "predict_dense_batch",
     "evaluate_precision_at_1",
+    "evaluate_precision_at_k",
 ]

@@ -11,7 +11,7 @@ import numpy as np
 
 from repro.types import FloatArray
 
-__all__ = ["relu", "relu_grad", "sparse_softmax", "log_sparse_softmax"]
+__all__ = ["relu", "relu_grad", "sparse_softmax", "softmax_rows", "log_sparse_softmax"]
 
 
 def relu(z: FloatArray) -> FloatArray:
@@ -36,6 +36,20 @@ def sparse_softmax(logits: FloatArray) -> FloatArray:
     shifted = logits - logits.max()
     exp = np.exp(shifted)
     return exp / exp.sum()
+
+
+def softmax_rows(logits: FloatArray) -> FloatArray:
+    """Row-wise stabilised softmax over a ``(batch, classes)`` matrix.
+
+    The batched counterpart of :func:`sparse_softmax`, shared by the dense
+    baseline's forward pass and the batched dense prediction path.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    if logits.size == 0:
+        return logits.copy()
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
 
 
 def log_sparse_softmax(logits: FloatArray) -> FloatArray:

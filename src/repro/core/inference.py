@@ -1,22 +1,30 @@
-"""Inference helpers: top-k prediction and precision@1 evaluation.
+"""Inference helpers: top-k prediction and precision@k evaluation.
 
 The paper's accuracy metric on Delicious-200K and Amazon-670K is precision@1
 (the standard extreme-classification metric): the fraction of test examples
 whose highest-scoring predicted class is one of the example's true labels.
 
 Evaluation uses the *dense* forward pass: SLIDE's hash tables accelerate
-training, but at evaluation time we want the model's true argmax, and the
-evaluation sets used by the harness are small.
+training, but at evaluation time we want the model's true argmax.  Scoring
+goes through :func:`predict_dense_batch` — one matrix multiply per layer for
+the whole evaluation set — rather than a per-example loop; the LSH-backed
+*serving* counterpart of this module lives in :mod:`repro.serving.engine`.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.types import IntArray, SparseExample
+from repro.types import FloatArray, IntArray, SparseExample
 from repro.utils.topk import top_k_indices
 
-__all__ = ["predict_top_k", "evaluate_precision_at_1", "evaluate_precision_at_k"]
+__all__ = [
+    "predict_top_k",
+    "predict_dense_batch",
+    "predict_top_k_batch",
+    "evaluate_precision_at_1",
+    "evaluate_precision_at_k",
+]
 
 
 def predict_top_k(network, example: SparseExample, k: int = 1) -> IntArray:
@@ -25,22 +33,89 @@ def predict_top_k(network, example: SparseExample, k: int = 1) -> IntArray:
     return top_k_indices(scores, k)
 
 
-def evaluate_precision_at_1(network, examples: list[SparseExample]) -> float:
-    """Precision@1 over ``examples`` (skips examples with no labels)."""
-    return evaluate_precision_at_k(network, examples, k=1)
+def predict_dense_batch(network, examples: list[SparseExample]) -> FloatArray:
+    """Dense class-score matrix for ``examples``.
+
+    Uses the network's batched forward pass when it has one
+    (:class:`~repro.core.network.SlideNetwork` and the dense baseline both
+    do) and falls back to stacking per-example scores otherwise, so every
+    model with a ``predict_dense`` method can be evaluated.
+    """
+    batched = getattr(network, "predict_dense_batch", None)
+    if batched is not None:
+        return batched(examples)
+    if not examples:
+        return np.zeros((0, 0), dtype=np.float64)
+    return np.stack([network.predict_dense(example) for example in examples])
 
 
-def evaluate_precision_at_k(network, examples: list[SparseExample], k: int = 1) -> float:
-    """Precision@k: mean fraction of the top-k predictions that are true labels."""
+def predict_top_k_batch(
+    network, examples: list[SparseExample], k: int = 1
+) -> IntArray:
+    """Top-``k`` class indices for each example; shape ``(len(examples), k)``.
+
+    Rows are ordered by descending score.  ``k`` larger than the number of
+    output classes is clamped (rows then have ``output_dim`` columns),
+    matching :func:`predict_top_k` / :func:`~repro.utils.topk.top_k_indices`.
+    """
     if k <= 0:
         raise ValueError("k must be positive")
-    scores = []
-    for example in examples:
-        if example.labels.size == 0:
-            continue
-        predictions = predict_top_k(network, example, k=k)
-        hits = np.isin(predictions, example.labels).sum()
-        scores.append(hits / k)
-    if not scores:
+    if not examples:
+        return np.zeros((0, k), dtype=np.int64)
+    scores = predict_dense_batch(network, examples)
+    k = min(k, scores.shape[1])
+    if k == scores.shape[1]:
+        return np.argsort(-scores, axis=1, kind="stable").astype(np.int64)
+    # argpartition per row, then sort the kept slice by descending score.
+    partition = np.argpartition(scores, -k, axis=1)[:, -k:]
+    kept = np.take_along_axis(scores, partition, axis=1)
+    order = np.argsort(-kept, axis=1, kind="stable")
+    return np.take_along_axis(partition, order, axis=1).astype(np.int64)
+
+
+def evaluate_precision_at_1(
+    network, examples: list[SparseExample], strict: bool = False
+) -> float:
+    """Precision@1 over ``examples`` (see :func:`evaluate_precision_at_k`)."""
+    return evaluate_precision_at_k(network, examples, k=1, strict=strict)
+
+
+def evaluate_precision_at_k(
+    network,
+    examples: list[SparseExample],
+    k: int = 1,
+    strict: bool = False,
+    eval_batch_size: int = 256,
+) -> float:
+    """Precision@k: mean fraction of the top-k predictions that are true labels.
+
+    Examples without labels carry no signal for the metric.  By default they
+    are skipped; with ``strict=True`` their presence raises instead of being
+    silently dropped, so data-pipeline bugs surface during evaluation.
+
+    ``eval_batch_size`` bounds the densified feature block: scoring runs in
+    chunks so memory stays at ``O(eval_batch_size * max(input_dim,
+    output_dim))`` regardless of how many examples are evaluated.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if eval_batch_size <= 0:
+        raise ValueError("eval_batch_size must be positive")
+    unlabeled = sum(1 for example in examples if example.labels.size == 0)
+    if strict and unlabeled:
+        raise ValueError(
+            f"{unlabeled} of {len(examples)} examples have no labels; "
+            "pass strict=False to skip them"
+        )
+    labeled = [example for example in examples if example.labels.size]
+    if not labeled:
         return 0.0
+    scores = []
+    for start in range(0, len(labeled), eval_batch_size):
+        chunk = labeled[start : start + eval_batch_size]
+        predictions = predict_top_k_batch(network, chunk, k=k)
+        scores.extend(
+            np.isin(predictions[row], example.labels).sum() / k
+            for row, example in enumerate(chunk)
+        )
     return float(np.mean(scores))

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.config import LayerConfig
-from repro.core.activations import relu, relu_grad, sparse_softmax
+from repro.core.activations import relu, relu_grad, softmax_rows, sparse_softmax
 from repro.lsh.index import LSHIndex
 from repro.lsh.scheduler import ExponentialDecaySchedule, RebuildSchedule
 from repro.optim.base import Optimizer
@@ -303,6 +303,25 @@ class SlideLayer:
             return relu(pre)
         if self.activation_name == "softmax":
             return sparse_softmax(pre)
+        return pre
+
+    def dense_forward_batch(self, dense_inputs: FloatArray) -> FloatArray:
+        """Full forward pass for a ``(batch, fan_in)`` matrix of inputs.
+
+        One matrix multiply replaces the per-example loop of
+        :meth:`dense_forward`; activations are applied row-wise.
+        """
+        dense_inputs = np.asarray(dense_inputs, dtype=np.float64)
+        if dense_inputs.ndim != 2 or dense_inputs.shape[1] != self.fan_in:
+            raise ValueError(
+                f"expected inputs of shape (batch, {self.fan_in}), "
+                f"got {dense_inputs.shape}"
+            )
+        pre = dense_inputs @ self.weights.T + self.biases
+        if self.activation_name == "relu":
+            return relu(pre)
+        if self.activation_name == "softmax":
+            return softmax_rows(pre)
         return pre
 
     def relu_backward_mask(self, state: LayerForwardState) -> FloatArray:

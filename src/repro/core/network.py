@@ -17,7 +17,7 @@ from repro.core.activations import relu_grad
 from repro.core.layer import LayerForwardState, SlideLayer
 from repro.optim.base import Optimizer
 from repro.optim.factory import make_optimizer
-from repro.types import FloatArray, IntArray, SparseBatch, SparseExample
+from repro.types import FloatArray, IntArray, SparseBatch, SparseExample, dense_features
 from repro.utils.rng import derive_rng
 
 __all__ = ["SlideNetwork", "ForwardResult", "SampleGradient"]
@@ -145,6 +145,20 @@ class SlideNetwork:
         for layer in self.layers:
             dense = layer.dense_forward(dense)
         return dense
+
+    def predict_dense_batch(self, examples: list[SparseExample]) -> FloatArray:
+        """Full dense forward pass for many examples at once.
+
+        Returns a ``(len(examples), output_dim)`` probability matrix.  One
+        matrix multiply per layer replaces the per-example loop, which is
+        what the serving path's batched dense scorer relies on.
+        """
+        if not examples:
+            return np.zeros((0, self.output_dim), dtype=np.float64)
+        features = dense_features(examples, self.input_dim)
+        for layer in self.layers:
+            features = layer.dense_forward_batch(features)
+        return features
 
     # ------------------------------------------------------------------
     # Loss and gradients

@@ -7,6 +7,11 @@ from repro.harness.experiment import (
     HeadToHeadExperiment,
     MeasuredRun,
 )
+from repro.harness.serving_sweep import (
+    ServingSweepResult,
+    measure_engine,
+    serving_accuracy_latency_sweep,
+)
 from repro.harness import figures, tables
 
 __all__ = [
@@ -16,6 +21,9 @@ __all__ = [
     "ExperimentConfig",
     "HeadToHeadExperiment",
     "MeasuredRun",
+    "ServingSweepResult",
+    "measure_engine",
+    "serving_accuracy_latency_sweep",
     "figures",
     "tables",
 ]

@@ -156,6 +156,37 @@ class LSHIndex:
         for row, item in enumerate(item_ids):
             self._insert_with_codes(int(item), codes[row])
 
+    def snapshot_codes(self) -> tuple[IntArray, IntArray]:
+        """The indexed items and their codes, in insertion order.
+
+        Returns ``(items, codes)`` with shapes ``(n,)`` and ``(n, L, K)`` —
+        everything :meth:`restore_codes` needs to rebuild the tables without
+        re-hashing (the serialisation surface used by checkpoints).
+        """
+        items = np.fromiter(self._item_codes.keys(), dtype=np.int64)
+        if items.size:
+            codes = np.stack([self._item_codes[int(i)] for i in items]).astype(np.int64)
+        else:
+            codes = np.zeros((0, self.l, self.k), dtype=np.int64)
+        return items, codes
+
+    def restore_codes(self, items: IntArray, codes: IntArray) -> None:
+        """Rebuild the tables from a :meth:`snapshot_codes` snapshot.
+
+        Replaying stored codes reproduces bucket membership exactly for any
+        bucket that never overflowed; the eviction order of overflowed
+        buckets is not preserved.
+        """
+        items = np.asarray(items, dtype=np.int64)
+        codes = np.asarray(codes, dtype=np.int64)
+        if codes.shape != (items.shape[0], self.l, self.k):
+            raise ValueError(
+                f"codes must have shape ({items.shape[0]}, {self.l}, {self.k})"
+            )
+        self.clear()
+        for row, item in enumerate(items):
+            self._insert_with_codes(int(item), codes[row])
+
     def remove(self, item: int) -> bool:
         """Remove ``item`` from every table (if it was indexed)."""
         codes = self._item_codes.pop(item, None)

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.config import OptimizerConfig
 from repro.optim.base import Optimizer
 from repro.types import FloatArray, IntArray
 
@@ -46,6 +47,15 @@ class AdamOptimizer(Optimizer):
             "m": np.zeros(shape, dtype=np.float64),
             "v": np.zeros(shape, dtype=np.float64),
         }
+
+    def to_config(self) -> OptimizerConfig:
+        return OptimizerConfig(
+            name="adam",
+            learning_rate=self.learning_rate,
+            beta1=self.beta1,
+            beta2=self.beta2,
+            epsilon=self.epsilon,
+        )
 
     def _bias_correction(self) -> tuple[float, float]:
         t = max(self.step_count, 1)

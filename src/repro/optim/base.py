@@ -41,6 +41,19 @@ class Optimizer(abc.ABC):
     def has_parameter(self, name: str) -> bool:
         return name in self._state
 
+    def parameter_names(self) -> list[str]:
+        """Names of every registered parameter (registration order)."""
+        return list(self._state)
+
+    @abc.abstractmethod
+    def to_config(self):
+        """The :class:`~repro.config.OptimizerConfig` this optimiser encodes.
+
+        The inverse of :func:`repro.optim.factory.make_optimizer`; used by
+        the checkpoint format so optimisers serialise themselves instead of
+        callers switching on concrete types.
+        """
+
     @abc.abstractmethod
     def _init_state(self, shape: tuple[int, ...]) -> dict[str, FloatArray]:
         """Create optimiser state arrays for a parameter of ``shape``."""

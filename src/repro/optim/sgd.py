@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.config import OptimizerConfig
 from repro.optim.base import Optimizer
 from repro.types import FloatArray, IntArray
 
@@ -23,6 +24,13 @@ class SGDOptimizer(Optimizer):
         if self.momentum == 0.0:
             return {}
         return {"velocity": np.zeros(shape, dtype=np.float64)}
+
+    def to_config(self) -> OptimizerConfig:
+        return OptimizerConfig(
+            name="sgd",
+            learning_rate=self.learning_rate,
+            momentum=self.momentum,
+        )
 
     def step(self, name: str, param: FloatArray, grad: FloatArray) -> None:
         if self.momentum == 0.0:

@@ -3,7 +3,7 @@ conflict analysis, and a batch-parallel executor."""
 
 from repro.parallel.conflicts import ConflictReport, analyze_update_conflicts
 from repro.parallel.hogwild import HogwildSimulator, HogwildStepReport
-from repro.parallel.executor import BatchParallelExecutor
+from repro.parallel.executor import BatchParallelExecutor, WorkerPool
 
 __all__ = [
     "ConflictReport",
@@ -11,4 +11,5 @@ __all__ = [
     "HogwildSimulator",
     "HogwildStepReport",
     "BatchParallelExecutor",
+    "WorkerPool",
 ]

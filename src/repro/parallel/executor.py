@@ -13,8 +13,10 @@ the analytical device model in :mod:`repro.perf` (see DESIGN.md for why).
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -22,7 +24,54 @@ from repro.core.network import SampleGradient, SlideNetwork
 from repro.optim.base import Optimizer
 from repro.types import SparseBatch
 
-__all__ = ["BatchParallelExecutor"]
+__all__ = ["BatchParallelExecutor", "WorkerPool"]
+
+
+class WorkerPool:
+    """A pool of named, long-lived worker threads.
+
+    ``BatchParallelExecutor`` fans a *batch* out over short-lived tasks; the
+    serving path instead needs ``N`` workers that each run a loop for the
+    lifetime of the server (pull micro-batch, run inference, repeat).  This
+    class owns those threads: it starts ``num_workers`` copies of a loop
+    function, tracks liveness, and joins them on shutdown.  NumPy kernels
+    release the GIL, so worker loops dominated by matrix work genuinely
+    overlap — the same property :class:`BatchParallelExecutor` relies on.
+    """
+
+    def __init__(self, num_workers: int, name: str = "worker") -> None:
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        self.num_workers = int(num_workers)
+        self.name = name
+        self._threads: list[threading.Thread] = []
+
+    def start(self, loop: Callable[[int], None]) -> None:
+        """Spawn ``num_workers`` threads, each running ``loop(worker_index)``."""
+        if self._threads:
+            raise RuntimeError("pool already started")
+        for index in range(self.num_workers):
+            thread = threading.Thread(
+                target=loop,
+                args=(index,),
+                name=f"{self.name}-{index}",
+                daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    def join(self, timeout: float | None = None) -> None:
+        """Wait (up to ``timeout`` seconds per thread) for every worker."""
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+
+    @property
+    def started(self) -> bool:
+        return bool(self._threads)
+
+    def alive_count(self) -> int:
+        """Number of worker threads still running."""
+        return sum(1 for thread in self._threads if thread.is_alive())
 
 
 @dataclass

@@ -9,6 +9,10 @@ table lookups, counted by the actual SLIDE/baseline implementations — into
 simulated wall-clock times using device profiles calibrated against the
 numbers the paper itself reports (Table 2 core utilisation, Figure 5 absolute
 times).  See DESIGN.md §2 for the substitution rationale.
+
+:mod:`repro.perf.latency` is the exception: it records *real* wall-clock
+observations (per-request serving latency, throughput) for the model server
+in :mod:`repro.serving`.
 """
 
 from repro.perf.cost_model import (
@@ -40,6 +44,7 @@ from repro.perf.memory import (
     hugepages_counter_comparison,
     HUGEPAGES_SPEEDUP,
 )
+from repro.perf.latency import LatencyHistogram, ThroughputMeter
 
 __all__ = [
     "WorkloadCounts",
@@ -64,4 +69,6 @@ __all__ = [
     "slide_memory_footprint",
     "hugepages_counter_comparison",
     "HUGEPAGES_SPEEDUP",
+    "LatencyHistogram",
+    "ThroughputMeter",
 ]

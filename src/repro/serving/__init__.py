@@ -1,0 +1,71 @@
+"""repro.serving — turn a trained SLIDE network into a model server.
+
+SLIDE's thesis is that LSH-driven sparsity beats brute-force computation;
+this package carries that idea from the training loop to the serving path:
+
+* :mod:`~repro.serving.checkpoint` — versioned save/load of network weights,
+  optimiser state, and LSH table contents, with checksum-verified integrity
+  (:class:`CheckpointStore` numbers versions for trainer→server hand-off);
+* :mod:`~repro.serving.engine` — the LSH-budgeted
+  :class:`SparseInferenceEngine` (hash-table candidate selection + exact
+  top-k rerank, dense fallback) and the exact batched
+  :class:`DenseInferenceEngine`;
+* :mod:`~repro.serving.batching` — a dynamic micro-batching queue
+  (``max_batch_size`` / ``max_wait_ms``) that coalesces concurrent requests;
+* :mod:`~repro.serving.pool` — the multi-worker :class:`EnginePool` and the
+  :class:`ServingRuntime` facade, recording p50/p95/p99 latency and
+  throughput via :mod:`repro.perf.latency`;
+* :mod:`~repro.serving.server` — a stdlib HTTP/JSON front-end, with a CLI
+  entry point (``python -m repro.serving`` / ``repro-serve``).
+
+Quickstart::
+
+    from repro.serving import save_checkpoint, load_checkpoint, ServingRuntime
+
+    save_checkpoint("ckpt", network, optimizer)
+    loaded = load_checkpoint("ckpt")
+    with ServingRuntime.from_network(loaded.network) as runtime:
+        prediction = runtime.predict(example, k=5)
+"""
+
+from repro.serving.batching import InferenceRequest, MicroBatchQueue
+from repro.serving.checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    CheckpointError,
+    CheckpointExistsError,
+    CheckpointStore,
+    LoadedCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.serving.engine import (
+    DenseInferenceEngine,
+    InferenceEngine,
+    Prediction,
+    SparseInferenceEngine,
+)
+from repro.serving.metrics import ServingMetrics
+from repro.serving.pool import EnginePool, ServingRuntime, build_engine
+from repro.serving.server import ModelServer, build_server
+
+__all__ = [
+    "CHECKPOINT_FORMAT_VERSION",
+    "CheckpointError",
+    "CheckpointExistsError",
+    "CheckpointStore",
+    "LoadedCheckpoint",
+    "load_checkpoint",
+    "save_checkpoint",
+    "InferenceRequest",
+    "MicroBatchQueue",
+    "DenseInferenceEngine",
+    "InferenceEngine",
+    "Prediction",
+    "SparseInferenceEngine",
+    "ServingMetrics",
+    "EnginePool",
+    "ServingRuntime",
+    "build_engine",
+    "ModelServer",
+    "build_server",
+]

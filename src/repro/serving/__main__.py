@@ -1,0 +1,122 @@
+"""CLI entry point: ``python -m repro.serving`` / ``repro-serve``.
+
+Loads a checkpoint, assembles the serving runtime described by the command
+line, and serves HTTP until interrupted::
+
+    repro-serve /path/to/checkpoint --port 8080 --engine sparse \
+        --budget 256 --workers 4 --max-batch-size 32 --max-wait-ms 2
+
+Point it at a checkpoint directory written by
+:func:`repro.serving.checkpoint.save_checkpoint`, or at a
+:class:`~repro.serving.checkpoint.CheckpointStore` root (the newest version
+is served).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.config import ServingConfig
+from repro.serving.checkpoint import CheckpointError, CheckpointStore, load_checkpoint
+from repro.serving.pool import ServingRuntime, build_engine
+from repro.serving.server import build_server
+
+__all__ = ["main"]
+
+
+def _parse_args(argv: list[str] | None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve a checkpointed SLIDE network over HTTP/JSON.",
+    )
+    parser.add_argument(
+        "checkpoint",
+        type=Path,
+        help="checkpoint directory, or a CheckpointStore root (newest version wins)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument(
+        "--engine",
+        choices=("sparse", "dense"),
+        default="sparse",
+        help="sparse = LSH-budgeted engine, dense = exact full forward pass",
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="max output neurons scored per request (sparse engine only)",
+    )
+    parser.add_argument("--top-k", type=int, default=5)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--max-batch-size", type=int, default=32)
+    parser.add_argument("--max-wait-ms", type=float, default=2.0)
+    parser.add_argument(
+        "--verbose", action="store_true", help="log each HTTP request"
+    )
+    return parser.parse_args(argv)
+
+
+def _resolve_checkpoint(path: Path) -> Path:
+    """Accept either a checkpoint directory or a versioned store root."""
+    if (path / "manifest.json").is_file():
+        return path
+    return CheckpointStore(path).latest()
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parse_args(argv)
+    try:
+        checkpoint_path = _resolve_checkpoint(args.checkpoint)
+        loaded = load_checkpoint(checkpoint_path, load_optimizer=False)
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    network = loaded.network
+    # A default top_k wider than the model would 400 every default request;
+    # the mismatch is knowable now, so clamp at startup.
+    top_k = min(args.top_k, network.output_dim)
+    if top_k != args.top_k:
+        print(
+            f"note: top_k clamped from {args.top_k} to the model's "
+            f"{network.output_dim} output classes"
+        )
+    try:
+        config = ServingConfig(
+            engine=args.engine,
+            active_budget=args.budget,
+            top_k=top_k,
+            max_batch_size=args.max_batch_size,
+            max_wait_ms=args.max_wait_ms,
+            num_workers=args.workers,
+            host=args.host,
+            port=args.port,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    runtime = ServingRuntime(build_engine(network, config), config).start()
+    server = build_server(runtime, quiet=not args.verbose)
+    host, port = server.address
+    print(
+        f"serving {checkpoint_path} "
+        f"({network.input_dim} features -> {network.output_dim} classes, "
+        f"engine={runtime.engine.name}, workers={config.num_workers}) "
+        f"on http://{host}:{port}"
+    )
+    print("endpoints: POST /v1/predict, GET /healthz, GET /v1/stats")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.shutdown()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

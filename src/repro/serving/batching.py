@@ -1,0 +1,140 @@
+"""Dynamic micro-batching: coalesce single requests into engine batches.
+
+Batched inference amortises per-request overhead (one hidden-layer matrix
+multiply serves the whole batch), but a serving queue cannot wait forever
+for a batch to fill.  :class:`MicroBatchQueue` implements the standard
+two-knob policy used by production model servers:
+
+* dispatch as soon as ``max_batch_size`` requests are queued, or
+* dispatch whatever has accumulated once the oldest request has waited
+  ``max_wait_ms`` milliseconds.
+
+Workers call :meth:`MicroBatchQueue.next_batch` directly — each worker
+assembles its own micro-batch, so there is no central dispatcher thread to
+become a bottleneck, and blocked workers provide natural back-pressure via
+the bounded queue.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+from repro.types import SparseExample
+
+__all__ = ["InferenceRequest", "MicroBatchQueue"]
+
+
+@dataclass
+class InferenceRequest:
+    """One queued prediction request awaiting a worker."""
+
+    example: SparseExample
+    k: int
+    future: Future = field(default_factory=Future)
+    enqueued_at: float = field(default_factory=time.monotonic)
+
+    def latency(self) -> float:
+        """Seconds since the request entered the queue."""
+        return time.monotonic() - self.enqueued_at
+
+
+class MicroBatchQueue:
+    """Bounded request queue with size- and deadline-triggered batching."""
+
+    def __init__(
+        self,
+        max_batch_size: int = 32,
+        max_wait_ms: float = 2.0,
+        capacity: int = 1024,
+    ) -> None:
+        if max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be non-negative")
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_s = float(max_wait_ms) / 1000.0
+        self._queue: queue.Queue[InferenceRequest] = queue.Queue(maxsize=capacity)
+        self._closed = False
+        # Makes submit's closed-check-and-put atomic with close(): once
+        # close() returns, no in-flight submit can still slip a request past
+        # the workers' final drain (which would leave its future unresolved).
+        self._submit_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def submit(self, example: SparseExample, k: int = 1) -> Future:
+        """Enqueue a request; blocks when the queue is at capacity.
+
+        The returned :class:`~concurrent.futures.Future` resolves to a
+        :class:`~repro.serving.engine.Prediction` once a worker has served
+        the batch containing this request.
+        """
+        request = InferenceRequest(example=example, k=int(k))
+        while True:
+            # Never block on a full queue while holding the lock: that would
+            # serialize all producers behind one stuck submitter and make
+            # close() (and thus shutdown) wait on queue capacity.  Instead
+            # try a non-blocking put under the lock and back off outside it —
+            # producers blocked on capacity also notice close() this way.
+            with self._submit_lock:
+                if self._closed:
+                    raise RuntimeError("queue is closed")
+                try:
+                    self._queue.put_nowait(request)
+                    return request.future
+                except queue.Full:
+                    pass
+            time.sleep(0.001)
+
+    def close(self) -> None:
+        """Stop accepting new requests (queued ones still drain)."""
+        with self._submit_lock:
+            self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def pending(self) -> int:
+        """Approximate number of queued, not-yet-dispatched requests."""
+        return self._queue.qsize()
+
+    # ------------------------------------------------------------------
+    # Consumer side (worker threads)
+    # ------------------------------------------------------------------
+    def next_batch(self, timeout: float | None = 0.1) -> list[InferenceRequest]:
+        """Block for the next micro-batch.
+
+        Waits up to ``timeout`` seconds for a first request (returning an
+        empty list on timeout so callers can check for shutdown), then keeps
+        gathering until the batch is full or ``max_wait_ms`` has elapsed
+        since the *first* request of the batch was picked up.
+        """
+        try:
+            first = self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return []
+        batch = [first]
+        deadline = time.monotonic() + self.max_wait_s
+        while len(batch) < self.max_batch_size:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                # Deadline passed: drain whatever is already queued, but do
+                # not wait for more.
+                try:
+                    batch.append(self._queue.get_nowait())
+                    continue
+                except queue.Empty:
+                    break
+            try:
+                batch.append(self._queue.get(timeout=remaining))
+            except queue.Empty:
+                break
+        return batch

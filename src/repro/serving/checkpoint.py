@@ -1,0 +1,384 @@
+"""Versioned on-disk checkpoints for trained SLIDE networks.
+
+A checkpoint is a directory with two files:
+
+* ``manifest.json`` — format version, the full network config (JSON), the
+  optimiser's hyper-parameters, user metadata, and a SHA-256 checksum of the
+  array payload;
+* ``arrays.npz`` — every layer's weights and biases, the LSH index contents
+  of every hash-enabled layer (item ids plus their ``(L, K)`` hash codes, in
+  insertion order), and the optimiser's per-parameter state tensors.
+
+Loading reconstructs the network from its config, overwrites the freshly
+initialised parameters in place, and *replays* the stored hash codes into
+the rebuilt index — the hash functions themselves are deterministic given
+``(config, seed)``, so only the table contents need to travel.  Replaying
+codes in insertion order reproduces bucket membership exactly for any bucket
+that never overflowed; the exact eviction order of overflowed FIFO buckets
+is not preserved (a full ``rebuild_all_tables()`` restores the canonical
+state if required).
+
+Integrity is enforced end-to-end: a truncated, bit-flipped, or partially
+written ``arrays.npz`` fails the checksum and raises
+:class:`CheckpointError` instead of yielding a silently corrupt model.
+
+:class:`CheckpointStore` layers monotonically numbered versions
+(``v0001``, ``v0002``, …) on top, which is what the training loop and the
+model server share: the trainer appends versions, the server loads
+``latest()``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import re
+import shutil
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro import __version__
+from repro.config import (
+    SlideNetworkConfig,
+    network_config_from_dict,
+    network_config_to_dict,
+    optimizer_config_from_dict,
+    optimizer_config_to_dict,
+)
+from repro.core.network import SlideNetwork
+from repro.optim.base import Optimizer
+from repro.optim.factory import make_optimizer
+
+__all__ = [
+    "CHECKPOINT_FORMAT_VERSION",
+    "CheckpointError",
+    "CheckpointExistsError",
+    "LoadedCheckpoint",
+    "save_checkpoint",
+    "load_checkpoint",
+    "CheckpointStore",
+]
+
+CHECKPOINT_FORMAT_VERSION = 1
+
+_MANIFEST_NAME = "manifest.json"
+_ARRAYS_NAME = "arrays.npz"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint is missing, structurally invalid, or fails its checksum."""
+
+
+class CheckpointExistsError(CheckpointError):
+    """A checkpoint already occupies the target path (``overwrite=False``)."""
+
+
+@dataclass
+class LoadedCheckpoint:
+    """Everything reconstructed from one checkpoint directory."""
+
+    network: SlideNetwork
+    optimizer: Optimizer | None
+    metadata: dict[str, Any] = field(default_factory=dict)
+    manifest: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def config(self) -> SlideNetworkConfig:
+        return self.network.config
+
+
+# ----------------------------------------------------------------------
+# Saving
+# ----------------------------------------------------------------------
+def save_checkpoint(
+    path: str | Path,
+    network: SlideNetwork,
+    optimizer: Optimizer | None = None,
+    metadata: Mapping[str, Any] | None = None,
+    overwrite: bool = True,
+) -> Path:
+    """Write ``network`` (and optionally its optimiser) to directory ``path``.
+
+    Neurons whose weights changed since the last scheduled re-hash are
+    re-hashed first, so the snapshot stores a *canonical* index (table
+    entries consistent with the saved weights) and a reloaded network
+    serves identically to the live one.
+
+    Writing a *new* checkpoint is atomic at the directory level: files land
+    in a hidden temporary sibling which is renamed into place only once
+    complete, so a concurrent reader (e.g. a server polling
+    ``CheckpointStore.latest()``) never observes a partial checkpoint and a
+    crash mid-save leaves no broken version behind.  With
+    ``overwrite=False`` an occupied target raises
+    :class:`CheckpointExistsError` instead of being replaced — the rename
+    itself detects the collision, so concurrent savers cannot destroy each
+    other's work.  ``overwrite=True`` (the default) replaces an existing
+    checkpoint at ``path`` and assumes a single writer for that path.
+
+    Returns the checkpoint path.
+    """
+    final_path = Path(path)
+    final_path.parent.mkdir(parents=True, exist_ok=True)
+    # Hidden prefix keeps in-progress saves invisible to CheckpointStore's
+    # version scan; pid + monotonic stamp keeps concurrent savers (processes
+    # or threads) out of each other's temp dirs.
+    path = final_path.parent / (
+        f".{final_path.name}.tmp-{os.getpid()}-{time.monotonic_ns()}"
+    )
+    path.mkdir()
+
+    for layer in network.layers:
+        if layer.lsh_index is not None and layer.dirty_neuron_count:
+            layer.rebuild()
+
+    arrays: dict[str, np.ndarray] = {"iteration": np.int64(network.iteration)}
+    lsh_layers: list[int] = []
+    for idx, layer in enumerate(network.layers):
+        arrays[f"layer{idx}.weights"] = layer.weights
+        arrays[f"layer{idx}.biases"] = layer.biases
+        if layer.lsh_index is not None:
+            items, codes = layer.lsh_index.snapshot_codes()
+            arrays[f"layer{idx}.lsh_items"] = items
+            arrays[f"layer{idx}.lsh_codes"] = codes
+            lsh_layers.append(idx)
+
+    optimizer_entry: dict[str, Any] | None = None
+    if optimizer is not None:
+        optimizer_entry = {
+            "config": optimizer_config_to_dict(optimizer.to_config()),
+            "step_count": int(optimizer.step_count),
+            "parameters": {},
+        }
+        for name in optimizer.parameter_names():
+            state = optimizer.state_of(name)
+            optimizer_entry["parameters"][name] = sorted(state.keys())
+            for slot, array in state.items():
+                arrays[f"optim.{name}.{slot}"] = array
+
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    payload = buffer.getvalue()
+    (path / _ARRAYS_NAME).write_bytes(payload)
+
+    manifest = {
+        "format_version": CHECKPOINT_FORMAT_VERSION,
+        "repro_version": __version__,
+        "saved_unix_time": time.time(),
+        "network_config": network_config_to_dict(network.config),
+        "lsh_layers": lsh_layers,
+        "optimizer": optimizer_entry,
+        "metadata": dict(metadata or {}),
+        "arrays_file": _ARRAYS_NAME,
+        "arrays_sha256": hashlib.sha256(payload).hexdigest(),
+    }
+    (path / _MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+
+    if overwrite and final_path.exists():
+        shutil.rmtree(final_path)
+    try:
+        # Renaming onto an existing non-empty directory fails, which is the
+        # collision detector: a concurrent saver that finished first keeps
+        # its checkpoint.
+        path.rename(final_path)
+    except OSError as exc:
+        shutil.rmtree(path, ignore_errors=True)
+        raise CheckpointExistsError(
+            f"checkpoint {final_path} already exists (concurrent save?)"
+        ) from exc
+    return final_path
+
+
+# ----------------------------------------------------------------------
+# Loading
+# ----------------------------------------------------------------------
+def _read_manifest(path: Path) -> dict[str, Any]:
+    manifest_path = path / _MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise CheckpointError(f"no {_MANIFEST_NAME} in {path}")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(f"corrupt manifest in {path}: {exc}") from exc
+    version = manifest.get("format_version")
+    if version != CHECKPOINT_FORMAT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint format version {version!r} "
+            f"(this build reads version {CHECKPOINT_FORMAT_VERSION})"
+        )
+    return manifest
+
+
+def _read_arrays(path: Path, manifest: Mapping[str, Any]) -> dict[str, np.ndarray]:
+    arrays_path = path / str(manifest.get("arrays_file", _ARRAYS_NAME))
+    if not arrays_path.is_file():
+        raise CheckpointError(f"missing array payload {arrays_path.name} in {path}")
+    payload = arrays_path.read_bytes()
+    digest = hashlib.sha256(payload).hexdigest()
+    if digest != manifest.get("arrays_sha256"):
+        raise CheckpointError(
+            f"checksum mismatch for {arrays_path.name} in {path}: "
+            "the checkpoint is corrupt or partially written"
+        )
+    with np.load(io.BytesIO(payload)) as data:
+        return {key: np.array(data[key]) for key in data.files}
+
+
+def load_checkpoint(
+    path: str | Path, load_optimizer: bool = True
+) -> LoadedCheckpoint:
+    """Reconstruct a network (and optionally optimiser) from ``path``."""
+    path = Path(path)
+    manifest = _read_manifest(path)
+    arrays = _read_arrays(path, manifest)
+
+    config = network_config_from_dict(manifest["network_config"])
+    network = SlideNetwork(config)
+    network.iteration = int(arrays.get("iteration", 0))
+
+    for idx, layer in enumerate(network.layers):
+        try:
+            weights = arrays[f"layer{idx}.weights"]
+            biases = arrays[f"layer{idx}.biases"]
+        except KeyError as exc:
+            raise CheckpointError(f"missing arrays for layer {idx} in {path}") from exc
+        if weights.shape != layer.weights.shape or biases.shape != layer.biases.shape:
+            raise CheckpointError(
+                f"layer {idx} shape mismatch: checkpoint {weights.shape} "
+                f"vs config {layer.weights.shape}"
+            )
+        # Overwrite in place so the arrays the optimiser and LSH index refer
+        # to stay the same objects.
+        layer.weights[...] = weights
+        layer.biases[...] = biases
+        if layer.lsh_index is not None:
+            items = arrays.get(f"layer{idx}.lsh_items")
+            codes = arrays.get(f"layer{idx}.lsh_codes")
+            if items is None or codes is None:
+                raise CheckpointError(
+                    f"missing LSH index contents for layer {idx} in {path}"
+                )
+            layer.lsh_index.restore_codes(items, codes)
+
+    optimizer: Optimizer | None = None
+    optimizer_entry = manifest.get("optimizer")
+    if load_optimizer and optimizer_entry is not None:
+        optimizer = make_optimizer(
+            optimizer_config_from_dict(optimizer_entry["config"])
+        )
+        for layer in network.layers:
+            layer.register_parameters(optimizer)
+        optimizer.step_count = int(optimizer_entry["step_count"])
+        for name, slots in optimizer_entry["parameters"].items():
+            if not optimizer.has_parameter(name):
+                raise CheckpointError(
+                    f"optimiser state for unknown parameter {name!r} in {path}"
+                )
+            state = optimizer.state_of(name)
+            for slot in slots:
+                key = f"optim.{name}.{slot}"
+                if key not in arrays:
+                    raise CheckpointError(f"missing optimiser array {key} in {path}")
+                state[slot][...] = arrays[key]
+
+    return LoadedCheckpoint(
+        network=network,
+        optimizer=optimizer,
+        metadata=dict(manifest.get("metadata", {})),
+        manifest=manifest,
+    )
+
+
+# ----------------------------------------------------------------------
+# Versioned store
+# ----------------------------------------------------------------------
+class CheckpointStore:
+    """Monotonically numbered checkpoint versions under one root directory.
+
+    Version directories are named ``v0001``, ``v0002``, …; ``latest()``
+    resolves the highest number, which is the hand-off point between a
+    training loop that appends versions and a model server that loads the
+    newest one.  The bare number is the whole directory name on purpose:
+    the atomic rename that claims it is what detects concurrent savers, so
+    two writers can never produce the same version.  Tags are recorded in
+    the checkpoint metadata (``metadata["tag"]``) rather than the name
+    (legacy ``v0002-tag`` directories are still read).
+    """
+
+    _VERSION_RE = re.compile(r"^v(\d{4,})(?:-(.+))?$")
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def versions(self) -> list[Path]:
+        """Existing version directories, oldest first."""
+        found = []
+        for entry in self.root.iterdir():
+            if entry.is_dir():
+                match = self._VERSION_RE.match(entry.name)
+                if match:
+                    found.append((int(match.group(1)), entry))
+        # Name is the tiebreak for legacy tagged duplicates of one number,
+        # so latest() is deterministic regardless of directory-scan order.
+        return [
+            entry
+            for _, entry in sorted(found, key=lambda pair: (pair[0], pair[1].name))
+        ]
+
+    def latest(self) -> Path:
+        """Path of the newest version (:class:`CheckpointError` if none)."""
+        versions = self.versions()
+        if not versions:
+            raise CheckpointError(f"no checkpoint versions under {self.root}")
+        return versions[-1]
+
+    def save(
+        self,
+        network: SlideNetwork,
+        optimizer: Optimizer | None = None,
+        metadata: Mapping[str, Any] | None = None,
+        tag: str | None = None,
+        max_attempts: int = 16,
+    ) -> Path:
+        """Write a new version directory and return its path.
+
+        Versions are never overwritten: if a concurrent saver claims the
+        same number first (detected atomically by the final rename), the
+        store rescans and retries with the next number.  ``tag`` lands in
+        the checkpoint metadata, keeping the claimed name — and therefore
+        collision detection — independent of it.
+        """
+        if tag is not None:
+            metadata = {**(metadata or {}), "tag": tag}
+        last_error: CheckpointExistsError | None = None
+        for _ in range(max_attempts):
+            versions = self.versions()
+            next_number = 1
+            if versions:
+                match = self._VERSION_RE.match(versions[-1].name)
+                assert match is not None
+                next_number = int(match.group(1)) + 1
+            try:
+                return save_checkpoint(
+                    self.root / f"v{next_number:04d}",
+                    network,
+                    optimizer,
+                    metadata,
+                    overwrite=False,
+                )
+            except CheckpointExistsError as exc:
+                last_error = exc
+        raise CheckpointError(
+            f"could not claim a version under {self.root} "
+            f"after {max_attempts} attempts"
+        ) from last_error
+
+    def load_latest(self, load_optimizer: bool = True) -> LoadedCheckpoint:
+        """Load the newest version."""
+        return load_checkpoint(self.latest(), load_optimizer=load_optimizer)

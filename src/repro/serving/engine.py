@@ -1,0 +1,255 @@
+"""Inference engines: the LSH-accelerated sparse path and the dense scorer.
+
+Training-time SLIDE samples active neurons *stochastically* (random table
+order, random padding) because exploration helps SGD.  Serving wants the
+opposite — deterministic, repeatable answers — so the sparse engine reuses
+the per-layer :class:`~repro.lsh.index.LSHIndex` **query** path read-only and
+aggregates candidate frequencies across all ``L`` tables (the paper's TopK
+collection scheme) instead of going through the layer's sampler:
+
+1. hidden layers run as one batched dense matrix multiply (they are narrow;
+   the output layer is where extreme classification's cost lives);
+2. the wide output layer is probed through the hash tables; the
+   ``active_budget`` knob caps how many candidate neurons survive (most
+   collisions first), trading accuracy for latency;
+3. the surviving candidates are scored *exactly* against the weight matrix
+   and the top-k is taken over those exact logits — LSH only proposes, the
+   rerank disposes;
+4. requests whose candidate set is too small to support a top-k answer fall
+   back to the dense scorer, so the engine never returns fewer than ``k``
+   predictions.
+
+Engines are stateless with respect to requests and therefore safe to share
+across the worker threads of :class:`repro.serving.pool.EnginePool`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.activations import sparse_softmax
+from repro.core.network import SlideNetwork
+from repro.types import FloatArray, IntArray, SparseExample, dense_features
+from repro.utils.topk import top_k_indices
+
+__all__ = [
+    "Prediction",
+    "InferenceEngine",
+    "DenseInferenceEngine",
+    "SparseInferenceEngine",
+]
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """Top-k answer for one request.
+
+    ``class_ids``/``scores`` are sorted by descending score.  ``mode`` is
+    ``sparse`` when the LSH path produced the answer, ``dense`` for the
+    dense engine, and ``dense_fallback`` when a sparse request fell back.
+    ``candidates_scored`` counts the output neurons actually scored — the
+    quantity the active budget bounds.
+    """
+
+    class_ids: IntArray
+    scores: FloatArray
+    mode: str
+    candidates_scored: int
+
+
+class InferenceEngine:
+    """Common surface shared by the dense and sparse engines."""
+
+    name = "base"
+
+    def __init__(self, network: SlideNetwork) -> None:
+        self.network = network
+
+    @property
+    def output_dim(self) -> int:
+        return self.network.output_dim
+
+    def predict(self, example: SparseExample, k: int = 1) -> Prediction:
+        """Top-k prediction for one example."""
+        return self.predict_batch([example], k=k)[0]
+
+    def predict_batch(
+        self, examples: list[SparseExample], k: int = 1
+    ) -> list[Prediction]:
+        raise NotImplementedError
+
+    def _check_k(self, k: int) -> None:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if k > self.output_dim:
+            raise ValueError(
+                f"k={k} exceeds the number of output classes ({self.output_dim})"
+            )
+
+
+class DenseInferenceEngine(InferenceEngine):
+    """Exact engine: batched full forward pass, exact top-k."""
+
+    name = "dense"
+
+    def predict_batch(
+        self, examples: list[SparseExample], k: int = 1
+    ) -> list[Prediction]:
+        self._check_k(k)
+        if not examples:
+            return []
+        probabilities = self.network.predict_dense_batch(examples)
+        predictions = []
+        for row in range(probabilities.shape[0]):
+            ids = top_k_indices(probabilities[row], k)
+            predictions.append(
+                Prediction(
+                    class_ids=ids,
+                    scores=probabilities[row, ids],
+                    mode="dense",
+                    candidates_scored=self.output_dim,
+                )
+            )
+        return predictions
+
+
+class SparseInferenceEngine(InferenceEngine):
+    """LSH-budgeted engine over a trained :class:`SlideNetwork`.
+
+    Parameters
+    ----------
+    active_budget:
+        Maximum number of output-layer candidates scored per request
+        (``None`` scores every neuron the hash tables return).  Smaller
+        budgets are faster and less accurate — this is the serving-side
+        analogue of the paper's ``beta``.
+    min_candidate_factor:
+        A request falls back to the dense scorer when the tables return
+        fewer than ``min_candidate_factor * k`` candidates, so sparsity
+        never starves the top-k answer.
+    refresh_index:
+        Training leaves neurons whose weights changed after the last
+        scheduled re-hash "dirty" — their table entries are stale, which
+        directly costs serving accuracy.  By default the engine re-hashes
+        any pending dirty neurons once at construction so it serves from
+        fresh tables; pass ``False`` to snapshot the index as-is.
+    """
+
+    name = "sparse"
+
+    def __init__(
+        self,
+        network: SlideNetwork,
+        active_budget: int | None = None,
+        min_candidate_factor: int = 2,
+        refresh_index: bool = True,
+    ) -> None:
+        super().__init__(network)
+        if network.output_layer.lsh_index is None:
+            raise ValueError(
+                "SparseInferenceEngine requires an LSH-enabled output layer; "
+                "use DenseInferenceEngine for dense networks"
+            )
+        if active_budget is not None and active_budget <= 0:
+            raise ValueError("active_budget must be positive when provided")
+        if min_candidate_factor <= 0:
+            raise ValueError("min_candidate_factor must be positive")
+        if refresh_index and network.output_layer.dirty_neuron_count:
+            network.output_layer.rebuild()
+        self.active_budget = active_budget
+        self.min_candidate_factor = int(min_candidate_factor)
+        # Fallback / work counters (diagnostics surfaced by the stats API);
+        # locked because pool workers call predict_batch concurrently.
+        self._counter_lock = threading.Lock()
+        self.num_requests = 0
+        self.num_fallbacks = 0
+
+    # ------------------------------------------------------------------
+    # Candidate selection
+    # ------------------------------------------------------------------
+    def _select_candidates(self, hidden: FloatArray) -> IntArray:
+        """Budgeted candidate set for one output-layer input vector."""
+        index = self.network.output_layer.lsh_index
+        assert index is not None
+        result = index.query(hidden)
+        ids, counts = result.frequencies()
+        if ids.size == 0:
+            return ids
+        budget = self.active_budget
+        if budget is None or ids.size <= budget:
+            return ids
+        # Keep the most-collided candidates; break count ties by id so the
+        # selection is deterministic for a given table state.
+        order = np.lexsort((ids, -counts))[:budget]
+        return np.sort(ids[order])
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def predict_batch(
+        self, examples: list[SparseExample], k: int = 1
+    ) -> list[Prediction]:
+        self._check_k(k)
+        if not examples:
+            return []
+        # Hidden layers: one dense matrix multiply for the whole batch.
+        features = dense_features(examples, self.network.input_dim)
+        for layer in self.network.layers[:-1]:
+            features = layer.dense_forward_batch(features)
+
+        output_layer = self.network.output_layer
+        min_candidates = max(k, self.min_candidate_factor * k)
+        predictions: list[Prediction] = []
+        dense_rows: list[int] = []
+        for row in range(features.shape[0]):
+            hidden = features[row]
+            candidates = self._select_candidates(hidden)
+            if candidates.size < min_candidates:
+                dense_rows.append(row)
+                predictions.append(None)  # type: ignore[arg-type]
+                continue
+            # Exact rerank on the candidate set: logits are exact, the
+            # softmax is normalised over the candidates only (ranking is
+            # unchanged — softmax is monotonic in the logit).
+            logits = (
+                output_layer.weights[candidates] @ hidden
+                + output_layer.biases[candidates]
+            )
+            probabilities = sparse_softmax(logits)
+            keep = top_k_indices(probabilities, k)
+            predictions.append(
+                Prediction(
+                    class_ids=candidates[keep],
+                    scores=probabilities[keep],
+                    mode="sparse",
+                    candidates_scored=int(candidates.size),
+                )
+            )
+
+        # Dense fallback for the starved rows, batched together.
+        if dense_rows:
+            block = features[dense_rows]
+            probabilities = output_layer.dense_forward_batch(block)
+            for position, row in enumerate(dense_rows):
+                ids = top_k_indices(probabilities[position], k)
+                predictions[row] = Prediction(
+                    class_ids=ids,
+                    scores=probabilities[position, ids],
+                    mode="dense_fallback",
+                    candidates_scored=self.output_dim,
+                )
+
+        with self._counter_lock:
+            self.num_requests += len(examples)
+            self.num_fallbacks += len(dense_rows)
+        return predictions
+
+    def fallback_rate(self) -> float:
+        """Fraction of requests served by the dense fallback path."""
+        with self._counter_lock:
+            if self.num_requests == 0:
+                return 0.0
+            return self.num_fallbacks / self.num_requests

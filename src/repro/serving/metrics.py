@@ -1,0 +1,87 @@
+"""Serving-side metrics: request latency quantiles, batch sizes, throughput.
+
+Thin aggregation over the :mod:`repro.perf.latency` primitives.  One
+:class:`ServingMetrics` instance is shared by every worker of an
+:class:`~repro.serving.pool.EnginePool`; all recording paths are
+thread-safe.
+
+Latency is measured queue-to-completion: the clock starts when a request
+enters the micro-batch queue and stops when its future is resolved, so the
+reported p50/p95/p99 include queueing and batching delay — what a client
+actually experiences — not just engine compute.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.perf.latency import LatencyHistogram, ThroughputMeter
+
+__all__ = ["ServingMetrics"]
+
+
+class ServingMetrics:
+    """Aggregated counters for one serving runtime."""
+
+    def __init__(self) -> None:
+        self.request_latency = LatencyHistogram()
+        self.throughput = ThroughputMeter()
+        self._lock = threading.Lock()
+        self._batches = 0
+        self._batched_requests = 0
+        self._errors = 0
+        self._mode_counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Recording (worker threads)
+    # ------------------------------------------------------------------
+    def record_batch(self, batch_size: int) -> None:
+        with self._lock:
+            self._batches += 1
+            self._batched_requests += int(batch_size)
+
+    def record_request(self, latency_seconds: float, mode: str) -> None:
+        self.request_latency.record(latency_seconds)
+        self.throughput.mark()
+        with self._lock:
+            self._mode_counts[mode] = self._mode_counts.get(mode, 0) + 1
+
+    def record_error(self) -> None:
+        with self._lock:
+            self._errors += 1
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def requests(self) -> int:
+        return self.request_latency.count
+
+    def mean_batch_size(self) -> float:
+        with self._lock:
+            if self._batches == 0:
+                return 0.0
+            return self._batched_requests / self._batches
+
+    def snapshot(self) -> dict[str, float | dict[str, float]]:
+        """A JSON-serialisable view for the stats endpoint and tests."""
+        latency = self.request_latency.summary()
+        with self._lock:
+            modes = dict(self._mode_counts)
+            batches = self._batches
+            errors = self._errors
+        return {
+            "requests": float(self.requests),
+            "errors": float(errors),
+            "batches": float(batches),
+            "mean_batch_size": self.mean_batch_size(),
+            "throughput_rps": self.throughput.requests_per_second(),
+            "latency": latency,
+            "latency_ms": {
+                "p50": latency["p50_s"] * 1e3,
+                "p95": latency["p95_s"] * 1e3,
+                "p99": latency["p99_s"] * 1e3,
+                "mean": latency["mean_s"] * 1e3,
+            },
+            "modes": {name: float(count) for name, count in modes.items()},
+        }

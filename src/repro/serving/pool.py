@@ -1,0 +1,272 @@
+"""Multi-worker engine pool and the serving runtime facade.
+
+:class:`EnginePool` hosts ``N`` worker threads (on
+:class:`repro.parallel.executor.WorkerPool`) that each loop: pull a
+micro-batch from the shared :class:`~repro.serving.batching.MicroBatchQueue`,
+run it through the (shared, read-only) inference engine, resolve the
+per-request futures, and record latency/throughput metrics.  NumPy releases
+the GIL inside the matrix kernels that dominate inference, so workers
+genuinely overlap.
+
+:class:`ServingRuntime` is the facade the HTTP front-end, the examples and
+the tests use: it wires queue + pool + metrics together from a
+:class:`~repro.config.ServingConfig` and exposes ``submit`` / ``predict`` /
+``predict_many`` plus a ``stats()`` snapshot.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future
+from typing import Sequence
+
+from repro.config import ServingConfig
+from repro.core.network import SlideNetwork
+from repro.parallel.executor import WorkerPool
+from repro.serving.batching import InferenceRequest, MicroBatchQueue
+from repro.serving.engine import (
+    DenseInferenceEngine,
+    InferenceEngine,
+    Prediction,
+    SparseInferenceEngine,
+)
+from repro.serving.metrics import ServingMetrics
+from repro.types import SparseExample
+
+__all__ = ["EnginePool", "ServingRuntime", "build_engine"]
+
+
+def build_engine(network: SlideNetwork, config: ServingConfig) -> InferenceEngine:
+    """Instantiate the engine described by ``config`` for ``network``.
+
+    Asks for the sparse engine but the network has no LSH-enabled output
+    layer?  Serve dense rather than fail — the knob is an optimisation.
+    """
+    if config.engine == "sparse" and network.output_layer.lsh_index is not None:
+        return SparseInferenceEngine(network, active_budget=config.active_budget)
+    return DenseInferenceEngine(network)
+
+
+class EnginePool:
+    """Worker threads draining one micro-batch queue into one engine."""
+
+    def __init__(
+        self,
+        engine: InferenceEngine,
+        request_queue: MicroBatchQueue,
+        metrics: ServingMetrics,
+        num_workers: int = 2,
+        poll_timeout: float = 0.05,
+    ) -> None:
+        self.engine = engine
+        self.queue = request_queue
+        self.metrics = metrics
+        self.poll_timeout = float(poll_timeout)
+        self._pool = WorkerPool(num_workers, name="serving-engine")
+        self._stopping = False
+        self._drain_on_stop = True
+
+    @property
+    def num_workers(self) -> int:
+        return self._pool.num_workers
+
+    def start(self) -> None:
+        self.metrics.throughput.start()
+        self._pool.start(self._worker_loop)
+
+    def stop(self, drain: bool = True, timeout: float = 5.0) -> None:
+        """Stop the workers.
+
+        With ``drain=True`` (default) queued requests are served first;
+        with ``drain=False`` workers stop after their in-flight batch and
+        every request still queued has its future cancelled, so no caller
+        is left blocking on an answer that will never come.
+        """
+        self.queue.close()
+        self._drain_on_stop = drain
+        if drain:
+            deadline = time.monotonic() + timeout
+            while self.queue.pending() and time.monotonic() < deadline:
+                time.sleep(self.poll_timeout / 2)
+        self._stopping = True
+        self._pool.join(timeout=timeout)
+        # Anything still queued (drain=False, or the drain timed out) is
+        # cancelled rather than abandoned.
+        while True:
+            batch = self.queue.next_batch(timeout=0.0)
+            if not batch:
+                break
+            for request in batch:
+                request.future.cancel()
+
+    def alive_workers(self) -> int:
+        return self._pool.alive_count()
+
+    # ------------------------------------------------------------------
+    # Worker internals
+    # ------------------------------------------------------------------
+    def _worker_loop(self, worker_index: int) -> None:
+        while not self._stopping:
+            batch = self.queue.next_batch(timeout=self.poll_timeout)
+            if not batch:
+                continue
+            self._serve_batch(batch)
+        # Final drain (draining stop only) so no accepted request is left
+        # unresolved; stop() has already waited for the queue to empty, so
+        # this serves at most the handful of stragglers.
+        while self._drain_on_stop:
+            batch = self.queue.next_batch(timeout=0.0)
+            if not batch:
+                break
+            self._serve_batch(batch)
+
+    def _serve_batch(self, batch: list[InferenceRequest]) -> None:
+        self.metrics.record_batch(len(batch))
+        try:
+            # One engine call serves the whole micro-batch; requests may ask
+            # for different k, so score for the largest and trim per request
+            # (predictions are sorted by descending score).
+            max_k = max(request.k for request in batch)
+            predictions = self.engine.predict_batch(
+                [request.example for request in batch], k=max_k
+            )
+        except BaseException as exc:  # noqa: BLE001 - must reach the futures
+            for request in batch:
+                self.metrics.record_error()
+                if not request.future.set_running_or_notify_cancel():
+                    continue
+                request.future.set_exception(exc)
+            return
+        for request, prediction in zip(batch, predictions):
+            if request.k < prediction.class_ids.shape[0]:
+                prediction = Prediction(
+                    class_ids=prediction.class_ids[: request.k],
+                    scores=prediction.scores[: request.k],
+                    mode=prediction.mode,
+                    candidates_scored=prediction.candidates_scored,
+                )
+            if not request.future.set_running_or_notify_cancel():
+                continue
+            request.future.set_result(prediction)
+            self.metrics.record_request(request.latency(), prediction.mode)
+
+
+class ServingRuntime:
+    """Queue + engine pool + metrics, assembled from a :class:`ServingConfig`."""
+
+    def __init__(
+        self,
+        engine: InferenceEngine,
+        config: ServingConfig | None = None,
+    ) -> None:
+        self.config = config or ServingConfig()
+        self.engine = engine
+        self.metrics = ServingMetrics()
+        self.queue = MicroBatchQueue(
+            max_batch_size=self.config.max_batch_size,
+            max_wait_ms=self.config.max_wait_ms,
+            capacity=self.config.queue_capacity,
+        )
+        self.pool = EnginePool(
+            engine,
+            self.queue,
+            self.metrics,
+            num_workers=self.config.num_workers,
+        )
+        self._started = False
+        self._stopped = False
+
+    @classmethod
+    def from_network(
+        cls, network: SlideNetwork, config: ServingConfig | None = None
+    ) -> "ServingRuntime":
+        config = config or ServingConfig()
+        return cls(build_engine(network, config), config)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ServingRuntime":
+        if self._stopped:
+            # The queue is closed and the worker threads have exited; both
+            # are single-use, so a stopped runtime cannot come back.
+            raise RuntimeError(
+                "runtime cannot be restarted after stop(); build a new one"
+            )
+        if self._started:
+            raise RuntimeError("runtime already started")
+        self._started = True
+        self.pool.start()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        if self._started:
+            self.pool.stop(drain=drain)
+            self._started = False
+            self._stopped = True
+
+    def __enter__(self) -> "ServingRuntime":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Request API
+    # ------------------------------------------------------------------
+    def submit(self, example: SparseExample, k: int | None = None) -> Future:
+        """Enqueue one request; resolves to a :class:`Prediction`."""
+        if not self._started:
+            # Without workers the future would never resolve; fail fast
+            # instead of letting predict() block until its timeout.
+            raise RuntimeError("runtime is not started")
+        # Validate k fully at submission time: inside a worker, an invalid k
+        # would only surface from the engine's batch call and fail every
+        # request co-batched with the bad one.  ("k or default" is also the
+        # wrong tool here — it silently turns an explicit k=0 into top_k.)
+        resolved = self.config.top_k if k is None else int(k)
+        if resolved <= 0:
+            raise ValueError("k must be positive")
+        if resolved > self.engine.output_dim:
+            raise ValueError(
+                f"k={resolved} exceeds the number of output classes "
+                f"({self.engine.output_dim})"
+            )
+        input_dim = self.engine.network.input_dim
+        if example.features.dimension != input_dim:
+            raise ValueError(
+                f"example dimension {example.features.dimension} does not "
+                f"match the model's input_dim {input_dim}"
+            )
+        return self.queue.submit(example, k=resolved)
+
+    def predict(
+        self, example: SparseExample, k: int | None = None, timeout: float = 30.0
+    ) -> Prediction:
+        """Synchronous convenience wrapper around :meth:`submit`."""
+        return self.submit(example, k=k).result(timeout=timeout)
+
+    def predict_many(
+        self,
+        examples: Sequence[SparseExample],
+        k: int | None = None,
+        timeout: float = 60.0,
+    ) -> list[Prediction]:
+        """Submit many requests and wait for all answers (in input order)."""
+        futures = [self.submit(example, k=k) for example in examples]
+        return [future.result(timeout=timeout) for future in futures]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, object]:
+        snapshot = self.metrics.snapshot()
+        snapshot["engine"] = self.engine.name
+        snapshot["num_workers"] = float(self.pool.num_workers)
+        snapshot["alive_workers"] = float(self.pool.alive_workers())
+        snapshot["queue_pending"] = float(self.queue.pending())
+        if isinstance(self.engine, SparseInferenceEngine):
+            snapshot["fallback_rate"] = self.engine.fallback_rate()
+            budget = self.engine.active_budget
+            snapshot["active_budget"] = float(budget) if budget is not None else -1.0
+        return snapshot

@@ -1,0 +1,168 @@
+"""Stdlib HTTP/JSON front-end for a serving runtime.
+
+A deliberately small, dependency-free server (``http.server`` +
+``ThreadingHTTPServer``): each connection thread parses JSON, submits the
+request to the shared :class:`~repro.serving.pool.ServingRuntime` (where the
+micro-batcher coalesces it with concurrent requests), and blocks on the
+future.  Endpoints:
+
+``POST /v1/predict``
+    Body ``{"indices": [...], "values": [...], "k": 5}`` → top-k ids/scores.
+``GET /healthz``
+    Liveness: 200 with worker counts while the pool is up.
+``GET /v1/stats``
+    The runtime's metrics snapshot (latency quantiles, throughput, modes).
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import CancelledError
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from repro.serving.pool import ServingRuntime
+from repro.types import SparseExample, SparseVector
+
+__all__ = ["ModelServer", "build_server"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # Set by build_server on the server class; typed here for clarity.
+    runtime: ServingRuntime
+    input_dim: int
+    quiet: bool = True
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.quiet:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length", "0"))
+        if length <= 0:
+            raise ValueError("empty request body")
+        payload = json.loads(self.rfile.read(length))
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/healthz":
+            alive = self.runtime.pool.alive_workers()
+            status = 200 if alive > 0 else 503
+            self._send_json(status, {"status": "ok" if alive else "down", "workers": alive})
+        elif self.path == "/v1/stats":
+            self._send_json(200, self.runtime.stats())
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path != "/v1/predict":
+            self._send_json(404, {"error": f"unknown path {self.path}"})
+            return
+        try:
+            payload = self._read_json()
+            example = self._parse_example(payload)
+            k = int(payload.get("k", self.runtime.config.top_k))
+            prediction = self.runtime.predict(example, k=k)
+        except (ValueError, TypeError, KeyError, json.JSONDecodeError) as exc:
+            # TypeError covers client-side type mistakes like "k": null or
+            # nested lists where scalars are expected — still a 400.
+            self._send_json(400, {"error": str(exc)})
+            return
+        except CancelledError:
+            # The pool cancelled the request mid-shutdown; CancelledError is
+            # a BaseException, so without this branch the connection would
+            # be dropped with no status line at all.
+            self._send_json(503, {"error": "server is shutting down"})
+            return
+        except Exception as exc:  # noqa: BLE001 - surface engine errors as 500s
+            self._send_json(500, {"error": str(exc)})
+            return
+        self._send_json(
+            200,
+            {
+                "class_ids": [int(i) for i in prediction.class_ids],
+                "scores": [float(s) for s in prediction.scores],
+                "mode": prediction.mode,
+                "candidates_scored": prediction.candidates_scored,
+            },
+        )
+
+    def _parse_example(self, payload: dict) -> SparseExample:
+        indices = np.asarray(payload["indices"], dtype=np.int64)
+        values = np.asarray(payload["values"], dtype=np.float64)
+        features = SparseVector(
+            indices=indices, values=values, dimension=self.input_dim
+        )
+        return SparseExample(features=features, labels=np.zeros(0, dtype=np.int64))
+
+
+class ModelServer:
+    """A :class:`ThreadingHTTPServer` bound to one serving runtime."""
+
+    def __init__(
+        self,
+        runtime: ServingRuntime,
+        host: str | None = None,
+        port: int | None = None,
+        quiet: bool = True,
+    ) -> None:
+        self.runtime = runtime
+        config = runtime.config
+        handler = type(
+            "BoundHandler",
+            (_Handler,),
+            {
+                "runtime": runtime,
+                "input_dim": runtime.engine.network.input_dim,
+                "quiet": quiet,
+            },
+        )
+        self.httpd = ThreadingHTTPServer(
+            (host if host is not None else config.host,
+             port if port is not None else config.port),
+            handler,
+        )
+        # Connection threads must not keep the process alive after shutdown.
+        self.httpd.daemon_threads = True
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The actually bound (host, port) — port 0 resolves to a free port."""
+        return self.httpd.server_address[:2]
+
+    def serve_forever(self) -> None:
+        """Block serving requests until :meth:`shutdown` (or Ctrl-C)."""
+        self.httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        """Stop the HTTP loop and the runtime's worker pool."""
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        self.runtime.stop()
+
+
+def build_server(
+    runtime: ServingRuntime,
+    host: str | None = None,
+    port: int | None = None,
+    quiet: bool = True,
+) -> ModelServer:
+    """Bind a :class:`ModelServer` for ``runtime`` (``port=0`` picks a free one)."""
+    return ModelServer(runtime, host=host, port=port, quiet=quiet)

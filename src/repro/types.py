@@ -22,6 +22,7 @@ __all__ = [
     "SparseVector",
     "SparseExample",
     "SparseBatch",
+    "dense_features",
 ]
 
 # Convenience aliases.  NumPy's typing story for dtypes is verbose; these keep
@@ -151,10 +152,7 @@ class SparseBatch:
 
     def to_dense_features(self) -> FloatArray:
         """Dense ``(batch, feature_dim)`` feature matrix (for baselines)."""
-        dense = np.zeros((len(self.examples), self.feature_dim), dtype=np.float64)
-        for row, ex in enumerate(self.examples):
-            dense[row, ex.features.indices] = ex.features.values
-        return dense
+        return dense_features(self.examples, self.feature_dim)
 
     def to_dense_labels(self) -> FloatArray:
         """Dense multi-hot ``(batch, label_dim)`` label matrix."""
@@ -178,6 +176,16 @@ class SparseBatch:
         label_dim: int,
     ) -> "SparseBatch":
         return cls(examples=list(examples), feature_dim=feature_dim, label_dim=label_dim)
+
+
+def dense_features(
+    examples: Sequence[SparseExample], feature_dim: int
+) -> FloatArray:
+    """Dense ``(len(examples), feature_dim)`` matrix of the examples' features."""
+    dense = np.zeros((len(examples), feature_dim), dtype=np.float64)
+    for row, example in enumerate(examples):
+        dense[row, example.features.indices] = example.features.values
+    return dense
 
 
 def as_index_array(indices: Sequence[int] | IntArray) -> IntArray:

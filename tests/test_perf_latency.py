@@ -1,0 +1,135 @@
+"""Latency histogram and throughput meter."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.perf.latency import LatencyHistogram, ThroughputMeter
+
+
+def test_empty_histogram():
+    histogram = LatencyHistogram()
+    assert histogram.count == 0
+    assert histogram.mean == 0.0
+    assert histogram.percentile(50) == 0.0
+    summary = histogram.summary()
+    assert summary["count"] == 0.0
+    assert summary["p99_s"] == 0.0
+
+
+def test_percentiles_match_exact_quantiles_within_bucket_error():
+    rng = np.random.default_rng(0)
+    samples = rng.lognormal(mean=-6.0, sigma=1.0, size=20_000)  # ~ms scale
+    histogram = LatencyHistogram(growth=1.1)
+    for sample in samples:
+        histogram.record(sample)
+    for p in (50, 95, 99):
+        exact = np.percentile(samples, p)
+        estimate = histogram.percentile(p)
+        assert estimate == pytest.approx(exact, rel=0.12), f"p{p}"
+
+
+def test_percentiles_are_monotone_and_bounded_by_observed_range():
+    histogram = LatencyHistogram()
+    for value in (0.001, 0.002, 0.004, 0.008, 0.5):
+        histogram.record(value)
+    p50, p95, p99 = (histogram.percentile(p) for p in (50, 95, 99))
+    assert 0.001 <= p50 <= p95 <= p99 <= 0.5
+
+
+def test_out_of_range_observations_are_clamped():
+    histogram = LatencyHistogram(min_latency=1e-3, max_latency=1.0)
+    histogram.record(1e-9)
+    histogram.record(100.0)
+    assert histogram.count == 2
+    assert histogram.summary()["max_s"] == 100.0  # exact extremes still tracked
+    assert histogram.percentile(100) <= 100.0
+
+
+def test_merge_combines_observations():
+    a, b = LatencyHistogram(), LatencyHistogram()
+    for value in (0.01, 0.02):
+        a.record(value)
+    for value in (0.03, 0.04):
+        b.record(value)
+    a.merge(b)
+    assert a.count == 4
+    assert a.summary()["max_s"] == pytest.approx(0.04)
+
+
+def test_merge_rejects_mismatched_layout():
+    a = LatencyHistogram(growth=1.1)
+    b = LatencyHistogram(growth=1.5)
+    with pytest.raises(ValueError, match="bucket layout"):
+        a.merge(b)
+    # Same bucket count but a different range is also a layout mismatch.
+    c = LatencyHistogram(min_latency=1e-6, max_latency=60.0)
+    d = LatencyHistogram(min_latency=2e-6, max_latency=120.0)
+    if c._counts.shape == d._counts.shape:
+        with pytest.raises(ValueError, match="bucket layout"):
+            c.merge(d)
+
+
+def test_merge_self_and_cross_merges_complete():
+    a, b = LatencyHistogram(), LatencyHistogram()
+    a.record(0.01)
+    b.record(0.02)
+    a.merge(a)  # no-op, must not deadlock on its own lock
+    assert a.count == 1
+
+    # Opposite-direction merges from two threads must not deadlock (locks
+    # are taken in canonical id() order).
+    done = threading.Event()
+
+    def cross():
+        for _ in range(200):
+            a.merge(b)
+            b.merge(a)
+        done.set()
+
+    thread = threading.Thread(target=cross)
+    thread.start()
+    for _ in range(200):
+        b.merge(a)
+        a.merge(b)
+    assert done.wait(timeout=10.0)
+    thread.join(timeout=5.0)
+
+
+def test_concurrent_recording_loses_nothing():
+    histogram = LatencyHistogram()
+    per_thread = 2_000
+
+    def record():
+        for _ in range(per_thread):
+            histogram.record(0.005)
+
+    threads = [threading.Thread(target=record) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert histogram.count == 4 * per_thread
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        LatencyHistogram(min_latency=0.0)
+    with pytest.raises(ValueError):
+        LatencyHistogram(growth=1.0)
+    with pytest.raises(ValueError):
+        LatencyHistogram().percentile(101)
+
+
+def test_throughput_meter():
+    meter = ThroughputMeter()
+    assert meter.requests_per_second() == 0.0
+    meter.start()
+    meter.mark(10)
+    assert meter.completed == 10
+    assert meter.elapsed() >= 0.0
+    # Elapsed time is tiny but positive, so the rate is finite and positive.
+    assert meter.requests_per_second() > 0.0

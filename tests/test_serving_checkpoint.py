@@ -1,0 +1,253 @@
+"""Checkpoint round-trips: weights, optimiser state, LSH index contents."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.network import SlideNetwork
+from repro.core.trainer import SlideTrainer
+from repro.serving.checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    CheckpointError,
+    CheckpointStore,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.serving.engine import SparseInferenceEngine
+from repro.types import SparseBatch
+
+
+@pytest.fixture
+def trained(tiny_dataset, tiny_network_config, tiny_training_config):
+    """A briefly trained network plus its optimiser."""
+    network = SlideNetwork(tiny_network_config)
+    trainer = SlideTrainer(network, tiny_training_config)
+    trainer.train(tiny_dataset.train[:96], tiny_dataset.test[:32])
+    return network, trainer.optimizer
+
+
+def test_round_trip_identical_dense_predictions(tmp_path, trained, tiny_dataset):
+    network, optimizer = trained
+    save_checkpoint(tmp_path / "ckpt", network, optimizer)
+    loaded = load_checkpoint(tmp_path / "ckpt")
+
+    examples = tiny_dataset.test[:32]
+    np.testing.assert_allclose(
+        network.predict_dense_batch(examples),
+        loaded.network.predict_dense_batch(examples),
+    )
+    assert loaded.network.iteration == network.iteration
+    assert loaded.config == network.config
+
+
+def test_round_trip_identical_sparse_engine_predictions(
+    tmp_path, trained, tiny_dataset
+):
+    network, _ = trained
+    save_checkpoint(tmp_path / "ckpt", network)
+    loaded = load_checkpoint(tmp_path / "ckpt", load_optimizer=False)
+
+    live = SparseInferenceEngine(network, active_budget=16)
+    reloaded = SparseInferenceEngine(loaded.network, active_budget=16)
+    examples = tiny_dataset.test[:32]
+    for a, b in zip(
+        live.predict_batch(examples, k=3), reloaded.predict_batch(examples, k=3)
+    ):
+        np.testing.assert_array_equal(a.class_ids, b.class_ids)
+        np.testing.assert_allclose(a.scores, b.scores)
+
+
+def test_round_trip_lsh_index_contents(tmp_path, trained):
+    network, _ = trained
+    save_checkpoint(tmp_path / "ckpt", network)
+    loaded = load_checkpoint(tmp_path / "ckpt", load_optimizer=False)
+
+    live_index = network.output_layer.lsh_index
+    loaded_index = loaded.network.output_layer.lsh_index
+    assert loaded_index.num_items == live_index.num_items
+    for live_table, loaded_table in zip(live_index.tables, loaded_index.tables):
+        assert loaded_table.num_items == live_table.num_items
+        assert loaded_table.num_buckets == live_table.num_buckets
+
+
+def test_round_trip_optimizer_state_and_training_continues(
+    tmp_path, trained, tiny_dataset
+):
+    network, optimizer = trained
+    save_checkpoint(tmp_path / "ckpt", network, optimizer)
+    loaded = load_checkpoint(tmp_path / "ckpt")
+
+    assert loaded.optimizer is not None
+    assert loaded.optimizer.step_count == optimizer.step_count
+    for layer in network.layers:
+        for suffix in ("weights", "biases"):
+            name = f"{layer.name}.{suffix}"
+            live_state = optimizer.state_of(name)
+            loaded_state = loaded.optimizer.state_of(name)
+            assert set(loaded_state) == set(live_state)
+            for slot in live_state:
+                np.testing.assert_allclose(loaded_state[slot], live_state[slot])
+
+    # The reloaded (network, optimiser) pair must accept further training.
+    batch = SparseBatch.from_examples(
+        tiny_dataset.train[:8],
+        feature_dim=tiny_dataset.feature_dim,
+        label_dim=tiny_dataset.label_dim,
+    )
+    metrics = loaded.network.train_batch(batch, loaded.optimizer)
+    assert np.isfinite(metrics["loss"])
+
+
+def test_metadata_round_trip(tmp_path, trained):
+    network, _ = trained
+    save_checkpoint(tmp_path / "ckpt", network, metadata={"epoch": 3, "tag": "best"})
+    loaded = load_checkpoint(tmp_path / "ckpt", load_optimizer=False)
+    assert loaded.metadata == {"epoch": 3, "tag": "best"}
+
+
+def test_corrupted_arrays_rejected(tmp_path, trained):
+    network, _ = trained
+    path = save_checkpoint(tmp_path / "ckpt", network)
+    arrays = path / "arrays.npz"
+    payload = bytearray(arrays.read_bytes())
+    payload[len(payload) // 2] ^= 0xFF
+    arrays.write_bytes(bytes(payload))
+    with pytest.raises(CheckpointError, match="checksum"):
+        load_checkpoint(path)
+
+
+def test_truncated_arrays_rejected(tmp_path, trained):
+    network, _ = trained
+    path = save_checkpoint(tmp_path / "ckpt", network)
+    arrays = path / "arrays.npz"
+    arrays.write_bytes(arrays.read_bytes()[: 100])
+    with pytest.raises(CheckpointError, match="checksum"):
+        load_checkpoint(path)
+
+
+def test_missing_payload_rejected(tmp_path, trained):
+    network, _ = trained
+    path = save_checkpoint(tmp_path / "ckpt", network)
+    (path / "arrays.npz").unlink()
+    with pytest.raises(CheckpointError, match="missing array payload"):
+        load_checkpoint(path)
+
+
+def test_missing_manifest_rejected(tmp_path):
+    with pytest.raises(CheckpointError, match="manifest"):
+        load_checkpoint(tmp_path)
+
+
+def test_unknown_format_version_rejected(tmp_path, trained):
+    network, _ = trained
+    path = save_checkpoint(tmp_path / "ckpt", network)
+    manifest = json.loads((path / "manifest.json").read_text())
+    assert manifest["format_version"] == CHECKPOINT_FORMAT_VERSION
+    manifest["format_version"] = CHECKPOINT_FORMAT_VERSION + 1
+    (path / "manifest.json").write_text(json.dumps(manifest))
+    with pytest.raises(CheckpointError, match="format version"):
+        load_checkpoint(path)
+
+
+def test_lsh_snapshot_restore_round_trip(trained):
+    network, _ = trained
+    index = network.output_layer.lsh_index
+    items, codes = index.snapshot_codes()
+    assert items.shape[0] == index.num_items
+    assert codes.shape == (items.shape[0], index.l, index.k)
+
+    from repro.lsh.index import LSHIndex
+
+    clone = LSHIndex(
+        input_dim=index.input_dim, config=index.config, seed=index.seed
+    )
+    clone.restore_codes(items, codes)
+    assert clone.num_items == index.num_items
+    for live_table, clone_table in zip(index.tables, clone.tables):
+        assert clone_table.num_items == live_table.num_items
+
+    with pytest.raises(ValueError, match="shape"):
+        clone.restore_codes(items[:1], codes)
+
+
+def test_optimizer_to_config_round_trip():
+    from repro.config import OptimizerConfig
+    from repro.optim.factory import make_optimizer
+
+    for config in (
+        OptimizerConfig(name="adam", learning_rate=3e-4, beta1=0.8, beta2=0.95),
+        OptimizerConfig(name="sgd", learning_rate=1e-2, momentum=0.5),
+    ):
+        optimizer = make_optimizer(config)
+        recovered = optimizer.to_config()
+        assert recovered.name == config.name
+        assert recovered.learning_rate == config.learning_rate
+        assert make_optimizer(recovered).to_config() == recovered
+
+
+def test_store_versions_monotonically(tmp_path, trained):
+    network, _ = trained
+    store = CheckpointStore(tmp_path / "store")
+    first = store.save(network, metadata={"step": 1})
+    second = store.save(network, metadata={"step": 2}, tag="best")
+    assert first.name == "v0001"
+    # The tag lives in metadata, not the directory name, so the atomic
+    # number claim stays tag-independent.
+    assert second.name == "v0002"
+    assert store.latest() == second
+    assert store.load_latest(load_optimizer=False).metadata == {
+        "step": 2,
+        "tag": "best",
+    }
+
+
+def test_store_empty_raises(tmp_path):
+    store = CheckpointStore(tmp_path / "empty")
+    with pytest.raises(CheckpointError, match="no checkpoint versions"):
+        store.latest()
+
+
+def test_save_no_overwrite_preserves_existing(tmp_path, trained):
+    from repro.serving.checkpoint import CheckpointExistsError
+
+    network, _ = trained
+    path = save_checkpoint(tmp_path / "ckpt", network, metadata={"first": True})
+    with pytest.raises(CheckpointExistsError, match="already exists"):
+        save_checkpoint(path, network, metadata={"second": True}, overwrite=False)
+    # The original checkpoint survives untouched.
+    assert load_checkpoint(path, load_optimizer=False).metadata == {"first": True}
+
+
+def test_save_leaves_no_temp_dirs(tmp_path, trained):
+    network, _ = trained
+    store = CheckpointStore(tmp_path / "store")
+    store.save(network)
+    leftovers = [p.name for p in (tmp_path / "store").iterdir() if p.name.startswith(".")]
+    assert leftovers == []
+
+
+def test_concurrent_store_saves_all_get_distinct_versions(tmp_path, trained):
+    import threading
+
+    network, _ = trained
+    store = CheckpointStore(tmp_path / "store")
+    paths: list = []
+    lock = threading.Lock()
+
+    def save() -> None:
+        path = store.save(network)
+        with lock:
+            paths.append(path)
+
+    threads = [threading.Thread(target=save) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len({p.name for p in paths}) == 4
+    # Every claimed version loads cleanly.
+    for path in paths:
+        load_checkpoint(path, load_optimizer=False)

@@ -1,0 +1,277 @@
+"""Micro-batching queue, engine pool, and the checkpoint→serve end-to-end path."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    LayerConfig,
+    LSHConfig,
+    OptimizerConfig,
+    SamplingConfig,
+    ServingConfig,
+    SlideNetworkConfig,
+    TrainingConfig,
+)
+from repro.core.inference import evaluate_precision_at_1
+from repro.core.network import SlideNetwork
+from repro.core.trainer import SlideTrainer
+from repro.serving import (
+    MicroBatchQueue,
+    ServingRuntime,
+    SparseInferenceEngine,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+
+# ----------------------------------------------------------------------
+# MicroBatchQueue
+# ----------------------------------------------------------------------
+def test_queue_batches_up_to_max_size(tiny_dataset):
+    queue = MicroBatchQueue(max_batch_size=4, max_wait_ms=50.0)
+    futures = [queue.submit(tiny_dataset.test[i]) for i in range(10)]
+    assert len(queue.next_batch()) == 4
+    assert len(queue.next_batch()) == 4
+    assert len(queue.next_batch()) == 2
+    assert queue.next_batch(timeout=0.01) == []
+    assert all(not f.done() for f in futures)
+
+
+def test_queue_dispatches_partial_batch_after_deadline(tiny_dataset):
+    queue = MicroBatchQueue(max_batch_size=64, max_wait_ms=10.0)
+    queue.submit(tiny_dataset.test[0])
+    started = time.monotonic()
+    batch = queue.next_batch(timeout=1.0)
+    waited = time.monotonic() - started
+    assert len(batch) == 1
+    # Must have given later arrivals the max_wait window, but not blocked
+    # unboundedly for a full batch.
+    assert waited < 1.0
+
+
+def test_queue_rejects_submissions_after_close(tiny_dataset):
+    queue = MicroBatchQueue()
+    queue.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        queue.submit(tiny_dataset.test[0])
+
+
+def test_queue_validates_parameters():
+    with pytest.raises(ValueError):
+        MicroBatchQueue(max_batch_size=0)
+    with pytest.raises(ValueError):
+        MicroBatchQueue(max_wait_ms=-1.0)
+    with pytest.raises(ValueError):
+        MicroBatchQueue(capacity=0)
+
+
+# ----------------------------------------------------------------------
+# End-to-end: train → checkpoint → load → serve
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def served_checkpoint(tmp_path_factory, tiny_dataset):
+    """Train a small SLIDE network and checkpoint it."""
+    lsh = LSHConfig(hash_family="simhash", k=3, l=16, bucket_size=64)
+    layers = (
+        LayerConfig(size=32, activation="relu", lsh=None),
+        LayerConfig(
+            size=tiny_dataset.config.label_dim,
+            activation="softmax",
+            lsh=lsh,
+            sampling=SamplingConfig(strategy="vanilla", target_active=12, min_active=8),
+        ),
+    )
+    network = SlideNetwork(
+        SlideNetworkConfig(
+            input_dim=tiny_dataset.config.feature_dim, layers=layers, seed=3
+        )
+    )
+    trainer = SlideTrainer(
+        network,
+        TrainingConfig(
+            batch_size=16,
+            epochs=2,
+            optimizer=OptimizerConfig(name="adam", learning_rate=1e-3),
+            seed=11,
+        ),
+    )
+    trainer.train(tiny_dataset.train, tiny_dataset.test)
+    path = tmp_path_factory.mktemp("serving") / "ckpt"
+    save_checkpoint(path, network, trainer.optimizer, metadata={"purpose": "e2e"})
+    return path
+
+
+def test_end_to_end_checkpoint_microbatch_multiworker(served_checkpoint, tiny_dataset):
+    """The acceptance scenario: ≥500 requests, ≥2 workers, sparse ≈ dense."""
+    loaded = load_checkpoint(served_checkpoint, load_optimizer=False)
+    network = loaded.network
+    dense_precision = evaluate_precision_at_1(network, tiny_dataset.test)
+
+    config = ServingConfig(
+        engine="sparse",
+        active_budget=32,
+        top_k=1,
+        max_batch_size=16,
+        max_wait_ms=2.0,
+        num_workers=2,
+    )
+    num_requests = 520
+    examples = [
+        tiny_dataset.test[i % len(tiny_dataset.test)] for i in range(num_requests)
+    ]
+    with ServingRuntime.from_network(network, config) as runtime:
+        assert isinstance(runtime.engine, SparseInferenceEngine)
+        assert runtime.pool.alive_workers() == 2
+        predictions = runtime.predict_many(examples, timeout=120.0)
+        stats = runtime.stats()
+
+    assert len(predictions) == num_requests
+
+    # (a) sparse precision@1 within 2 points of the dense forward pass.
+    hits = judged = 0
+    for example, prediction in zip(examples, predictions):
+        if example.labels.size == 0:
+            continue
+        judged += 1
+        hits += int(np.isin(prediction.class_ids[:1], example.labels).any())
+    sparse_precision = hits / judged
+    assert dense_precision - sparse_precision <= 0.02, (
+        f"sparse {sparse_precision:.4f} vs dense {dense_precision:.4f}"
+    )
+
+    # (b) latency and throughput metrics are populated.
+    assert stats["requests"] == float(num_requests)
+    latency = stats["latency_ms"]
+    assert latency["p50"] > 0.0
+    assert latency["p95"] >= latency["p50"]
+    assert stats["latency"]["p99_s"] >= stats["latency"]["p95_s"]
+    assert stats["throughput_rps"] > 0.0
+    assert stats["batches"] >= num_requests / config.max_batch_size
+    assert stats["mean_batch_size"] > 1.0  # micro-batching actually batched
+    assert stats["modes"].get("sparse", 0) > 0
+
+
+def test_runtime_serves_concurrent_submitters(served_checkpoint, tiny_dataset):
+    """Many client threads sharing one runtime all get answers."""
+    network = load_checkpoint(served_checkpoint, load_optimizer=False).network
+    config = ServingConfig(num_workers=3, max_batch_size=8, max_wait_ms=1.0, top_k=2)
+    results: list[int] = []
+    lock = threading.Lock()
+
+    with ServingRuntime.from_network(network, config) as runtime:
+
+        def client(offset: int) -> None:
+            for i in range(25):
+                example = tiny_dataset.test[(offset + i) % len(tiny_dataset.test)]
+                prediction = runtime.predict(example, timeout=30.0)
+                with lock:
+                    results.append(prediction.class_ids.shape[0])
+
+        threads = [threading.Thread(target=client, args=(i * 7,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    assert len(results) == 100
+    assert all(size == 2 for size in results)
+
+
+def test_runtime_mixed_k_requests(served_checkpoint, tiny_dataset):
+    network = load_checkpoint(served_checkpoint, load_optimizer=False).network
+    config = ServingConfig(num_workers=2, max_batch_size=8, max_wait_ms=5.0)
+    with ServingRuntime.from_network(network, config) as runtime:
+        futures = [
+            runtime.submit(tiny_dataset.test[i % len(tiny_dataset.test)], k=(i % 3) + 1)
+            for i in range(30)
+        ]
+        for i, future in enumerate(futures):
+            prediction = future.result(timeout=30.0)
+            assert prediction.class_ids.shape == ((i % 3) + 1,)
+
+
+def test_runtime_rejects_non_positive_k(served_checkpoint, tiny_dataset):
+    network = load_checkpoint(served_checkpoint, load_optimizer=False).network
+    with ServingRuntime.from_network(network, ServingConfig(num_workers=1)) as runtime:
+        # An explicit k=0 must fail fast, not silently become top_k.
+        with pytest.raises(ValueError, match="k must be positive"):
+            runtime.submit(tiny_dataset.test[0], k=0)
+        with pytest.raises(ValueError, match="k must be positive"):
+            runtime.submit(tiny_dataset.test[0], k=-1)
+
+
+def test_runtime_stop_drains_queue(served_checkpoint, tiny_dataset):
+    network = load_checkpoint(served_checkpoint, load_optimizer=False).network
+    config = ServingConfig(num_workers=2, max_batch_size=4, max_wait_ms=1.0, top_k=1)
+    runtime = ServingRuntime.from_network(network, config).start()
+    futures = [runtime.submit(tiny_dataset.test[i % 16]) for i in range(64)]
+    runtime.stop(drain=True)
+    assert all(future.done() for future in futures)
+    assert runtime.metrics.requests == 64
+
+
+def test_runtime_submit_before_start_fails_fast(served_checkpoint, tiny_dataset):
+    network = load_checkpoint(served_checkpoint, load_optimizer=False).network
+    runtime = ServingRuntime.from_network(network, ServingConfig(num_workers=1))
+    with pytest.raises(RuntimeError, match="not started"):
+        runtime.submit(tiny_dataset.test[0])
+
+
+def test_runtime_stop_without_drain_cancels_pending(served_checkpoint, tiny_dataset):
+    network = load_checkpoint(served_checkpoint, load_optimizer=False).network
+    # One worker with a long batching window: requests pile up in the queue.
+    config = ServingConfig(num_workers=1, max_batch_size=64, max_wait_ms=500.0)
+    runtime = ServingRuntime.from_network(network, config).start()
+    futures = [runtime.submit(tiny_dataset.test[i % 16]) for i in range(32)]
+    runtime.stop(drain=False)
+    # Every future is settled — served, or cancelled — never left hanging.
+    assert all(future.done() or future.cancelled() for future in futures)
+
+
+def test_runtime_cannot_restart_after_stop(served_checkpoint):
+    network = load_checkpoint(served_checkpoint, load_optimizer=False).network
+    runtime = ServingRuntime.from_network(network, ServingConfig(num_workers=1))
+    runtime.start()
+    runtime.stop()
+    with pytest.raises(RuntimeError, match="cannot be restarted"):
+        runtime.start()
+
+
+def test_runtime_rejects_wrong_dimension_example(served_checkpoint):
+    import numpy as np
+
+    from repro.types import SparseExample, SparseVector
+
+    network = load_checkpoint(served_checkpoint, load_optimizer=False).network
+    wrong = SparseExample(
+        features=SparseVector(
+            indices=np.array([0]), values=np.array([1.0]), dimension=3
+        ),
+        labels=np.zeros(0, dtype=np.int64),
+    )
+    with ServingRuntime.from_network(network, ServingConfig(num_workers=1)) as runtime:
+        with pytest.raises(ValueError, match="input_dim"):
+            runtime.submit(wrong)
+
+
+def test_runtime_dense_engine_fallback_for_non_lsh_network(tiny_dataset):
+    network = SlideNetwork(
+        SlideNetworkConfig(
+            input_dim=tiny_dataset.config.feature_dim,
+            layers=(
+                LayerConfig(size=16, activation="relu"),
+                LayerConfig(size=tiny_dataset.config.label_dim, activation="softmax"),
+            ),
+            seed=0,
+        )
+    )
+    config = ServingConfig(engine="sparse", num_workers=1)
+    with ServingRuntime.from_network(network, config) as runtime:
+        assert runtime.engine.name == "dense"
+        prediction = runtime.predict(tiny_dataset.test[0], k=3)
+    assert prediction.mode == "dense"

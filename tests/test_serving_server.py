@@ -1,0 +1,149 @@
+"""HTTP/JSON front-end: predict, health, stats, and error handling."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.config import ServingConfig
+from repro.core.network import SlideNetwork
+from repro.core.trainer import SlideTrainer
+from repro.serving import ServingRuntime, build_server
+
+
+@pytest.fixture(scope="module")
+def http_server(tiny_dataset, request):
+    """A live server over a briefly trained network, torn down after the module."""
+    from repro.config import (
+        LayerConfig,
+        LSHConfig,
+        OptimizerConfig,
+        SamplingConfig,
+        SlideNetworkConfig,
+        TrainingConfig,
+    )
+
+    lsh = LSHConfig(hash_family="simhash", k=3, l=16, bucket_size=64)
+    layers = (
+        LayerConfig(size=32, activation="relu", lsh=None),
+        LayerConfig(
+            size=tiny_dataset.config.label_dim,
+            activation="softmax",
+            lsh=lsh,
+            sampling=SamplingConfig(strategy="vanilla", target_active=12, min_active=8),
+        ),
+    )
+    network = SlideNetwork(
+        SlideNetworkConfig(
+            input_dim=tiny_dataset.config.feature_dim, layers=layers, seed=3
+        )
+    )
+    trainer = SlideTrainer(
+        network,
+        TrainingConfig(batch_size=16, epochs=1, optimizer=OptimizerConfig(), seed=11),
+    )
+    trainer.train(tiny_dataset.train[:96], tiny_dataset.test[:32])
+
+    config = ServingConfig(num_workers=2, max_batch_size=8, max_wait_ms=1.0, top_k=3)
+    runtime = ServingRuntime.from_network(network, config).start()
+    server = build_server(runtime, port=0)  # port 0 = any free port
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+
+    host, port = server.address
+    base = f"http://{host}:{port}"
+
+    def teardown():
+        server.shutdown()
+        thread.join(timeout=5.0)
+
+    request.addfinalizer(teardown)
+    return base, tiny_dataset
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+def _post(url: str, payload: dict):
+    data = json.dumps(payload).encode("utf-8")
+    req = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(req, timeout=30) as response:
+        return response.status, json.loads(response.read())
+
+
+def test_healthz(http_server):
+    base, _ = http_server
+    status, payload = _get(base + "/healthz")
+    assert status == 200
+    assert payload["status"] == "ok"
+    assert payload["workers"] == 2
+
+
+def test_predict_endpoint(http_server):
+    base, dataset = http_server
+    example = dataset.test[0]
+    status, payload = _post(
+        base + "/v1/predict",
+        {
+            "indices": [int(i) for i in example.features.indices],
+            "values": [float(v) for v in example.features.values],
+            "k": 5,
+        },
+    )
+    assert status == 200
+    assert len(payload["class_ids"]) == 5
+    assert len(payload["scores"]) == 5
+    assert payload["mode"] in ("sparse", "dense_fallback")
+    assert all(0 <= i < dataset.config.label_dim for i in payload["class_ids"])
+    # Scores come back sorted descending.
+    assert payload["scores"] == sorted(payload["scores"], reverse=True)
+
+
+def test_stats_endpoint_populated_after_traffic(http_server):
+    base, dataset = http_server
+    for example in dataset.test[:10]:
+        _post(
+            base + "/v1/predict",
+            {
+                "indices": [int(i) for i in example.features.indices],
+                "values": [float(v) for v in example.features.values],
+            },
+        )
+    status, stats = _get(base + "/v1/stats")
+    assert status == 200
+    assert stats["requests"] >= 10
+    assert stats["latency_ms"]["p50"] > 0
+    assert stats["throughput_rps"] > 0
+    assert stats["engine"] == "sparse"
+
+
+def test_predict_rejects_malformed_body(http_server):
+    base, _ = http_server
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post(base + "/v1/predict", {"values": [1.0]})
+    assert excinfo.value.code == 400
+
+
+def test_predict_rejects_out_of_range_indices(http_server):
+    base, dataset = http_server
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post(
+            base + "/v1/predict",
+            {"indices": [dataset.config.feature_dim + 5], "values": [1.0]},
+        )
+    assert excinfo.value.code == 400
+
+
+def test_unknown_path_404(http_server):
+    base, _ = http_server
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _get(base + "/nope")
+    assert excinfo.value.code == 404
