@@ -1,0 +1,238 @@
+"""Training throughput: dense vs per-sample sparse vs batched sparse kernels.
+
+Not a paper figure — the perf-trajectory anchor for this repo.  The paper's
+thesis is that adaptive sparsity beats hardware acceleration; this bench
+keeps the *implementation* honest by measuring samples/sec for three ways of
+training the same synthetic extreme-classification task:
+
+* ``dense`` — the full-softmax baseline (one GEMM per layer per batch,
+  touches every neuron);
+* ``sparse_per_sample`` — SLIDE's HOGWILD loop: per-sample LSH hashing,
+  gathers, GEMVs and optimiser steps (the paper's execution model);
+* ``sparse_batched`` — the fused kernels (:mod:`repro.kernels`): batched
+  hashing, one gather + GEMM per layer over the union active set, one
+  accumulated optimiser step per layer per micro-batch.
+
+The batched path must be at least 2x the per-sample path at matching
+precision@1; results are written to ``BENCH_train_throughput.json`` at the
+repository root so the trajectory is tracked from PR to PR.
+
+Runs under the pytest bench harness or standalone::
+
+    PYTHONPATH=src python benchmarks/bench_train_throughput.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.baselines.dense import DenseNetwork, DenseNetworkConfig
+from repro.config import (
+    LayerConfig,
+    LSHConfig,
+    OptimizerConfig,
+    RebuildScheduleConfig,
+    SamplingConfig,
+    SlideNetworkConfig,
+    TrainingConfig,
+)
+from repro.core.inference import evaluate_precision_at_1
+from repro.core.network import SlideNetwork
+from repro.core.trainer import SlideTrainer
+from repro.datasets.synthetic import delicious_like_config, generate_synthetic_xc
+from repro.harness.report import format_table
+from repro.types import SparseBatch
+from repro.utils.rng import derive_rng
+
+_REPO_ROOT = Path(__file__).parent.parent
+DEFAULT_OUTPUT = _REPO_ROOT / "BENCH_train_throughput.json"
+
+
+def _slide_config(dataset, seed: int) -> SlideNetworkConfig:
+    label_dim = dataset.config.label_dim
+    layers = (
+        LayerConfig(size=64, activation="relu", lsh=None),
+        LayerConfig(
+            size=label_dim,
+            activation="softmax",
+            lsh=LSHConfig(hash_family="simhash", k=4, l=24, bucket_size=96),
+            sampling=SamplingConfig(
+                strategy="vanilla",
+                target_active=max(16, label_dim // 12),
+                min_active=16,
+            ),
+            rebuild=RebuildScheduleConfig(initial_period=20, decay=0.3),
+        ),
+    )
+    return SlideNetworkConfig(
+        input_dim=dataset.config.feature_dim, layers=layers, seed=seed
+    )
+
+
+def _train_slide(dataset, training: TrainingConfig, hogwild: bool, seed: int):
+    network = SlideNetwork(_slide_config(dataset, seed))
+    trainer = SlideTrainer(network, training, hogwild=hogwild)
+    start = time.perf_counter()
+    trainer.train(dataset.train)
+    elapsed = time.perf_counter() - start
+    samples = len(dataset.train) * training.epochs
+    active = trainer.history.total_active_neurons()
+    total_neurons = sum(layer.size for layer in network.layers)
+    return {
+        "samples_per_sec": samples / max(elapsed, 1e-9),
+        "wall_time_s": elapsed,
+        "precision_at_1": evaluate_precision_at_1(network, dataset.test),
+        "active_fraction": active / max(samples * total_neurons, 1),
+    }
+
+
+def _train_dense(dataset, training: TrainingConfig, seed: int):
+    network = DenseNetwork(
+        DenseNetworkConfig(
+            input_dim=dataset.config.feature_dim,
+            hidden_dim=64,
+            output_dim=dataset.config.label_dim,
+            optimizer=training.optimizer,
+            seed=seed,
+        )
+    )
+    rng = derive_rng(training.seed, stream=31)
+    start = time.perf_counter()
+    for _epoch in range(training.epochs):
+        order = rng.permutation(len(dataset.train))
+        for begin in range(0, order.size, training.batch_size):
+            chunk = [dataset.train[i] for i in order[begin : begin + training.batch_size]]
+            batch = SparseBatch.from_examples(
+                chunk,
+                feature_dim=dataset.config.feature_dim,
+                label_dim=dataset.config.label_dim,
+            )
+            network.train_batch(batch)
+    elapsed = time.perf_counter() - start
+    samples = len(dataset.train) * training.epochs
+    return {
+        "samples_per_sec": samples / max(elapsed, 1e-9),
+        "wall_time_s": elapsed,
+        "precision_at_1": evaluate_precision_at_1(network, dataset.test),
+        "active_fraction": 1.0,
+    }
+
+
+def measure_training_throughput(
+    scale: float = 1.0 / 512.0,
+    epochs: int = 6,
+    batch_size: int = 32,
+    seed: int = 0,
+) -> dict[str, object]:
+    """Throughput/precision rows for all three training paths."""
+    dataset = generate_synthetic_xc(delicious_like_config(scale=scale, seed=seed))
+    training = TrainingConfig(
+        batch_size=batch_size,
+        epochs=epochs,
+        optimizer=OptimizerConfig(name="adam", learning_rate=1e-3),
+        seed=seed,
+    )
+    measurements = {
+        "dense": _train_dense(dataset, training, seed),
+        "sparse_per_sample": _train_slide(dataset, training, hogwild=True, seed=seed),
+        "sparse_batched": _train_slide(dataset, training, hogwild=False, seed=seed),
+    }
+    rows = [
+        {
+            "mode": mode,
+            "samples_per_sec": round(result["samples_per_sec"], 1),
+            "wall_time_s": round(result["wall_time_s"], 3),
+            "precision_at_1": round(result["precision_at_1"], 4),
+            "active_fraction": round(result["active_fraction"], 4),
+        }
+        for mode, result in measurements.items()
+    ]
+    speedup = (
+        measurements["sparse_batched"]["samples_per_sec"]
+        / max(measurements["sparse_per_sample"]["samples_per_sec"], 1e-9)
+    )
+    return {
+        "config": {
+            "dataset": dataset.config.name,
+            "feature_dim": dataset.config.feature_dim,
+            "label_dim": dataset.config.label_dim,
+            "num_train": len(dataset.train),
+            "num_test": len(dataset.test),
+            "batch_size": batch_size,
+            "epochs": epochs,
+            "seed": seed,
+        },
+        "rows": rows,
+        "speedup_batched_vs_per_sample": round(speedup, 2),
+    }
+
+
+def write_report(report: dict[str, object], output: Path = DEFAULT_OUTPUT) -> None:
+    output.write_text(json.dumps(report, indent=2) + "\n")
+
+
+def test_train_throughput_table(run_once):
+    report = run_once(measure_training_throughput)
+    print()
+    print(
+        format_table(
+            report["rows"],
+            title="Training throughput: dense vs per-sample vs batched sparse",
+        )
+    )
+    write_report(report)
+    by_mode = {row["mode"]: row for row in report["rows"]}
+    # The fused kernels must beat the per-sample hot path decisively...
+    assert report["speedup_batched_vs_per_sample"] >= 2.0
+    # ...without giving up accuracy (within 1% absolute precision@1).
+    assert (
+        by_mode["sparse_batched"]["precision_at_1"]
+        >= by_mode["sparse_per_sample"]["precision_at_1"] - 0.01
+    )
+    # Sparsity claim: the sparse paths touch a small fraction of the neurons.
+    assert by_mode["sparse_batched"]["active_fraction"] < 0.5
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny config for CI: asserts the batched path is not slower",
+    )
+    parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument("--epochs", type=int, default=None)
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args()
+
+    if args.smoke:
+        scale = args.scale if args.scale is not None else 1.0 / 2048.0
+        epochs = args.epochs if args.epochs is not None else 1
+    else:
+        scale = args.scale if args.scale is not None else 1.0 / 512.0
+        epochs = args.epochs if args.epochs is not None else 6
+
+    report = measure_training_throughput(scale=scale, epochs=epochs)
+    print(
+        format_table(
+            report["rows"],
+            title="Training throughput: dense vs per-sample vs batched sparse",
+        )
+    )
+    print(f"batched / per-sample speedup: {report['speedup_batched_vs_per_sample']}x")
+    write_report(report, args.out)
+    print(f"wrote {args.out}")
+
+    threshold = 1.0 if args.smoke else 2.0
+    if report["speedup_batched_vs_per_sample"] < threshold:
+        raise SystemExit(
+            f"batched sparse path is below the {threshold}x throughput bar "
+            f"({report['speedup_batched_vs_per_sample']}x)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -11,6 +11,9 @@ Public API overview
   contribution.
 * :mod:`repro.hashing`, :mod:`repro.lsh`, :mod:`repro.sampling` — the LSH
   substrate (hash families, bounded-bucket tables, sampling strategies).
+* :mod:`repro.kernels` — batched sparse kernels: whole-micro-batch LSH
+  hashing and the fused union-active-set forward/backward used by
+  synchronous training and serving.
 * :mod:`repro.baselines` — dense full-softmax and sampled-softmax baselines.
 * :mod:`repro.datasets` — synthetic extreme-classification data and the XC
   repository loader.

@@ -11,7 +11,14 @@ import numpy as np
 
 from repro.types import FloatArray
 
-__all__ = ["relu", "relu_grad", "sparse_softmax", "softmax_rows", "log_sparse_softmax"]
+__all__ = [
+    "relu",
+    "relu_grad",
+    "hidden_activation_grad",
+    "sparse_softmax",
+    "softmax_rows",
+    "log_sparse_softmax",
+]
 
 
 def relu(z: FloatArray) -> FloatArray:
@@ -22,6 +29,24 @@ def relu(z: FloatArray) -> FloatArray:
 def relu_grad(z: FloatArray) -> FloatArray:
     """Derivative of ReLU with respect to its pre-activation ``z``."""
     return (z > 0.0).astype(np.float64)
+
+
+def hidden_activation_grad(name: str, pre_activation: FloatArray) -> FloatArray:
+    """Element-wise activation derivative used when backpropagating through a
+    hidden layer.
+
+    Hidden layers are ``relu`` or ``linear``; a hidden ``softmax`` has a
+    non-diagonal Jacobian that the sparse message-passing backward pass does
+    not implement, so it is rejected loudly instead of silently gating
+    deltas with the wrong derivative.
+    """
+    if name == "relu":
+        return relu_grad(pre_activation)
+    if name == "linear":
+        return np.ones_like(pre_activation)
+    raise ValueError(
+        f"backpropagation through a hidden {name!r} layer is not supported"
+    )
 
 
 def sparse_softmax(logits: FloatArray) -> FloatArray:

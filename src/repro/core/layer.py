@@ -102,8 +102,13 @@ class SlideLayer:
             self.lsh_index.build(self.weights)
 
         # Neurons whose weights changed since the last rebuild; only these are
-        # re-hashed when the rebuild schedule fires.
-        self._dirty_neurons: set[int] = set()
+        # re-hashed when the rebuild schedule fires.  Tracked as int64 id
+        # chunks that are deduplicated lazily with one ``np.unique`` at
+        # consolidation time: appending a chunk is O(active) per update (no
+        # Python-level per-id set inserts, no per-call re-sort of the whole
+        # accumulator), which matters on the per-sample HOGWILD hot path.
+        self._dirty_chunks: list[IntArray] = []
+        self._dirty_buffered = 0
         # Counters surfaced to the cost model / diagnostics.
         self.num_rebuilds = 0
         self.num_forward_calls = 0
@@ -139,8 +144,22 @@ class SlideLayer:
         dense_query[input_indices] = input_values
         target = self.config.sampling.target_active
         sampled = self.sampler.sample(self.lsh_index, dense_query, target)
-        from_tables = int(sampled.size)
+        return self.finalize_active(sampled, forced_active)
 
+    def finalize_active(
+        self,
+        sampled: IntArray,
+        forced_active: IntArray | None = None,
+    ) -> tuple[IntArray, int, int]:
+        """Random-fallback padding and forced-id union for a sampled set.
+
+        The tail half of :meth:`select_active`, shared with the batched
+        selection kernel (:mod:`repro.kernels.active`) so both paths draw
+        identical random padding from the layer's RNG.  The returned array is
+        always sorted and unique — downstream ``searchsorted`` label matching
+        relies on that.
+        """
+        from_tables = int(sampled.size)
         fallback = 0
         min_active = self.config.sampling.min_active
         if sampled.size < min_active and min_active > 0:
@@ -153,7 +172,13 @@ class SlideLayer:
 
         if forced_active is not None and forced_active.size:
             sampled = np.union1d(sampled, np.asarray(forced_active, dtype=np.int64))
-        return sampled.astype(np.int64), from_tables, fallback
+        sampled = np.asarray(sampled, dtype=np.int64)
+        if sampled.size > 1 and np.any(np.diff(sampled) <= 0):
+            # Samplers return sorted unique ids; guard against a custom
+            # strategy violating that contract rather than silently breaking
+            # the sorted-active-set invariant.
+            sampled = np.unique(sampled)
+        return sampled, from_tables, fallback
 
     # ------------------------------------------------------------------
     # Forward
@@ -261,8 +286,61 @@ class SlideLayer:
             None,
             bias_grad,
         )
-        if self.lsh_index is not None:
-            self._dirty_neurons.update(int(n) for n in state.active_out)
+        self.mark_dirty(state.active_out)
+
+    def apply_gradient_block(
+        self,
+        optimizer: Optimizer,
+        rows: IntArray,
+        cols: IntArray | None,
+        weight_grad: FloatArray,
+        bias_grad: FloatArray,
+    ) -> None:
+        """Apply one accumulated ``(rows, cols)`` gradient block.
+
+        The micro-batch counterpart of :meth:`apply_gradients`: the batched
+        training path accumulates the whole batch's gradient into a single
+        block per layer and applies it with one optimiser step instead of one
+        per sample.
+        """
+        optimizer.sparse_step(
+            f"{self.name}.weights", self.weights, rows, cols, weight_grad
+        )
+        optimizer.sparse_step(f"{self.name}.biases", self.biases, rows, None, bias_grad)
+        self.mark_dirty(rows)
+
+    def mark_dirty(self, neuron_ids: IntArray) -> None:
+        """Accumulate neurons awaiting a re-hash (no-op without LSH)."""
+        if self.lsh_index is None:
+            return
+        neuron_ids = np.asarray(neuron_ids, dtype=np.int64)
+        if neuron_ids.size == 0:
+            return
+        self._dirty_chunks.append(neuron_ids)
+        self._dirty_buffered += int(neuron_ids.size)
+        # Cap buffered duplicates: once the raw chunks hold several layers'
+        # worth of ids, fold them into one sorted unique array (amortised —
+        # consolidation cost is spread over the appends that triggered it).
+        if self._dirty_buffered > max(4 * self.size, 8192):
+            self._consolidate_dirty()
+
+    def _consolidate_dirty(self) -> IntArray:
+        """Fold the buffered id chunks into one sorted unique array."""
+        if not self._dirty_chunks:
+            return np.zeros(0, dtype=np.int64)
+        if len(self._dirty_chunks) == 1:
+            chunk = self._dirty_chunks[0]
+            if chunk.size > 1 and np.any(np.diff(chunk) <= 0):
+                chunk = np.unique(chunk)
+        else:
+            chunk = np.unique(np.concatenate(self._dirty_chunks))
+        self._dirty_chunks = [chunk]
+        self._dirty_buffered = int(chunk.size)
+        return chunk
+
+    def _clear_dirty(self) -> None:
+        self._dirty_chunks = []
+        self._dirty_buffered = 0
 
     # ------------------------------------------------------------------
     # Hash-table maintenance
@@ -280,18 +358,18 @@ class SlideLayer:
         """Re-hash all neurons whose weights changed since the last rebuild."""
         if self.lsh_index is None:
             return
-        if self._dirty_neurons:
-            dirty = np.fromiter(self._dirty_neurons, dtype=np.int64)
+        dirty = self._consolidate_dirty()
+        if dirty.size:
+            self._clear_dirty()
             self.lsh_index.update(dirty, self.weights[dirty])
-            self._dirty_neurons.clear()
         if self.rebuild_schedule is not None and iteration is not None:
             self.rebuild_schedule.record_rebuild(iteration)
         self.num_rebuilds += 1
 
     @property
     def dirty_neuron_count(self) -> int:
-        """Number of neurons awaiting a re-hash."""
-        return len(self._dirty_neurons)
+        """Number of distinct neurons awaiting a re-hash."""
+        return int(self._consolidate_dirty().size)
 
     # ------------------------------------------------------------------
     # Dense helpers (used by inference and the parity tests)

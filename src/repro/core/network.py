@@ -4,6 +4,12 @@ Implements Algorithm 1 of the paper: per-sample sparse forward pass through
 every layer, sparse softmax over the sampled output neurons, message-passing
 backpropagation touching only active neurons and weights, and asynchronous
 (HOGWILD-style) gradient application across the samples of a batch.
+
+Synchronous training additionally has a *batched* execution mode backed by
+:mod:`repro.kernels`: per-sample LSH hashing, gathers, GEMVs and optimiser
+steps are fused into whole-micro-batch operations over the union active set.
+It is the default for ``train_batch(hogwild=False)``; the HOGWILD per-sample
+path is unchanged.
 """
 
 from __future__ import annotations
@@ -13,8 +19,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.config import SlideNetworkConfig, TrainingConfig
-from repro.core.activations import relu_grad
+from repro.core.activations import hidden_activation_grad
 from repro.core.layer import LayerForwardState, SlideLayer
+from repro.kernels.fused import Workspace, fused_train_step
 from repro.optim.base import Optimizer
 from repro.optim.factory import make_optimizer
 from repro.types import FloatArray, IntArray, SparseBatch, SparseExample, dense_features
@@ -78,6 +85,8 @@ class SlideNetwork:
             fan_in = layer_cfg.size
         self._rng = derive_rng(config.seed, stream=23)
         self.iteration = 0
+        # Reusable gradient-block buffers for the fused synchronous path.
+        self._workspace = Workspace()
 
     # ------------------------------------------------------------------
     # Properties
@@ -174,6 +183,13 @@ class SlideNetwork:
 
         # Cross-entropy target restricted to the active set: probability mass
         # 1/|labels| on each ground-truth label present in the active set.
+        # ``searchsorted`` silently misattributes labels on an unsorted active
+        # set, so the sorted invariant is enforced rather than assumed.
+        if active_out.size > 1 and np.any(np.diff(active_out) <= 0):
+            raise ValueError(
+                "active_out must be sorted and unique for label matching; "
+                "got an unsorted active set from the output layer"
+            )
         target = np.zeros_like(probabilities)
         loss = 0.0
         if example.labels.size:
@@ -214,7 +230,9 @@ class SlideNetwork:
                     == state.active_in
                 )
                 mapped[positions[valid]] = prev_delta[valid]
-                downstream_delta = mapped * relu_grad(below.pre_activation)
+                downstream_delta = mapped * hidden_activation_grad(
+                    self.layers[layer_idx - 1].activation_name, below.pre_activation
+                )
         return SampleGradient(
             layer_states=states,
             weight_grads=weight_grads,
@@ -225,56 +243,93 @@ class SlideNetwork:
     # ------------------------------------------------------------------
     # Training steps
     # ------------------------------------------------------------------
+    def apply_sample_gradient(
+        self,
+        gradient: SampleGradient,
+        optimizer: Optimizer,
+        scale: float = 1.0,
+    ) -> None:
+        """Apply one sample's sparse gradient blocks to every layer.
+
+        The per-sample update primitive shared by HOGWILD-style training
+        (``scale=1``) and the legacy averaged synchronous loop
+        (``scale=1/batch``); :class:`repro.parallel.hogwild.HogwildSimulator`
+        uses it for its lock-free phase-2 replay as well.
+        """
+        for layer, state, w_grad, b_grad in zip(
+            self.layers,
+            gradient.layer_states,
+            gradient.weight_grads,
+            gradient.bias_grads,
+        ):
+            if scale == 1.0:
+                layer.apply_gradients(optimizer, state, w_grad, b_grad)
+            else:
+                layer.apply_gradients(optimizer, state, w_grad * scale, b_grad * scale)
+
     def train_batch(
         self,
         batch: SparseBatch,
         optimizer: Optimizer,
         hogwild: bool = True,
+        batched: bool | None = None,
     ) -> dict[str, float]:
         """One mini-batch step (Algorithm 1, lines 7-16).
 
         With ``hogwild=True`` each sample's gradient is applied immediately
-        and independently (asynchronous accumulation); with ``hogwild=False``
-        gradients are averaged over the batch before a single update — the
-        synchronous baseline used in ablations.
+        and independently (asynchronous accumulation) — the paper's execution
+        model, bit-compatible across releases.  With ``hogwild=False`` the
+        step is synchronous; ``batched`` selects its implementation:
+
+        * ``None``/``True`` (default) — the fused batched kernels
+          (:mod:`repro.kernels`): one LSH hash sweep, one gather + GEMM per
+          layer, and one accumulated optimiser step per layer for the whole
+          micro-batch.
+        * ``False`` — the legacy per-sample loop that averages gradients but
+          applies them one ``sparse_step`` per sample (kept for ablations and
+          the kernel parity tests).
+        """
+        if hogwild:
+            metrics = self._train_batch_per_sample(batch, optimizer, interleaved=True)
+        elif batched or batched is None:
+            metrics = fused_train_step(self, batch, optimizer, self._workspace)
+        else:
+            metrics = self._train_batch_per_sample(batch, optimizer, interleaved=False)
+
+        self.iteration += 1
+        for layer in self.layers:
+            layer.maybe_rebuild(self.iteration)
+        return metrics
+
+    def _train_batch_per_sample(
+        self,
+        batch: SparseBatch,
+        optimizer: Optimizer,
+        interleaved: bool,
+    ) -> dict[str, float]:
+        """Per-sample step shared by HOGWILD and the legacy synchronous loop.
+
+        ``interleaved=True`` applies each gradient immediately at full scale
+        (asynchronous accumulation); ``interleaved=False`` defers every
+        update until all gradients are computed, then applies them averaged.
         """
         optimizer.begin_step()
         losses = []
         active_neurons = 0
         active_weights = 0
-
-        if hogwild:
-            for example in batch:
-                gradient = self.compute_sample_gradient(example)
-                losses.append(gradient.loss)
-                active_neurons += sum(s.num_active for s in gradient.layer_states)
-                active_weights += sum(s.num_active_weights for s in gradient.layer_states)
-                for layer, state, w_grad, b_grad in zip(
-                    self.layers,
-                    gradient.layer_states,
-                    gradient.weight_grads,
-                    gradient.bias_grads,
-                ):
-                    layer.apply_gradients(optimizer, state, w_grad, b_grad)
-        else:
-            gradients = [self.compute_sample_gradient(example) for example in batch]
-            scale = 1.0 / max(len(batch), 1)
-            for gradient in gradients:
-                losses.append(gradient.loss)
-                active_neurons += sum(s.num_active for s in gradient.layer_states)
-                active_weights += sum(s.num_active_weights for s in gradient.layer_states)
-                for layer, state, w_grad, b_grad in zip(
-                    self.layers,
-                    gradient.layer_states,
-                    gradient.weight_grads,
-                    gradient.bias_grads,
-                ):
-                    layer.apply_gradients(optimizer, state, w_grad * scale, b_grad * scale)
-
-        self.iteration += 1
-        for layer in self.layers:
-            layer.maybe_rebuild(self.iteration)
-
+        deferred: list[SampleGradient] = []
+        for example in batch:
+            gradient = self.compute_sample_gradient(example)
+            losses.append(gradient.loss)
+            active_neurons += sum(s.num_active for s in gradient.layer_states)
+            active_weights += sum(s.num_active_weights for s in gradient.layer_states)
+            if interleaved:
+                self.apply_sample_gradient(gradient, optimizer)
+            else:
+                deferred.append(gradient)
+        scale = 1.0 / max(len(batch), 1)
+        for gradient in deferred:
+            self.apply_sample_gradient(gradient, optimizer, scale=scale)
         return {
             "loss": float(np.mean(losses)) if losses else 0.0,
             "active_neurons": float(active_neurons),
@@ -290,7 +345,7 @@ class SlideNetwork:
         for layer in self.layers:
             if layer.lsh_index is not None:
                 layer.lsh_index.build(layer.weights)
-                layer._dirty_neurons.clear()
+                layer._clear_dirty()
                 layer.num_rebuilds += 1
 
     def average_output_active(self, examples: list[SparseExample]) -> float:

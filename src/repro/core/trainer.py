@@ -72,17 +72,26 @@ class TrainingHistory:
 
 
 class SlideTrainer:
-    """Runs the SLIDE training loop over a list of sparse examples."""
+    """Runs the SLIDE training loop over a list of sparse examples.
+
+    ``hogwild=True`` (default) trains with per-sample asynchronous updates —
+    the paper's execution model.  ``hogwild=False`` trains synchronously
+    through the fused batched kernels (:mod:`repro.kernels`); pass
+    ``batched=False`` to use the legacy per-sample synchronous loop instead
+    (ablations / parity testing only).
+    """
 
     def __init__(
         self,
         network: SlideNetwork,
         training: TrainingConfig,
         hogwild: bool = True,
+        batched: bool | None = None,
     ) -> None:
         self.network = network
         self.training = training
         self.hogwild = hogwild
+        self.batched = batched
         self.optimizer = network.build_optimizer(training)
         self._rng = derive_rng(training.seed, stream=31)
         self.history = TrainingHistory()
@@ -133,7 +142,9 @@ class SlideTrainer:
         self, batch: SparseBatch, eval_pool: list[SparseExample]
     ) -> IterationRecord:
         start = time.perf_counter()
-        metrics = self.network.train_batch(batch, self.optimizer, hogwild=self.hogwild)
+        metrics = self.network.train_batch(
+            batch, self.optimizer, hogwild=self.hogwild, batched=self.batched
+        )
         elapsed = time.perf_counter() - start
 
         accuracy = None

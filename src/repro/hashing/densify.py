@@ -1,0 +1,72 @@
+"""Batched densification shared by the DWTA and DOPH hash families.
+
+Densification (Shrivastava & Li, 2014b) fills an *empty* bin with the code of
+a non-empty bin reached by a fixed pseudo-random ring walk.  The per-vector
+implementations in :mod:`repro.hashing.dwta` / :mod:`repro.hashing.doph` walk
+one empty bin at a time; for a batch of vectors that Python loop dominates
+hashing cost because sparse inputs leave most bins empty.
+
+:func:`densify_codes_batch` runs the identical walk for *every* empty bin of
+*every* row simultaneously: iteration ``t`` probes ``(bin + t * offset) %
+total`` for all still-unresolved (row, bin) pairs at once, retiring the pairs
+whose probe landed on a filled bin.  The probe sequence matches the
+per-vector ``_densify`` implementations exactly, so batched and per-vector
+codes agree bin-for-bin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.types import IntArray
+
+__all__ = ["densify_codes_batch"]
+
+
+def densify_codes_batch(
+    codes: IntArray,
+    filled: np.ndarray,
+    probe_offsets: IntArray,
+    sentinel: int,
+) -> IntArray:
+    """Densify a ``(rows, total)`` code matrix in vectorised ring walks.
+
+    Parameters
+    ----------
+    codes:
+        Raw winner codes per (row, bin); entries where ``filled`` is False
+        are ignored and overwritten.
+    filled:
+        Boolean matrix marking bins that saw at least one input coordinate.
+    probe_offsets:
+        Per-bin ring-walk step sizes, each coprime with ``total`` so the walk
+        visits every bin.
+    sentinel:
+        Code assigned to every bin of a row with *no* filled bins (the
+        degenerate all-zero input).
+    """
+    codes = np.asarray(codes, dtype=np.int64)
+    filled = np.asarray(filled, dtype=bool)
+    if codes.shape != filled.shape or codes.ndim != 2:
+        raise ValueError("codes and filled must be matching 2-D arrays")
+    total = codes.shape[1]
+    densified = codes.copy()
+
+    empty_rows = ~filled.any(axis=1)
+    if empty_rows.any():
+        densified[empty_rows] = sentinel
+
+    todo_row, todo_bin = np.nonzero(~filled & ~empty_rows[:, None])
+    if todo_row.size == 0:
+        return densified
+    offsets = probe_offsets[todo_bin]
+    for attempt in range(1, total + 1):
+        probe = (todo_bin + attempt * offsets) % total
+        hit = filled[todo_row, probe]
+        if hit.any():
+            densified[todo_row[hit], todo_bin[hit]] = codes[todo_row[hit], probe[hit]]
+            miss = ~hit
+            todo_row, todo_bin, offsets = todo_row[miss], todo_bin[miss], offsets[miss]
+            if todo_row.size == 0:
+                break
+    return densified

@@ -11,8 +11,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.hashing.base import HashCodes, LSHFamily, VectorLike
+from repro.hashing.densify import densify_codes_batch
 from repro.hashing.dwta import _coprime_offsets
-from repro.types import SparseVector
+from repro.types import FloatArray, SparseVector
 from repro.utils.rng import derive_rng
 from repro.utils.topk import top_k_indices
 
@@ -99,6 +100,50 @@ class DOPH(LSHFamily):
                 filled[bins[idx]] = True
         codes = self._densify(codes, filled)
         return codes.reshape(self.l, self.k)
+
+    # Rows hashed per chunk: bounds the boolean keep-mask and the flat
+    # scatter-min temporaries for paper-scale neuron counts.
+    _CHUNK_ROWS = 1024
+
+    def hash_matrix(self, matrix: FloatArray) -> HashCodes:
+        """Vectorised batch hashing over the rows of a dense matrix.
+
+        Binarisation (top-k threshold, zeros dropped), minwise reduction and
+        densification all run as whole-chunk array operations; agreement
+        with the per-vector path holds wherever the top-k threshold is
+        untied.  Rows are processed in fixed chunks to bound temporaries.
+        """
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[1] != self.input_dim:
+            raise ValueError("hash_matrix expects shape (rows, input_dim)")
+        out = np.empty((matrix.shape[0], self.l, self.k), dtype=np.int64)
+        for start in range(0, matrix.shape[0], self._CHUNK_ROWS):
+            chunk = matrix[start : start + self._CHUNK_ROWS]
+            out[start : start + self._CHUNK_ROWS] = self._hash_chunk(chunk)
+        return out
+
+    def _hash_chunk(self, matrix: FloatArray) -> HashCodes:
+        rows, total = matrix.shape[0], self._total
+        keep = np.zeros(matrix.shape, dtype=bool)
+        if self.top_k >= self.input_dim:
+            keep[:] = True
+        else:
+            part = np.argpartition(matrix, -self.top_k, axis=1)[:, -self.top_k :]
+            np.put_along_axis(keep, part, True, axis=1)
+        keep &= matrix != 0.0
+
+        kept_row, kept_coord = np.nonzero(keep)
+        positions = self._position_of_coord[kept_coord]
+        bins = self._bin_of_position[positions]
+        local = positions - self._bin_start[bins]
+        # Minwise per (row, bin): scatter-min of the local positions.
+        min_local = np.full(rows * total, np.iinfo(np.int64).max, dtype=np.int64)
+        np.minimum.at(min_local, kept_row * total + bins, local)
+        min_local = min_local.reshape(rows, total)
+        filled = min_local != np.iinfo(np.int64).max
+        codes = np.where(filled, min_local, self._max_bin)
+        codes = densify_codes_batch(codes, filled, self._probe_offsets, self._max_bin)
+        return codes.reshape(rows, self.l, self.k)
 
     def _densify(self, codes: np.ndarray, filled: np.ndarray) -> np.ndarray:
         if filled.all() or not filled.any():

@@ -18,7 +18,8 @@ import numpy as np
 from math import gcd
 
 from repro.hashing.base import HashCodes, LSHFamily, VectorLike
-from repro.types import SparseVector
+from repro.hashing.densify import densify_codes_batch
+from repro.types import FloatArray, SparseVector
 from repro.utils.rng import derive_rng
 
 __all__ = ["DWTAHash"]
@@ -66,6 +67,16 @@ class DWTAHash(LSHFamily):
         bins = perms[:, :usable].reshape(n_perms * bins_per_perm, self.bin_size)
         self._bins = bins[:total_codes]
 
+        # Bin positions reordered by ascending coordinate id.  The per-vector
+        # path iterates coordinates in ascending order with a strict ``>``
+        # comparison, so ties resolve to the smallest coordinate; gathering in
+        # this order lets the batched path's ``argmax`` (first maximum wins)
+        # reproduce that tie-break exactly.
+        self._bin_coord_order = np.argsort(self._bins, axis=1, kind="stable")
+        self._bins_by_coord = np.take_along_axis(
+            self._bins, self._bin_coord_order, axis=1
+        )
+
         # Inverse mapping: coordinate -> list of (code_index, position) pairs.
         # Stored as flat arrays for cheap gathering in the sparse path.
         coord_to_codes: list[list[tuple[int, int]]] = [[] for _ in range(input_dim)]
@@ -92,6 +103,42 @@ class DWTAHash(LSHFamily):
         codes, filled = self._raw_codes(sparse)
         codes = self._densify(codes, filled)
         return codes.reshape(self.l, self.k)
+
+    # Rows hashed per chunk: bounds the (chunk, K*L, bin_size) gather
+    # temporaries to tens of MB even for paper-scale neuron counts.
+    _CHUNK_ROWS = 1024
+
+    def hash_matrix(self, matrix: FloatArray) -> HashCodes:
+        """Vectorised batch hashing: one gather/reduce sweep per row chunk.
+
+        Agrees bin-for-bin with mapping :meth:`hash_vector` over the rows;
+        zero coordinates are excluded from the winner search exactly as the
+        sparse per-vector path excludes them.  Rows are processed in fixed
+        chunks so the ``(rows, K*L, bin_size)`` gather never materialises
+        for a full 100K+-neuron weight matrix at once.
+        """
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[1] != self.input_dim:
+            raise ValueError("hash_matrix expects shape (rows, input_dim)")
+        out = np.empty((matrix.shape[0], self.l, self.k), dtype=np.int64)
+        for start in range(0, matrix.shape[0], self._CHUNK_ROWS):
+            chunk = matrix[start : start + self._CHUNK_ROWS]
+            out[start : start + self._CHUNK_ROWS] = self._hash_chunk(chunk)
+        return out
+
+    def _hash_chunk(self, chunk: FloatArray) -> HashCodes:
+        total = self._total_codes
+        # (chunk, total, bin_size) values at each bin's coordinates, with
+        # exact zeros masked out of contention.
+        gathered = chunk[:, self._bins_by_coord]
+        masked = np.where(gathered != 0.0, gathered, -np.inf)
+        best = masked.max(axis=2)
+        filled = best > -np.inf
+        winner = masked.argmax(axis=2)
+        codes = self._bin_coord_order[np.arange(total)[None, :], winner]
+        codes = np.where(filled, codes, 0)
+        codes = densify_codes_batch(codes, filled, self._probe_offsets, self.bin_size)
+        return codes.reshape(chunk.shape[0], self.l, self.k)
 
     # ------------------------------------------------------------------
     # Internals

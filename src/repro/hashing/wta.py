@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.hashing.base import HashCodes, LSHFamily, VectorLike
+from repro.types import FloatArray
 from repro.utils.rng import derive_rng
 
 __all__ = ["WTAHash"]
@@ -61,6 +62,15 @@ class WTAHash(LSHFamily):
         gathered = dense[self._bins]
         codes = np.argmax(gathered, axis=1).astype(np.int64)
         return codes.reshape(self.l, self.k)
+
+    def hash_matrix(self, matrix: FloatArray) -> HashCodes:
+        """Vectorised batch hashing: one gather + argmax for all rows."""
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[1] != self.input_dim:
+            raise ValueError("hash_matrix expects shape (rows, input_dim)")
+        gathered = matrix[:, self._bins]
+        codes = np.argmax(gathered, axis=2).astype(np.int64)
+        return codes.reshape(matrix.shape[0], self.l, self.k)
 
     @property
     def bins(self) -> np.ndarray:

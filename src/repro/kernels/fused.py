@@ -1,0 +1,395 @@
+"""Fused union-active-set forward/backward for one micro-batch.
+
+The per-sample training path does, per example and per layer, a fancy-index
+gather, a GEMV, an ``np.outer`` gradient materialisation and an optimiser
+``sparse_step``.  The fused path restructures that around the micro-batch:
+
+* the batch's per-sample active sets are unioned per layer; the layer's
+  weight block for the union rows (and the union input columns) is gathered
+  **once** and a single GEMM computes every sample's pre-activations;
+* each sample's own active set is enforced with a 0/1 mask, so ReLU output
+  support and the sparse softmax's partition function match the per-sample
+  semantics exactly — extra union neurons never leak into a sample's
+  activations, next-layer inputs, or loss;
+* the batch's weight gradient for the union block is one ``delta^T @ X``
+  GEMM accumulated directly into a reusable workspace buffer (no per-sample
+  outer products), and it is applied with **one** optimiser step per layer
+  per micro-batch.
+
+Numerics: forward activations and the per-sample gradient *contributions*
+match the per-sample path to floating-point reduction order.  The optimiser
+trajectory in synchronous mode differs deliberately from the legacy loop —
+one accumulated Adam/SGD step per batch (standard mini-batch semantics)
+instead of ``batch_size`` sequential per-sample block steps.  HOGWILD mode is
+untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.activations import hidden_activation_grad, relu, softmax_rows
+from repro.kernels.active import select_active_batch
+from repro.optim.base import Optimizer
+from repro.types import FloatArray, IntArray, SparseBatch
+
+__all__ = [
+    "Workspace",
+    "FusedLayerState",
+    "FusedBatchResult",
+    "fused_forward_batch",
+    "fused_backward_batch",
+    "fused_train_step",
+]
+
+
+class Workspace:
+    """Grow-only scratch buffers reused across fused training steps.
+
+    Union active-set sizes vary batch to batch; buffers grow to the largest
+    shape seen and later steps slice views out of them, so steady-state
+    training performs no per-batch gradient-buffer allocations.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: dict[str, FloatArray] = {}
+
+    def take(self, name: str, shape: tuple[int, int]) -> FloatArray:
+        """A writable ``shape`` view of the named buffer (contents undefined)."""
+        buffer = self._buffers.get(name)
+        if buffer is None or buffer.shape[0] < shape[0] or buffer.shape[1] < shape[1]:
+            grown = (
+                shape[0] if buffer is None else max(buffer.shape[0], shape[0]),
+                shape[1] if buffer is None else max(buffer.shape[1], shape[1]),
+            )
+            buffer = np.empty(grown, dtype=np.float64)
+            self._buffers[name] = buffer
+        return buffer[: shape[0], : shape[1]]
+
+    def matmul(self, a: FloatArray, b: FloatArray, name: str) -> FloatArray:
+        """``a @ b`` written into the named reusable buffer."""
+        out = self.take(name, (a.shape[0], b.shape[1]))
+        np.matmul(a, b, out=out)
+        return out
+
+
+@dataclass
+class FusedLayerState:
+    """Batch-level bookkeeping for one layer of the fused forward pass."""
+
+    # Union of the batch's active output neurons (sorted unique).
+    rows: IntArray
+    # Fan-in column ids the input block covers (``None`` = every column).
+    cols: IntArray | None
+    # Gathered weight block ``W[rows][:, cols]`` captured at forward time;
+    # backward uses it so delta propagation sees pre-update weights even
+    # after this layer's gradient block has been applied.
+    block: FloatArray
+    # (batch, |cols|) input block and (batch, |rows|) pre/post activations.
+    x_block: FloatArray
+    pre: FloatArray
+    act: FloatArray
+    # 0/1 membership mask of each sample's own active set within ``rows``
+    # (``None`` when every neuron is active for every sample).
+    mask: FloatArray | None
+    # Per-sample active sets (``None`` for dense layers).
+    active_sets: list[IntArray] | None
+    activation_name: str
+    sampled_from_tables: int = 0
+    fallback_random: int = 0
+
+    def active_count(self, batch_size: int) -> int:
+        if self.active_sets is None:
+            return batch_size * int(self.rows.size)
+        return int(sum(active.size for active in self.active_sets))
+
+
+@dataclass
+class FusedBatchResult:
+    """Everything the training step needs from one fused forward pass."""
+
+    layer_states: list[FusedLayerState]
+    # (batch,) per-sample input-column counts per layer, for work accounting.
+    input_counts: list[IntArray] = field(default_factory=list)
+
+    @property
+    def output_state(self) -> FusedLayerState:
+        return self.layer_states[-1]
+
+    def total_active_neurons(self, batch_size: int) -> int:
+        return sum(s.active_count(batch_size) for s in self.layer_states)
+
+    def total_active_weights(self, batch_size: int) -> int:
+        total = 0
+        for state, in_counts in zip(self.layer_states, self.input_counts):
+            if state.active_sets is None:
+                total += int(state.rows.size) * int(in_counts.sum())
+            else:
+                out_counts = np.array(
+                    [active.size for active in state.active_sets], dtype=np.int64
+                )
+                total += int(np.dot(out_counts, in_counts))
+        return total
+
+
+def _masked_softmax_rows(pre: FloatArray, mask: FloatArray) -> FloatArray:
+    """Row-wise softmax over each row's masked-in entries only.
+
+    Equivalent to running :func:`~repro.core.activations.sparse_softmax` on
+    every row restricted to its own active subset: masked-out entries get
+    probability zero and do not enter the partition function.  Rows with no
+    active entries come back all-zero.
+    """
+    neg_inf = np.where(mask > 0.0, pre, -np.inf)
+    row_max = neg_inf.max(axis=1, keepdims=True)
+    row_max = np.where(np.isfinite(row_max), row_max, 0.0)
+    exp = np.exp(neg_inf - row_max)
+    norm = exp.sum(axis=1, keepdims=True)
+    return np.divide(exp, norm, out=np.zeros_like(exp), where=norm > 0.0)
+
+
+def _scatter_dense(
+    x_block: FloatArray, cols: IntArray | None, width: int
+) -> FloatArray:
+    """Expand a column-restricted block back to ``(batch, width)`` dense."""
+    if cols is None:
+        return x_block
+    dense = np.zeros((x_block.shape[0], width), dtype=np.float64)
+    dense[:, cols] = x_block
+    return dense
+
+
+def fused_forward_batch(
+    network,
+    batch: SparseBatch,
+    include_labels: bool = False,
+) -> FusedBatchResult:
+    """Union-active-set forward pass for a whole micro-batch.
+
+    Per layer: one batched LSH selection, one weight-block gather, one GEMM.
+    Sample-level sparsity semantics (active-set membership, ReLU pruning,
+    sparse softmax support) match ``forward_sample`` run per example.
+    """
+    batch_size = len(batch)
+    features = batch.to_dense_features()
+    support = [example.features.indices for example in batch]
+    cols: IntArray | None = (
+        np.unique(np.concatenate(support)) if support else np.zeros(0, dtype=np.int64)
+    )
+    x_block = features[:, cols]
+    input_counts = np.array(
+        [example.features.indices.size for example in batch], dtype=np.int64
+    )
+
+    states: list[FusedLayerState] = []
+    result = FusedBatchResult(layer_states=states)
+    num_layers = len(network.layers)
+    for layer_idx, layer in enumerate(network.layers):
+        is_output = layer_idx == num_layers - 1
+        forced: list[IntArray | None] | None = None
+        if is_output and include_labels and layer.config.sampling.include_labels:
+            forced = [
+                example.labels if example.labels.size else None for example in batch
+            ]
+
+        if layer.lsh_index is not None:
+            queries = (
+                features
+                if layer_idx == 0
+                else _scatter_dense(x_block, cols, layer.fan_in)
+            )
+            selections = select_active_batch(layer, queries, forced)
+            active_sets: list[IntArray] | None = [sel[0] for sel in selections]
+            from_tables = sum(sel[1] for sel in selections)
+            fallback = sum(sel[2] for sel in selections)
+            non_empty = [active for active in active_sets if active.size]
+            rows = (
+                np.unique(np.concatenate(non_empty))
+                if non_empty
+                else np.zeros(0, dtype=np.int64)
+            )
+        else:
+            active_sets = None
+            from_tables = fallback = 0
+            rows = np.arange(layer.size, dtype=np.int64)
+
+        block = (
+            layer.weights[rows]
+            if cols is None
+            else layer.weights[np.ix_(rows, cols)]
+        )
+        pre = x_block @ block.T + layer.biases[rows]
+
+        mask: FloatArray | None = None
+        if active_sets is not None:
+            mask = np.zeros_like(pre)
+            for row_idx, active in enumerate(active_sets):
+                if active.size:
+                    mask[row_idx, np.searchsorted(rows, active)] = 1.0
+
+        if layer.activation_name == "relu":
+            act = relu(pre)
+            if mask is not None:
+                act *= mask
+        elif layer.activation_name == "softmax":
+            if mask is not None:
+                act = _masked_softmax_rows(pre, mask)
+            else:
+                act = softmax_rows(pre)
+        elif layer.activation_name == "linear":
+            act = pre * mask if mask is not None else pre.copy()
+        else:  # pragma: no cover - config validation prevents this
+            raise ValueError(f"unknown activation {layer.activation_name!r}")
+
+        layer.num_forward_calls += batch_size
+        states.append(
+            FusedLayerState(
+                rows=rows,
+                cols=cols,
+                block=block,
+                x_block=x_block,
+                pre=pre,
+                act=act,
+                mask=mask,
+                active_sets=active_sets,
+                activation_name=layer.activation_name,
+                sampled_from_tables=from_tables,
+                fallback_random=fallback,
+            )
+        )
+        result.input_counts.append(input_counts)
+
+        # This layer's masked activations feed the next layer; zero entries
+        # (masked out or killed by ReLU) contribute nothing to the next GEMM,
+        # mirroring the per-sample path's explicit zero pruning.
+        x_block = act
+        cols = rows
+        input_counts = np.count_nonzero(act, axis=1).astype(np.int64)
+
+    return result
+
+
+def _output_targets_and_losses(
+    batch: SparseBatch, output_state: FusedLayerState
+) -> tuple[FloatArray, FloatArray]:
+    """Cross-entropy targets over the union set and per-sample losses.
+
+    Mirrors the label-matching block of ``compute_sample_gradient``: each
+    ground-truth label present in the sample's *own* active set receives
+    probability mass ``1/|labels|``; labels outside it contribute nothing.
+    ``output_state.rows`` is sorted (guaranteed by ``finalize_active``), so
+    ``searchsorted`` label lookup is exact.
+    """
+    probabilities = output_state.act
+    rows = output_state.rows
+    target = np.zeros_like(probabilities)
+    losses = np.zeros(probabilities.shape[0], dtype=np.float64)
+    for sample_idx, example in enumerate(batch):
+        labels = example.labels
+        if not labels.size or rows.size == 0:
+            continue
+        positions = np.searchsorted(rows, labels)
+        in_range = positions < rows.size
+        positions = positions[in_range]
+        matched = rows[positions] == labels[in_range]
+        label_positions = positions[matched]
+        if output_state.mask is not None and label_positions.size:
+            label_positions = label_positions[
+                output_state.mask[sample_idx, label_positions] > 0.0
+            ]
+        if label_positions.size:
+            target[sample_idx, label_positions] = 1.0 / labels.size
+            losses[sample_idx] = float(
+                -np.sum(
+                    target[sample_idx, label_positions]
+                    * np.log(probabilities[sample_idx, label_positions] + 1e-12)
+                )
+            )
+    return target, losses
+
+
+def fused_backward_batch(
+    network,
+    batch: SparseBatch,
+    result: FusedBatchResult,
+    optimizer: Optimizer,
+    workspace: Workspace,
+) -> FloatArray:
+    """Backward pass + one accumulated optimiser step per layer.
+
+    The weight gradient of layer ``l`` is the single GEMM ``delta_l^T @
+    X_l / batch`` over the union block — the mean of the per-sample outer
+    products the per-sample path would materialise — written into a reusable
+    workspace buffer and applied with one ``sparse_step``.  Returns the
+    per-sample losses.
+    """
+    batch_size = len(batch)
+    states = result.layer_states
+    target, losses = _output_targets_and_losses(batch, result.output_state)
+    # Softmax + cross-entropy: dL/dz = p - y on each sample's active set
+    # (both terms vanish outside it).
+    delta = result.output_state.act - target
+    scale = 1.0 / max(batch_size, 1)
+
+    for layer_idx in range(len(states) - 1, -1, -1):
+        layer = network.layers[layer_idx]
+        state = states[layer_idx]
+
+        weight_grad = workspace.matmul(delta.T, state.x_block, f"wgrad{layer_idx}")
+        weight_grad *= scale
+        bias_grad = delta.sum(axis=0)
+        bias_grad *= scale
+
+        if layer_idx > 0:
+            below = states[layer_idx - 1]
+            # ``state.block`` is the forward-time weight copy, so delta
+            # propagation is unaffected by this layer's update landing first.
+            d_act_below = delta @ state.block
+            grad_mask = hidden_activation_grad(below.activation_name, below.pre)
+            if below.mask is not None:
+                grad_mask *= below.mask
+            next_delta = d_act_below * grad_mask
+        else:
+            next_delta = None
+
+        layer.apply_gradient_block(
+            optimizer, state.rows, state.cols, weight_grad, bias_grad
+        )
+        if next_delta is not None:
+            delta = next_delta
+    return losses
+
+
+def fused_train_step(
+    network,
+    batch: SparseBatch,
+    optimizer: Optimizer,
+    workspace: Workspace | None = None,
+) -> dict[str, float]:
+    """One synchronous batched training step (forward + backward + update).
+
+    The caller (``SlideNetwork.train_batch``) owns the iteration counter and
+    rebuild schedule; this function only performs the fused math and returns
+    the same metrics dictionary as the per-sample modes.
+    """
+    batch_size = len(batch)
+    if batch_size == 0:
+        return {
+            "loss": 0.0,
+            "active_neurons": 0.0,
+            "active_weights": 0.0,
+            "batch_size": 0.0,
+        }
+    if workspace is None:
+        workspace = Workspace()
+    optimizer.begin_step()
+    result = fused_forward_batch(network, batch, include_labels=True)
+    losses = fused_backward_batch(network, batch, result, optimizer, workspace)
+    return {
+        "loss": float(losses.mean()) if losses.size else 0.0,
+        "active_neurons": float(result.total_active_neurons(batch_size)),
+        "active_weights": float(result.total_active_weights(batch_size)),
+        "batch_size": float(batch_size),
+    }

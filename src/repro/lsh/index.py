@@ -89,8 +89,10 @@ class LSHIndex:
             for _ in range(config.l)
         ]
         # Last-known codes of each inserted item, so incremental updates can
-        # remove the item from its previous buckets.
+        # remove the item from its previous buckets; the parallel fingerprint
+        # cache avoids re-packing codes on removal.
         self._item_codes: dict[int, np.ndarray] = {}
+        self._item_fps: dict[int, tuple[int, ...]] = {}
         # Counters used by the cost model and diagnostics.
         self.num_insertions = 0
         self.num_queries = 0
@@ -120,15 +122,36 @@ class LSHIndex:
         codes = self.hash_family.hash_vector(vector)
         self._insert_with_codes(item, codes)
 
-    def _insert_with_codes(self, item: int, codes: IntArray) -> None:
-        previous = self._item_codes.get(item)
+    def _insert_with_codes(
+        self, item: int, codes: IntArray, fps: tuple[int, ...] | None = None
+    ) -> None:
+        if fps is None:
+            fps = tuple(
+                table.fingerprint(codes[table_idx])
+                for table_idx, table in enumerate(self._tables)
+            )
+        previous = self._item_fps.get(item)
         if previous is not None:
             for table_idx, table in enumerate(self._tables):
-                table.remove(previous[table_idx], item)
+                table.remove_fingerprint(previous[table_idx], item)
         for table_idx, table in enumerate(self._tables):
-            table.insert(codes[table_idx], item)
+            table.insert_fingerprint(fps[table_idx], item)
         self._item_codes[item] = np.array(codes, copy=True)
+        self._item_fps[item] = fps
         self.num_insertions += 1
+
+    def _fingerprint_rows(self, all_codes: IntArray) -> list[tuple[int, ...]]:
+        """Per-item ``L``-tuples of bucket fingerprints for ``(n, L, K)`` codes.
+
+        One vectorised packing per table replaces the per-item, per-table
+        Python loop; this is what makes incremental rebuilds of thousands of
+        dirty neurons cheap.
+        """
+        columns = [
+            table.fingerprint_many(all_codes[:, table_idx, :])
+            for table_idx, table in enumerate(self._tables)
+        ]
+        return list(zip(*columns))
 
     def build(self, weights: FloatArray, item_ids: IntArray | None = None) -> None:
         """(Re)build the index from scratch over the rows of ``weights``."""
@@ -143,8 +166,9 @@ class LSHIndex:
                 raise ValueError("item_ids must align with weights rows")
         self.clear()
         all_codes = self.hash_family.hash_matrix(weights)
+        all_fps = self._fingerprint_rows(all_codes)
         for row, item in enumerate(item_ids):
-            self._insert_with_codes(int(item), all_codes[row])
+            self._insert_with_codes(int(item), all_codes[row], fps=all_fps[row])
 
     def update(self, item_ids: IntArray, weights: FloatArray) -> None:
         """Re-hash only the given items (incremental rebuild after updates)."""
@@ -153,8 +177,9 @@ class LSHIndex:
         if weights.ndim != 2 or weights.shape[0] != item_ids.shape[0]:
             raise ValueError("weights rows must align with item_ids")
         codes = self.hash_family.hash_matrix(weights)
+        all_fps = self._fingerprint_rows(codes)
         for row, item in enumerate(item_ids):
-            self._insert_with_codes(int(item), codes[row])
+            self._insert_with_codes(int(item), codes[row], fps=all_fps[row])
 
     def snapshot_codes(self) -> tuple[IntArray, IntArray]:
         """The indexed items and their codes, in insertion order.
@@ -184,16 +209,18 @@ class LSHIndex:
                 f"codes must have shape ({items.shape[0]}, {self.l}, {self.k})"
             )
         self.clear()
+        all_fps = self._fingerprint_rows(codes)
         for row, item in enumerate(items):
-            self._insert_with_codes(int(item), codes[row])
+            self._insert_with_codes(int(item), codes[row], fps=all_fps[row])
 
     def remove(self, item: int) -> bool:
         """Remove ``item`` from every table (if it was indexed)."""
-        codes = self._item_codes.pop(item, None)
-        if codes is None:
+        fps = self._item_fps.pop(item, None)
+        self._item_codes.pop(item, None)
+        if fps is None:
             return False
         for table_idx, table in enumerate(self._tables):
-            table.remove(codes[table_idx], item)
+            table.remove_fingerprint(fps[table_idx], item)
         return True
 
     def clear(self) -> None:
@@ -201,6 +228,7 @@ class LSHIndex:
         for table in self._tables:
             table.clear()
         self._item_codes.clear()
+        self._item_fps.clear()
 
     # ------------------------------------------------------------------
     # Queries
@@ -234,6 +262,45 @@ class LSHIndex:
             result.buckets.append(table.query(codes[table_idx]))
         self.num_queries += 1
         return result
+
+    def hash_batch(self, queries: FloatArray) -> IntArray:
+        """Codes for a ``(batch, input_dim)`` block of dense queries.
+
+        One call into the hash family's vectorised matrix path (one matmul
+        for SimHash, one gather/reduce sweep for (D)WTA/DOPH) replaces
+        ``batch`` per-vector hashes.
+        """
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim != 2 or queries.shape[1] != self.input_dim:
+            raise ValueError(
+                f"queries must have shape (batch, {self.input_dim}), "
+                f"got {queries.shape}"
+            )
+        return self.hash_family.hash_matrix(queries)
+
+    def query_batch(self, queries: FloatArray) -> list[QueryResult]:
+        """Probe the tables with every row of a dense query block.
+
+        Hashing and fingerprint packing are vectorised across the batch;
+        only the final bucket lookups (one dictionary access per table per
+        query) remain per-sample.  Returns one :class:`QueryResult` per row,
+        identical to ``[self.query(q) for q in queries]`` table-for-table.
+        """
+        codes = self.hash_batch(queries)
+        fps_per_table = [
+            table.fingerprint_many(codes[:, table_idx, :])
+            for table_idx, table in enumerate(self._tables)
+        ]
+        results = []
+        for row in range(codes.shape[0]):
+            result = QueryResult(codes=codes[row])
+            result.buckets = [
+                table.query_fingerprint(fps_per_table[table_idx][row])
+                for table_idx, table in enumerate(self._tables)
+            ]
+            results.append(result)
+        self.num_queries += codes.shape[0]
+        return results
 
     # ------------------------------------------------------------------
     # Diagnostics

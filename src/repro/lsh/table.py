@@ -49,6 +49,17 @@ class HashTable:
         self.bucket_size = int(bucket_size)
         self.policy = policy
         self._buckets: dict[int, Bucket] = {}
+        # Mixed-radix weights for the vectorised fingerprint path.  The packed
+        # value can exceed int64 for exotic (cardinality, K) combinations —
+        # the scalar path then computes with Python's arbitrary precision and
+        # the vectorised path falls back to it.
+        self._radix_fits_int64 = self.code_cardinality**self.k < 2**63
+        if self._radix_fits_int64:
+            self._radix = self.code_cardinality ** np.arange(
+                self.k - 1, -1, -1, dtype=np.int64
+            )
+        else:
+            self._radix = None
 
     # ------------------------------------------------------------------
     # Fingerprinting
@@ -65,12 +76,33 @@ class HashTable:
             fingerprint = fingerprint * self.code_cardinality + int(code)
         return fingerprint
 
+    def fingerprint_many(self, codes: IntArray) -> list[int]:
+        """Fingerprints for ``(n, K)`` codes, computed in one vector op.
+
+        The batched counterpart of :meth:`fingerprint` used by the kernels
+        subsystem: packing ``n`` code tuples costs one ``(n, K) @ (K,)``
+        product instead of ``n * K`` Python-level multiply-adds.
+        """
+        codes = np.asarray(codes, dtype=np.int64)
+        if codes.ndim != 2 or codes.shape[1] != self.k:
+            raise ValueError(f"expected shape (n, {self.k}), got {codes.shape}")
+        if codes.size == 0:
+            return []
+        if codes.min() < 0 or codes.max() >= self.code_cardinality:
+            raise ValueError("code value out of range for code_cardinality")
+        if self._radix_fits_int64:
+            return (codes @ self._radix).tolist()
+        return [self.fingerprint(row) for row in codes]
+
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
     def insert(self, codes: IntArray, item: int) -> bool:
         """Insert ``item`` under the bucket addressed by ``codes``."""
-        key = self.fingerprint(codes)
+        return self.insert_fingerprint(self.fingerprint(codes), item)
+
+    def insert_fingerprint(self, key: int, item: int) -> bool:
+        """Insert ``item`` under a precomputed fingerprint key."""
         bucket = self._buckets.get(key)
         if bucket is None:
             bucket = Bucket(self.bucket_size)
@@ -79,7 +111,10 @@ class HashTable:
 
     def remove(self, codes: IntArray, item: int) -> bool:
         """Remove ``item`` from the bucket addressed by ``codes`` if present."""
-        key = self.fingerprint(codes)
+        return self.remove_fingerprint(self.fingerprint(codes), item)
+
+    def remove_fingerprint(self, key: int, item: int) -> bool:
+        """Remove ``item`` from the bucket under a precomputed fingerprint."""
         bucket = self._buckets.get(key)
         if bucket is None:
             return False
@@ -97,7 +132,10 @@ class HashTable:
     # ------------------------------------------------------------------
     def query(self, codes: IntArray) -> np.ndarray:
         """Return the ids stored in the bucket addressed by ``codes``."""
-        key = self.fingerprint(codes)
+        return self.query_fingerprint(self.fingerprint(codes))
+
+    def query_fingerprint(self, key: int) -> np.ndarray:
+        """Return the ids stored in the bucket under a precomputed fingerprint."""
         bucket = self._buckets.get(key)
         if bucket is None:
             return np.zeros(0, dtype=np.int64)

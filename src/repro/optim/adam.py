@@ -85,10 +85,14 @@ class AdamOptimizer(Optimizer):
             return
         state = self._state[name]
         view = self._block_view(param, rows, cols)
+        # The gathered blocks are fresh copies (fancy indexing), so the
+        # moment updates can run in place on them before scattering back.
         m_block = state["m"][view]
         v_block = state["v"][view]
-        m_block = self.beta1 * m_block + (1.0 - self.beta1) * grad_block
-        v_block = self.beta2 * v_block + (1.0 - self.beta2) * np.square(grad_block)
+        m_block *= self.beta1
+        m_block += (1.0 - self.beta1) * grad_block
+        v_block *= self.beta2
+        v_block += (1.0 - self.beta2) * np.square(grad_block)
         state["m"][view] = m_block
         state["v"][view] = v_block
         bc1, bc2 = self._bias_correction()

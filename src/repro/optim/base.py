@@ -82,6 +82,13 @@ class Optimizer(abc.ABC):
 
         When ``cols`` is ``None`` the update applies to whole rows (used for
         biases, which are one-dimensional).
+
+        Callers use this in two patterns: HOGWILD training applies one small
+        block per *sample* (many calls per ``begin_step``), while the batched
+        synchronous kernels accumulate the whole micro-batch's gradient and
+        apply one union-active-set block per layer per ``begin_step`` — the
+        standard mini-batch semantics.  Implementations must therefore not
+        assume any particular number of ``sparse_step`` calls per step.
         """
 
     # ------------------------------------------------------------------

@@ -15,6 +15,13 @@ computed against the pre-batch snapshot, then applied in a random
 (adversarially shuffled) order — and reports the conflict statistics of every
 step, so the claim "sparse updates rarely collide" is measured rather than
 assumed.
+
+The simulator deliberately stays on the *per-sample* gradient primitives
+(``compute_sample_gradient`` / ``apply_sample_gradient``): the batched
+synchronous kernels in :mod:`repro.kernels` fuse the whole batch into one
+accumulated update per layer, which has no meaningful asynchronous execution
+to simulate.  Keeping this path per-sample is also what keeps HOGWILD
+training bit-compatible across releases.
 """
 
 from __future__ import annotations
@@ -70,14 +77,7 @@ class HogwildSimulator:
         # Phase 2: updates land in an arbitrary order, without locks.
         order = self._rng.permutation(len(gradients))
         for sample_idx in order:
-            gradient = gradients[sample_idx]
-            for layer, state, w_grad, b_grad in zip(
-                self.network.layers,
-                gradient.layer_states,
-                gradient.weight_grads,
-                gradient.bias_grads,
-            ):
-                layer.apply_gradients(self.optimizer, state, w_grad, b_grad)
+            self.network.apply_sample_gradient(gradients[sample_idx], self.optimizer)
 
         self.network.iteration += 1
         for layer in self.network.layers:

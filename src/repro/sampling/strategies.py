@@ -68,19 +68,25 @@ class VanillaSampling(SamplingStrategy):
 
     name = "vanilla"
 
-    def sample(self, index: LSHIndex, query_vector, target_active: int | None) -> IntArray:
-        codes = index.hash_family.hash_vector(query_vector)
-        order = self._rng.permutation(index.l)
+    def _collect(self, num_tables, get_bucket, target_active: int | None) -> IntArray:
+        """Shared random-order early-stop collection loop.
+
+        ``sample`` and ``select_from_result`` differ only in where buckets
+        come from (a live table probe vs. a prefetched result); the RNG
+        consumption — one table permutation plus one over-target subset draw
+        — lives here so the two entry points stay draw-for-draw identical,
+        which the batched-selection parity guarantees depend on.
+        """
+        order = self._rng.permutation(num_tables)
         collected: list[np.ndarray] = []
         count = 0
         for table_idx in order:
-            bucket = index.tables[table_idx].query(codes[table_idx])
+            bucket = get_bucket(int(table_idx))
             if bucket.size:
                 collected.append(bucket)
                 count = np.unique(np.concatenate(collected)).size
             if target_active is not None and count >= target_active:
                 break
-        index.num_queries += 1
         if not collected:
             return np.zeros(0, dtype=np.int64)
         unique = np.unique(np.concatenate(collected))
@@ -90,24 +96,22 @@ class VanillaSampling(SamplingStrategy):
             unique = np.sort(unique[keep])
         return unique.astype(np.int64)
 
+    def sample(self, index: LSHIndex, query_vector, target_active: int | None) -> IntArray:
+        codes = index.hash_family.hash_vector(query_vector)
+        selected = self._collect(
+            index.l,
+            lambda table_idx: index.tables[table_idx].query(codes[table_idx]),
+            target_active,
+        )
+        index.num_queries += 1
+        return selected
+
     def select_from_result(self, result: QueryResult, target_active: int | None) -> IntArray:
-        collected: list[np.ndarray] = []
-        order = self._rng.permutation(len(result.buckets))
-        count = 0
-        for table_idx in order:
-            bucket = result.buckets[table_idx]
-            if bucket.size:
-                collected.append(bucket)
-                count = np.unique(np.concatenate(collected)).size
-            if target_active is not None and count >= target_active:
-                break
-        if not collected:
-            return np.zeros(0, dtype=np.int64)
-        unique = np.unique(np.concatenate(collected))
-        if target_active is not None and unique.size > target_active:
-            keep = self._rng.choice(unique.size, size=target_active, replace=False)
-            unique = np.sort(unique[keep])
-        return unique.astype(np.int64)
+        return self._collect(
+            len(result.buckets),
+            lambda table_idx: result.buckets[table_idx],
+            target_active,
+        )
 
 
 class TopKSampling(SamplingStrategy):

@@ -174,7 +174,10 @@ class SparseInferenceEngine(InferenceEngine):
         """Budgeted candidate set for one output-layer input vector."""
         index = self.network.output_layer.lsh_index
         assert index is not None
-        result = index.query(hidden)
+        return self._select_from_result(index.query(hidden))
+
+    def _select_from_result(self, result) -> IntArray:
+        """Budgeted candidate set from an existing table query result."""
         ids, counts = result.frequencies()
         if ids.size == 0:
             return ids
@@ -201,12 +204,16 @@ class SparseInferenceEngine(InferenceEngine):
             features = layer.dense_forward_batch(features)
 
         output_layer = self.network.output_layer
+        assert output_layer.lsh_index is not None
+        # Batched LSH probing (the same kernel path training uses): one hash
+        # sweep for every request in the batch, per-row bucket lookups after.
+        query_results = output_layer.lsh_index.query_batch(features)
         min_candidates = max(k, self.min_candidate_factor * k)
         predictions: list[Prediction] = []
         dense_rows: list[int] = []
         for row in range(features.shape[0]):
             hidden = features[row]
-            candidates = self._select_candidates(hidden)
+            candidates = self._select_from_result(query_results[row])
             if candidates.size < min_candidates:
                 dense_rows.append(row)
                 predictions.append(None)  # type: ignore[arg-type]

@@ -1,0 +1,467 @@
+"""Parity tests for the batched sparse kernels (:mod:`repro.kernels`).
+
+Three contracts are pinned down:
+
+1. the batched building blocks (matrix hashing, fingerprint packing, batched
+   table queries, batched active-set selection) agree element-for-element
+   with their per-sample counterparts;
+2. the fused synchronous training step produces the same losses and work
+   metrics as the legacy per-sample synchronous loop on a fixed seed, and —
+   with a linear optimiser, where accumulated and sequential block updates
+   commute — bit-identical weights;
+3. HOGWILD mode is unchanged: ``train_batch(hogwild=True)`` equals an
+   explicit per-sample compute/apply replay bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    LayerConfig,
+    LSHConfig,
+    OptimizerConfig,
+    RebuildScheduleConfig,
+    SamplingConfig,
+    SlideNetworkConfig,
+    TrainingConfig,
+)
+from repro.core.activations import sparse_softmax
+from repro.core.layer import SlideLayer
+from repro.core.network import SlideNetwork
+from repro.hashing.base import LSHFamily
+from repro.hashing.doph import DOPH
+from repro.hashing.dwta import DWTAHash
+from repro.hashing.simhash import SimHash
+from repro.hashing.wta import WTAHash
+from repro.kernels import Workspace, fused_forward_batch, select_active_batch
+from repro.kernels.fused import _masked_softmax_rows
+from repro.lsh.index import LSHIndex
+from repro.types import SparseBatch, SparseExample, SparseVector
+
+
+def make_batch(rng, n=16, dim=64, classes=48, nnz=8) -> SparseBatch:
+    examples = []
+    for _ in range(n):
+        indices = np.sort(rng.choice(dim, size=nnz, replace=False))
+        examples.append(
+            SparseExample(
+                features=SparseVector(
+                    indices=indices, values=rng.normal(size=nnz), dimension=dim
+                ),
+                labels=rng.choice(classes, size=2, replace=False),
+            )
+        )
+    return SparseBatch.from_examples(examples, feature_dim=dim, label_dim=classes)
+
+
+def lsh_network(
+    seed=0, strategy="vanilla", dim=64, classes=48, hidden_lsh=False
+) -> SlideNetwork:
+    output_lsh = LSHConfig(hash_family="simhash", k=4, l=12, bucket_size=32)
+    hidden = LayerConfig(size=32, activation="relu")
+    if hidden_lsh:
+        hidden = LayerConfig(
+            size=32,
+            activation="relu",
+            lsh=LSHConfig(hash_family="dwta", k=3, l=8, bucket_size=16),
+            sampling=SamplingConfig(strategy="topk", target_active=16, min_active=8),
+        )
+    layers = (
+        hidden,
+        LayerConfig(
+            size=classes,
+            activation="softmax",
+            lsh=output_lsh,
+            sampling=SamplingConfig(strategy=strategy, target_active=12, min_active=8),
+            rebuild=RebuildScheduleConfig(initial_period=3, decay=0.0),
+        ),
+    )
+    return SlideNetwork(SlideNetworkConfig(input_dim=dim, layers=layers, seed=seed))
+
+
+# ----------------------------------------------------------------------
+# Building blocks
+# ----------------------------------------------------------------------
+class TestBatchedHashing:
+    @pytest.mark.parametrize(
+        "family_cls, kwargs",
+        [
+            (SimHash, {}),
+            (WTAHash, {"bin_size": 8}),
+            (DWTAHash, {"bin_size": 8}),
+            (DOPH, {"top_k": 16}),
+        ],
+    )
+    def test_hash_matrix_matches_per_vector(self, rng, family_cls, kwargs):
+        dim = 120
+        family = family_cls(input_dim=dim, k=4, l=6, seed=9, **kwargs)
+        matrix = np.zeros((24, dim))
+        for row in range(23):
+            idx = rng.choice(dim, size=int(rng.integers(1, 24)), replace=False)
+            matrix[row, idx] = rng.normal(size=idx.size)
+        # Row 23 stays all-zero: the degenerate densification case.
+        batched = family.hash_matrix(matrix)
+        looped = LSHFamily.hash_matrix(family, matrix)
+        np.testing.assert_array_equal(batched, looped)
+
+    def test_fingerprint_many_matches_scalar(self, rng):
+        index = LSHIndex(input_dim=32, config=LSHConfig(k=5, l=4), seed=1)
+        table = index.tables[0]
+        codes = rng.integers(0, 2, size=(50, 5))
+        many = table.fingerprint_many(codes)
+        assert many == [table.fingerprint(row) for row in codes]
+
+    def test_query_batch_matches_per_query(self, rng):
+        index = LSHIndex(input_dim=32, config=LSHConfig(k=3, l=8), seed=2)
+        index.build(rng.normal(size=(60, 32)))
+        queries = rng.normal(size=(10, 32))
+        batched = index.query_batch(queries)
+        for row in range(queries.shape[0]):
+            single = index.query(queries[row])
+            assert len(batched[row].buckets) == len(single.buckets)
+            for got, expected in zip(batched[row].buckets, single.buckets):
+                np.testing.assert_array_equal(got, expected)
+
+
+class TestBatchedSelection:
+    def _layer(self, seed=5, strategy="vanilla") -> SlideLayer:
+        config = LayerConfig(
+            size=40,
+            activation="softmax",
+            lsh=LSHConfig(hash_family="simhash", k=3, l=10, bucket_size=16),
+            sampling=SamplingConfig(strategy=strategy, target_active=10, min_active=6),
+        )
+        return SlideLayer(fan_in=24, config=config, seed=seed)
+
+    @pytest.mark.parametrize("strategy", ["vanilla", "topk", "hard_threshold"])
+    def test_rng_compatible_with_per_sample_selection(self, rng, strategy):
+        """Batched selection must consume the layer RNG exactly like the
+        per-sample path, sample for sample."""
+        layer_a = self._layer(strategy=strategy)
+        layer_b = self._layer(strategy=strategy)
+        queries = rng.normal(size=(12, 24))
+        queries[5] = 0.0  # all-zero query exercises the fallback padding
+        per_sample = []
+        for row in range(queries.shape[0]):
+            indices = np.flatnonzero(queries[row])
+            per_sample.append(
+                layer_a.select_active(indices, queries[row][indices])
+            )
+        batched = select_active_batch(layer_b, queries)
+        for (a_ids, a_tables, a_fallback), (b_ids, b_tables, b_fallback) in zip(
+            per_sample, batched
+        ):
+            np.testing.assert_array_equal(a_ids, b_ids)
+            assert a_tables == b_tables
+            assert a_fallback == b_fallback
+
+    def test_forced_ids_always_included(self, rng):
+        layer = self._layer()
+        queries = rng.normal(size=(4, 24))
+        forced = [np.array([0, 39]), None, np.array([7]), None]
+        selections = select_active_batch(layer, queries, forced)
+        assert {0, 39} <= set(selections[0][0].tolist())
+        assert 7 in selections[2][0].tolist()
+
+    def test_dense_layer_selects_everything(self, rng):
+        layer = SlideLayer(fan_in=16, config=LayerConfig(size=12), seed=0)
+        selections = select_active_batch(layer, rng.normal(size=(3, 16)))
+        for active, from_tables, fallback in selections:
+            np.testing.assert_array_equal(active, np.arange(12))
+            assert from_tables == 0 and fallback == 0
+
+
+class TestMaskedSoftmax:
+    def test_matches_sparse_softmax_per_row(self, rng):
+        pre = rng.normal(size=(6, 10))
+        mask = (rng.random(size=(6, 10)) < 0.5).astype(np.float64)
+        mask[0] = 1.0  # fully active row
+        mask[1] = 0.0  # empty row
+        out = _masked_softmax_rows(pre, mask)
+        for row in range(pre.shape[0]):
+            members = np.flatnonzero(mask[row])
+            expected = np.zeros(pre.shape[1])
+            if members.size:
+                expected[members] = sparse_softmax(pre[row, members])
+            np.testing.assert_allclose(out[row], expected, atol=1e-12)
+
+
+class TestWorkspace:
+    def test_buffers_are_reused_and_grow(self):
+        workspace = Workspace()
+        a = np.ones((3, 4))
+        b = np.ones((4, 5))
+        first = workspace.matmul(a, b, "grad")
+        np.testing.assert_allclose(first, 4.0)
+        base_before = workspace._buffers["grad"]
+        second = workspace.matmul(a * 2, b, "grad")
+        np.testing.assert_allclose(second, 8.0)
+        assert workspace._buffers["grad"] is base_before  # reused, not reallocated
+        bigger = workspace.matmul(np.ones((6, 4)), b, "grad")
+        assert bigger.shape == (6, 5)
+
+
+class TestDirtyNeuronTracking:
+    def test_mark_dirty_accumulates_sorted_unique(self):
+        layer = SlideLayer(
+            fan_in=16,
+            config=LayerConfig(
+                size=30,
+                activation="softmax",
+                lsh=LSHConfig(hash_family="simhash", k=3, l=4, bucket_size=8),
+            ),
+            seed=0,
+        )
+        layer.mark_dirty(np.array([5, 2, 9]))
+        layer.mark_dirty(np.array([2, 11]))
+        np.testing.assert_array_equal(layer._consolidate_dirty(), [2, 5, 9, 11])
+        assert layer.dirty_neuron_count == 4
+        layer.rebuild()
+        assert layer.dirty_neuron_count == 0
+
+    def test_mark_dirty_stays_cheap_per_call(self):
+        """Appending dirty ids must not re-sort the whole accumulator per
+        call; consolidation only triggers past the buffering threshold."""
+        layer = SlideLayer(
+            fan_in=16,
+            config=LayerConfig(
+                size=100,
+                activation="softmax",
+                lsh=LSHConfig(hash_family="simhash", k=3, l=4, bucket_size=8),
+            ),
+            seed=0,
+        )
+        for _ in range(50):
+            layer.mark_dirty(np.arange(0, 100, 2))
+        # 50 chunks of 50 ids buffered, still under the threshold: no merge.
+        assert len(layer._dirty_chunks) == 50
+        assert layer.dirty_neuron_count == 50  # consolidates on demand
+        assert len(layer._dirty_chunks) == 1
+
+    def test_mark_dirty_noop_without_lsh(self):
+        layer = SlideLayer(fan_in=8, config=LayerConfig(size=6), seed=0)
+        layer.mark_dirty(np.array([1, 2]))
+        assert layer.dirty_neuron_count == 0
+
+
+# ----------------------------------------------------------------------
+# Fused training-step parity
+# ----------------------------------------------------------------------
+class TestFusedTrainingParity:
+    @pytest.mark.parametrize("strategy", ["vanilla", "topk", "hard_threshold"])
+    def test_losses_and_work_match_per_sample_sync(self, rng, strategy):
+        """One fused Adam step from identical weights matches the legacy
+        per-sample synchronous step's loss and work accounting.  (Multi-step
+        weight trajectories legitimately differ under Adam — one accumulated
+        moment update per batch vs one per sample — so trajectory parity is
+        asserted separately with SGD, where the two commute.)"""
+        for seed in (0, 1, 2):
+            net_a = lsh_network(seed=seed, strategy=strategy)
+            net_b = lsh_network(seed=seed, strategy=strategy)
+            opt_a = net_a.build_optimizer(TrainingConfig())
+            opt_b = net_b.build_optimizer(TrainingConfig())
+            batch = make_batch(rng)
+            legacy = net_a.train_batch(batch, opt_a, hogwild=False, batched=False)
+            fused = net_b.train_batch(batch, opt_b, hogwild=False, batched=True)
+            assert fused["loss"] == pytest.approx(legacy["loss"], abs=1e-9)
+            assert fused["active_neurons"] == legacy["active_neurons"]
+            assert fused["active_weights"] == legacy["active_weights"]
+            assert fused["batch_size"] == legacy["batch_size"]
+
+    def test_sgd_weights_match_per_sample_sync(self, rng):
+        """With a linear optimiser the accumulated block step equals the
+        averaged per-sample steps, so weights must agree to epsilon — even
+        across LSH rebuilds and an LSH-sampled hidden layer."""
+        config = TrainingConfig(
+            optimizer=OptimizerConfig(name="sgd", learning_rate=1e-2, momentum=0.0)
+        )
+        net_a = lsh_network(hidden_lsh=True)
+        net_b = lsh_network(hidden_lsh=True)
+        opt_a = net_a.build_optimizer(config)
+        opt_b = net_b.build_optimizer(config)
+        for _ in range(5):
+            batch = make_batch(rng)
+            net_a.train_batch(batch, opt_a, hogwild=False, batched=False)
+            net_b.train_batch(batch, opt_b, hogwild=False, batched=True)
+        for layer_a, layer_b in zip(net_a.layers, net_b.layers):
+            np.testing.assert_allclose(
+                layer_a.weights, layer_b.weights, atol=1e-12
+            )
+            np.testing.assert_allclose(layer_a.biases, layer_b.biases, atol=1e-12)
+
+    def test_fused_gradient_is_mean_of_sample_gradients(self, rng):
+        """On a dense (no-LSH) network the fused weight update must equal the
+        mean of the per-sample gradient blocks exactly."""
+        config = SlideNetworkConfig(
+            input_dim=24,
+            layers=(
+                LayerConfig(size=10, activation="relu"),
+                LayerConfig(size=12, activation="softmax"),
+            ),
+            seed=4,
+        )
+        net = SlideNetwork(config)
+        batch = make_batch(rng, n=6, dim=24, classes=12, nnz=5)
+        expected = [np.zeros_like(layer.weights) for layer in net.layers]
+        for example in batch:
+            gradient = net.compute_sample_gradient(example)
+            for layer_idx, state in enumerate(gradient.layer_states):
+                expected[layer_idx][
+                    np.ix_(state.active_out, state.active_in)
+                ] += gradient.weight_grads[layer_idx] / len(batch)
+
+        learning_rate = 0.5
+        optimizer = net.build_optimizer(
+            TrainingConfig(
+                optimizer=OptimizerConfig(name="sgd", learning_rate=learning_rate)
+            )
+        )
+        before = [layer.weights.copy() for layer in net.layers]
+        net.train_batch(batch, optimizer, hogwild=False, batched=True)
+        for layer_idx, layer in enumerate(net.layers):
+            update = (before[layer_idx] - layer.weights) / learning_rate
+            np.testing.assert_allclose(update, expected[layer_idx], atol=1e-12)
+
+    def test_fused_forward_matches_forward_sample(self, rng):
+        """Activations of the fused forward equal per-sample forward_sample
+        on each sample's own active set."""
+        net_a = lsh_network(seed=8)
+        net_b = lsh_network(seed=8)
+        batch = make_batch(rng)
+        result = fused_forward_batch(net_a, batch, include_labels=True)
+        out = result.output_state
+        for sample_idx, example in enumerate(batch):
+            per_sample = net_b.forward_sample(example, include_labels=True)
+            state = per_sample.output_state
+            np.testing.assert_array_equal(
+                out.active_sets[sample_idx], state.active_out
+            )
+            positions = np.searchsorted(out.rows, state.active_out)
+            np.testing.assert_allclose(
+                out.act[sample_idx, positions], state.activation, atol=1e-9
+            )
+            # Union neurons outside this sample's active set carry nothing.
+            off = out.mask[sample_idx] == 0.0
+            assert np.all(out.act[sample_idx, off] == 0.0)
+
+    def test_linear_hidden_layer_gradient_not_gated(self, rng):
+        """Backward through a linear hidden layer must not apply the ReLU
+        gate: neurons with negative pre-activations still carry gradient
+        (checked against finite differences, per-sample and fused)."""
+        config = SlideNetworkConfig(
+            input_dim=12,
+            layers=(
+                LayerConfig(size=6, activation="linear"),
+                LayerConfig(size=5, activation="softmax"),
+            ),
+            seed=1,
+        )
+        net = SlideNetwork(config)
+        example = make_batch(rng, n=1, dim=12, classes=5, nnz=4)[0]
+        gradient = net.compute_sample_gradient(example)
+        state = gradient.layer_states[0]
+        assert np.any(state.pre_activation < 0)  # the gate would zero these
+
+        def loss_fn() -> float:
+            scores = net.predict_dense(example)
+            return -float(
+                sum(np.log(scores[label] + 1e-12) for label in example.labels)
+                / example.labels.size
+            )
+
+        eps = 1e-6
+        neuron = int(np.argmin(state.pre_activation))  # most negative pre
+        feature = int(state.active_in[0])
+        position = int(np.searchsorted(state.active_in, feature))
+        original = net.layers[0].weights[neuron, feature]
+        net.layers[0].weights[neuron, feature] = original + eps
+        loss_plus = loss_fn()
+        net.layers[0].weights[neuron, feature] = original - eps
+        loss_minus = loss_fn()
+        net.layers[0].weights[neuron, feature] = original
+        numerical = (loss_plus - loss_minus) / (2 * eps)
+        assert gradient.weight_grads[0][neuron, position] == pytest.approx(
+            numerical, abs=1e-5
+        )
+
+        # Fused path agrees: one SGD step moves that weight by -lr * grad.
+        net_fused = SlideNetwork(config)
+        batch = SparseBatch.from_examples([example], feature_dim=12, label_dim=5)
+        optimizer = net_fused.build_optimizer(
+            TrainingConfig(optimizer=OptimizerConfig(name="sgd", learning_rate=1.0))
+        )
+        before = net_fused.layers[0].weights[neuron, feature]
+        net_fused.train_batch(batch, optimizer, hogwild=False, batched=True)
+        fused_grad = before - net_fused.layers[0].weights[neuron, feature]
+        assert fused_grad == pytest.approx(numerical, abs=1e-5)
+
+    def test_fused_training_learns(self, rng):
+        net = lsh_network(seed=11)
+        optimizer = net.build_optimizer(
+            TrainingConfig(optimizer=OptimizerConfig(learning_rate=5e-3))
+        )
+        batch = make_batch(rng)
+        first = net.train_batch(batch, optimizer, hogwild=False)["loss"]
+        for _ in range(25):
+            last = net.train_batch(batch, optimizer, hogwild=False)["loss"]
+        assert last < first
+
+
+# ----------------------------------------------------------------------
+# HOGWILD mode must be unchanged
+# ----------------------------------------------------------------------
+class TestHogwildUnchanged:
+    def test_hogwild_equals_explicit_per_sample_replay(self, rng):
+        """``train_batch(hogwild=True)`` must be bit-identical to computing
+        and immediately applying each sample's gradient in order."""
+        net_a = lsh_network(seed=21)
+        net_b = lsh_network(seed=21)
+        opt_a = net_a.build_optimizer(TrainingConfig())
+        opt_b = net_b.build_optimizer(TrainingConfig())
+        for _ in range(3):
+            batch = make_batch(rng)
+            net_a.train_batch(batch, opt_a, hogwild=True)
+
+            opt_b.begin_step()
+            for example in batch:
+                gradient = net_b.compute_sample_gradient(example)
+                net_b.apply_sample_gradient(gradient, opt_b)
+            net_b.iteration += 1
+            for layer in net_b.layers:
+                layer.maybe_rebuild(net_b.iteration)
+
+        for layer_a, layer_b in zip(net_a.layers, net_b.layers):
+            np.testing.assert_array_equal(layer_a.weights, layer_b.weights)
+            np.testing.assert_array_equal(layer_a.biases, layer_b.biases)
+
+    def test_hogwild_is_deterministic_across_runs(self, rng):
+        batches = [make_batch(rng) for _ in range(3)]
+        results = []
+        for _run in range(2):
+            net = lsh_network(seed=33)
+            optimizer = net.build_optimizer(TrainingConfig())
+            for batch in batches:
+                net.train_batch(batch, optimizer, hogwild=True)
+            results.append([layer.weights.copy() for layer in net.layers])
+        for weights_a, weights_b in zip(*results):
+            np.testing.assert_array_equal(weights_a, weights_b)
+
+
+class TestSortedActiveGuard:
+    def test_unsorted_active_set_raises_in_gradient(self, rng, monkeypatch):
+        net = lsh_network(seed=2)
+        example = make_batch(rng, n=1)[0]
+
+        original = SlideLayer.forward
+
+        def unsorted_forward(self, *args, **kwargs):
+            state = original(self, *args, **kwargs)
+            if self.activation_name == "softmax" and state.active_out.size > 1:
+                state.active_out = state.active_out[::-1].copy()
+            return state
+
+        monkeypatch.setattr(SlideLayer, "forward", unsorted_forward)
+        with pytest.raises(ValueError, match="sorted"):
+            net.compute_sample_gradient(example)
