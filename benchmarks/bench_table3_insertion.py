@@ -1,7 +1,78 @@
-"""Table 3 — wall-clock of hash-table insertion policies (reservoir vs FIFO)."""
+"""Table 3 — wall-clock of hash-table insertion schemes (reservoir vs FIFO).
+
+Extended beyond the paper's table along the axis PR 3 optimises: each policy
+row now compares three maintenance styles on identical fingerprints —
+
+* ``per_item_insert_s`` — one scalar table touch per (neuron, table), the
+  legacy maintenance pattern;
+* ``insertion_to_ht_s`` — the batched ``insert_many`` placement;
+* ``update_f*`` — the code-diff incremental ``update`` after re-drawing a
+  fraction of the neuron weights, with the bucket moves actually applied.
+
+Runs under the pytest bench harness or standalone::
+
+    PYTHONPATH=src python benchmarks/bench_table3_insertion.py [--smoke]
+
+The standalone run writes ``BENCH_table3_insertion.json`` at the repository
+root and exits non-zero if the batched build drops below the speedup bar
+(5x at the full 50K-neuron config, parity at the CI smoke config).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
 
 from repro.harness.report import format_table
 from repro.harness.tables import table3_insertion_timing
+
+_REPO_ROOT = Path(__file__).parent.parent
+DEFAULT_OUTPUT = _REPO_ROOT / "BENCH_table3_insertion.json"
+
+UPDATE_FRACTIONS = (0.01, 0.1)
+
+
+def _check_rows(rows: list[dict], min_speedup: float) -> list[str]:
+    """Structural assertions shared by the pytest and standalone entry points.
+
+    Returns a list of human-readable violations (empty = all good).
+    """
+    problems: list[str] = []
+    for row in rows:
+        policy = row["policy"]
+        # (full_insertion_s = hash_s + insertion_to_ht_s by construction, so
+        # only independently measured relations are asserted here.)
+        if row["batched_speedup_vs_per_item"] < min_speedup:
+            problems.append(
+                f"{policy}: batched insert_many is only "
+                f"{row['batched_speedup_vs_per_item']:.2f}x the per-item loop "
+                f"(bar: {min_speedup}x)"
+            )
+        small, large = UPDATE_FRACTIONS
+        if not row[f"update_f{small:g}_moved"] < row[f"update_f{large:g}_moved"]:
+            problems.append(f"{policy}: smaller dirty set did not move fewer entries")
+    return problems
+
+
+def _report(rows: list[dict], num_neurons: int, min_speedup: float) -> dict:
+    return {
+        "config": {
+            "num_neurons": num_neurons,
+            "update_fractions": list(UPDATE_FRACTIONS),
+            "min_speedup": min_speedup,
+        },
+        "rows": [
+            {
+                key: (round(value, 6) if isinstance(value, float) else value)
+                for key, value in row.items()
+            }
+            for row in rows
+        ],
+        "min_batched_speedup_vs_per_item": round(
+            min(row["batched_speedup_vs_per_item"] for row in rows), 2
+        ),
+    }
 
 
 def test_table3_insertion_timing(run_once):
@@ -9,7 +80,13 @@ def test_table3_insertion_timing(run_once):
     # neurons keep the bench to a couple of minutes in pure Python while
     # preserving the relative ordering the table reports.
     rows = run_once(
-        table3_insertion_timing, num_neurons=8_000, dim=128, k=6, l=20, bucket_size=64
+        table3_insertion_timing,
+        num_neurons=8_000,
+        dim=128,
+        k=6,
+        l=20,
+        bucket_size=64,
+        update_fractions=UPDATE_FRACTIONS,
     )
     print()
     print(format_table(rows, title="Table 3: time taken by hash table insertion schemes"))
@@ -17,9 +94,57 @@ def test_table3_insertion_timing(run_once):
     by_policy = {row["policy"]: row for row in rows}
     reservoir = by_policy["Reservoir Sampling"]
     fifo = by_policy["FIFO"]
-    # The paper's structural finding: the bucket-placement time is a small
-    # fraction of the full insertion time (hash-code computation dominates),
-    # so the choice of policy barely matters end to end.
-    for row in rows:
-        assert row["insertion_to_ht_s"] < row["full_insertion_s"]
     assert reservoir["full_insertion_s"] > 0 and fifo["full_insertion_s"] > 0
+    # The paper's structural finding — bucket placement is dwarfed by hash
+    # computation, so the policy choice barely matters end to end — only
+    # holds for the *batched* placement; the per-item loop is exactly the
+    # overhead the flat tables remove.  Batched placement must beat the
+    # per-item loop, and incremental update work must track the number of
+    # changed fingerprints.
+    problems = _check_rows(rows, min_speedup=1.0)
+    assert not problems, "\n".join(problems)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny config for CI: asserts batched build is not slower than per-item",
+    )
+    parser.add_argument("--neurons", type=int, default=None)
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args()
+
+    if args.smoke:
+        num_neurons = args.neurons if args.neurons is not None else 2_000
+        min_speedup = 1.0
+    else:
+        # Acceptance scale: >= 50K neurons, >= 5x batched vs per-item.
+        num_neurons = args.neurons if args.neurons is not None else 50_000
+        min_speedup = 5.0
+
+    rows = table3_insertion_timing(
+        num_neurons=num_neurons,
+        dim=128,
+        k=6,
+        l=20,
+        bucket_size=64,
+        update_fractions=UPDATE_FRACTIONS,
+    )
+    print(format_table(rows, title="Table 3: time taken by hash table insertion schemes"))
+    report = _report(rows, num_neurons, min_speedup)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    print(
+        "min batched/per-item speedup: "
+        f"{report['min_batched_speedup_vs_per_item']}x (bar: {min_speedup}x)"
+    )
+
+    problems = _check_rows(rows, min_speedup=min_speedup)
+    if problems:
+        raise SystemExit("\n".join(problems))
+
+
+if __name__ == "__main__":
+    main()

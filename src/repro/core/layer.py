@@ -14,7 +14,7 @@ Responsibilities (paper Figure 2):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -112,6 +112,11 @@ class SlideLayer:
         # Counters surfaced to the cost model / diagnostics.
         self.num_rebuilds = 0
         self.num_forward_calls = 0
+        # Code-diff accounting for the most recent incremental rebuild: how
+        # many neurons were dirty vs how many (neuron, table) bucket entries
+        # actually moved — the measured O(changed) claim.
+        self.last_rebuild_dirty = 0
+        self.last_rebuild_moved = 0
 
     # ------------------------------------------------------------------
     # Optimiser wiring
@@ -355,13 +360,23 @@ class SlideLayer:
         return True
 
     def rebuild(self, iteration: int | None = None) -> None:
-        """Re-hash all neurons whose weights changed since the last rebuild."""
+        """Re-hash all neurons whose weights changed since the last rebuild.
+
+        Delegates to the index's code-diff ``update``: dirty neurons whose
+        fingerprints did not actually change stay in place, so the cost is
+        O(changed bucket entries) rather than O(dirty neurons × L).
+        """
         if self.lsh_index is None:
             return
         dirty = self._consolidate_dirty()
         if dirty.size:
             self._clear_dirty()
+            moved_before = self.lsh_index.num_moved_entries
             self.lsh_index.update(dirty, self.weights[dirty])
+            self.last_rebuild_dirty = int(dirty.size)
+            self.last_rebuild_moved = int(
+                self.lsh_index.num_moved_entries - moved_before
+            )
         if self.rebuild_schedule is not None and iteration is not None:
             self.rebuild_schedule.record_rebuild(iteration)
         self.num_rebuilds += 1

@@ -14,7 +14,7 @@ path is unchanged.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -87,6 +87,14 @@ class SlideNetwork:
         self.iteration = 0
         # Reusable gradient-block buffers for the fused synchronous path.
         self._workspace = Workspace()
+        # Per-phase wall-clock accounting (hash / gather-GEMM / optimiser on
+        # the fused path, table rebuilds on every path); read by the
+        # throughput benchmarks to track where training time goes.  Imported
+        # lazily: repro.perf.simulator imports repro.core.trainer, so a
+        # module-level import of the perf package would be circular.
+        from repro.perf.phases import PhaseTimer
+
+        self.phase_timer = PhaseTimer()
 
     # ------------------------------------------------------------------
     # Properties
@@ -297,8 +305,9 @@ class SlideNetwork:
             metrics = self._train_batch_per_sample(batch, optimizer, interleaved=False)
 
         self.iteration += 1
-        for layer in self.layers:
-            layer.maybe_rebuild(self.iteration)
+        with self.phase_timer.phase("rebuild"):
+            for layer in self.layers:
+                layer.maybe_rebuild(self.iteration)
         return metrics
 
     def _train_batch_per_sample(

@@ -100,43 +100,96 @@ def table3_insertion_timing(
     l: int = 20,
     bucket_size: int = 64,
     seed: int = 0,
+    update_fractions: tuple[float, ...] = (0.01, 0.1),
 ) -> list[dict[str, float | int | str]]:
-    """Wall-clock of Reservoir vs FIFO insertion, excluding and including hashing.
+    """Wall-clock of Reservoir vs FIFO table maintenance, three ways.
 
-    Mirrors Table 3: "Insertion to HT" is the time to place pre-hashed neuron
-    ids into buckets; "Full Insertion" additionally includes computing every
-    neuron's hash codes.  (The paper inserts the 205,443 output neurons of
-    Delicious-200K; the default here is scaled down but the relative ordering
-    — reservoir slightly cheaper than FIFO, both dwarfed by hashing — is the
-    reproduced result.)
+    Mirrors Table 3 and extends it along the axis this repo optimises:
+
+    * ``per_item_insert_s`` — the legacy maintenance pattern: one scalar
+      table touch per (neuron, table) with pre-packed fingerprints;
+    * ``insertion_to_ht_s`` — the batched ``insert_many`` placement of the
+      same pre-packed fingerprints (one array op per table);
+    * ``full_insertion_s`` — hashing + fingerprint packing + batched
+      placement (the cost of a cold ``build``);
+    * ``update_f*`` — the code-diff incremental ``update`` after re-drawing
+      the weights of a fraction of the neurons, with the number of bucket
+      moves actually applied, showing that incremental rebuild cost scales
+      with the number of *changed* fingerprints.
+
+    (The paper inserts the 205,443 output neurons of Delicious-200K; the
+    default here is scaled down but the relative ordering — reservoir
+    slightly cheaper than FIFO, both dwarfed by hashing — is preserved.)
     """
     rng = derive_rng(seed)
-    weights = rng.normal(size=(num_neurons, dim))
+    base_weights = rng.normal(size=(num_neurons, dim))
+    item_ids = np.arange(num_neurons, dtype=np.int64)
     rows: list[dict[str, float | int | str]] = []
     for policy in ("reservoir", "fifo"):
         config = LSHConfig(
             hash_family="simhash", k=k, l=l, bucket_size=bucket_size, insertion_policy=policy
         )
+        weights = base_weights.copy()
+
+        # Shared preprocessing: one vectorised hash sweep + one fingerprint
+        # pack per table (both insertion styles consume the same arrays).
         index = LSHIndex(dim, config, seed=seed)
-
-        # Full insertion: hashing plus bucket placement.
-        start_full = time.perf_counter()
+        start = time.perf_counter()
         all_codes = index.hash_family.hash_matrix(weights)
-        hash_seconds = time.perf_counter() - start_full
+        hash_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        all_fps = index._fingerprint_matrix(all_codes)
+        fingerprint_seconds = time.perf_counter() - start
 
-        start_insert = time.perf_counter()
+        # Per-item placement (the legacy pattern).
+        per_item_index = LSHIndex(dim, config, seed=seed)
+        start = time.perf_counter()
         for neuron_id in range(num_neurons):
-            index._insert_with_codes(neuron_id, all_codes[neuron_id])
-        insert_seconds = time.perf_counter() - start_insert
+            for table_idx, table in enumerate(per_item_index.tables):
+                table.insert_fingerprint(int(all_fps[neuron_id, table_idx]), neuron_id)
+        per_item_seconds = time.perf_counter() - start
 
-        rows.append(
-            {
-                "policy": "Reservoir Sampling" if policy == "reservoir" else "FIFO",
-                "insertion_to_ht_s": insert_seconds,
-                "full_insertion_s": hash_seconds + insert_seconds,
-                "num_neurons": num_neurons,
-            }
-        )
+        # Batched placement of the identical fingerprints.
+        start = time.perf_counter()
+        for table_idx, table in enumerate(index.tables):
+            table.insert_many(all_fps[:, table_idx], item_ids)
+        batched_seconds = time.perf_counter() - start
+
+        row: dict[str, float | int | str] = {
+            "policy": "Reservoir Sampling" if policy == "reservoir" else "FIFO",
+            "num_neurons": num_neurons,
+            "hash_s": hash_seconds + fingerprint_seconds,
+            "per_item_insert_s": per_item_seconds,
+            "insertion_to_ht_s": batched_seconds,
+            "full_insertion_s": hash_seconds + fingerprint_seconds + batched_seconds,
+            "per_item_items_per_s": num_neurons / max(per_item_seconds, 1e-9),
+            "batched_items_per_s": num_neurons / max(batched_seconds, 1e-9),
+            "batched_speedup_vs_per_item": per_item_seconds / max(batched_seconds, 1e-9),
+        }
+
+        # Code-diff incremental updates at increasing dirty fractions.  The
+        # proper index (item/code/fingerprint matrices) is built once via the
+        # batched path, then each fraction re-draws that many neuron weights.
+        update_index = LSHIndex(dim, config, seed=seed)
+        update_index.build(weights, item_ids)
+        for fraction in update_fractions:
+            dirty = np.sort(
+                rng.choice(
+                    num_neurons, size=max(1, int(num_neurons * fraction)), replace=False
+                )
+            ).astype(np.int64)
+            weights[dirty] = rng.normal(size=(dirty.size, dim))
+            moved_before = update_index.num_moved_entries
+            start = time.perf_counter()
+            update_index.update(dirty, weights[dirty])
+            update_seconds = time.perf_counter() - start
+            moved = update_index.num_moved_entries - moved_before
+            tag = f"update_f{fraction:g}"
+            row[f"{tag}_s"] = update_seconds
+            row[f"{tag}_dirty"] = int(dirty.size)
+            row[f"{tag}_moved"] = int(moved)
+            row[f"{tag}_items_per_s"] = dirty.size / max(update_seconds, 1e-9)
+        rows.append(row)
     return rows
 
 

@@ -20,6 +20,8 @@ per-sample path, which is what the kernel parity tests pin down.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.core.layer import SlideLayer
@@ -32,6 +34,7 @@ def select_active_batch(
     layer: SlideLayer,
     dense_queries: FloatArray,
     forced_active: list[IntArray | None] | None = None,
+    timer=None,
 ) -> list[tuple[IntArray, int, int]]:
     """Active output sets for a ``(batch, fan_in)`` block of dense queries.
 
@@ -39,6 +42,9 @@ def select_active_batch(
     per row, matching :meth:`SlideLayer.select_active` sample-for-sample.
     ``forced_active`` optionally supplies per-sample ids (e.g. ground-truth
     labels) that are always unioned into the corresponding active set.
+    ``timer`` (a :class:`~repro.perf.phases.PhaseTimer`) optionally receives
+    the split between the vectorised table probe (``hash``) and the
+    per-sample strategy selection (``select``).
     """
     dense_queries = np.asarray(dense_queries, dtype=np.float64)
     if dense_queries.ndim != 2 or dense_queries.shape[1] != layer.fan_in:
@@ -55,10 +61,18 @@ def select_active_batch(
         return [(all_active, 0, 0) for _ in range(batch_size)]
 
     target = layer.config.sampling.target_active
-    results = layer.lsh_index.query_batch(dense_queries)
+    # One flat batched probe: hashing, fingerprint packing and the bucket
+    # gathers are vectorised across the batch; per-row QueryResult views are
+    # materialised lazily only for the sampler hand-off.
+    probe_start = time.perf_counter()
+    flat = layer.lsh_index.query_batch_flat(dense_queries)
+    select_start = time.perf_counter()
     selections: list[tuple[IntArray, int, int]] = []
-    for row, result in enumerate(results):
-        sampled = layer.sampler.select_from_result(result, target)
+    for row in range(batch_size):
+        sampled = layer.sampler.select_from_result(flat.result(row), target)
         forced = forced_active[row] if forced_active is not None else None
         selections.append(layer.finalize_active(sampled, forced))
+    if timer is not None:
+        timer.add("hash", select_start - probe_start)
+        timer.add("select", time.perf_counter() - select_start)
     return selections

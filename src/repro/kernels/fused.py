@@ -26,6 +26,7 @@ untouched.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -186,6 +187,8 @@ def fused_forward_batch(
     states: list[FusedLayerState] = []
     result = FusedBatchResult(layer_states=states)
     num_layers = len(network.layers)
+    timer = getattr(network, "phase_timer", None)
+    gemm_seconds = 0.0
     for layer_idx, layer in enumerate(network.layers):
         is_output = layer_idx == num_layers - 1
         forced: list[IntArray | None] | None = None
@@ -200,7 +203,9 @@ def fused_forward_batch(
                 if layer_idx == 0
                 else _scatter_dense(x_block, cols, layer.fan_in)
             )
-            selections = select_active_batch(layer, queries, forced)
+            # select_active_batch splits its own time into "hash" (the
+            # vectorised table probe) and "select" (per-sample strategy).
+            selections = select_active_batch(layer, queries, forced, timer=timer)
             active_sets: list[IntArray] | None = [sel[0] for sel in selections]
             from_tables = sum(sel[1] for sel in selections)
             fallback = sum(sel[2] for sel in selections)
@@ -215,6 +220,7 @@ def fused_forward_batch(
             from_tables = fallback = 0
             rows = np.arange(layer.size, dtype=np.int64)
 
+        gemm_start = time.perf_counter()
         block = (
             layer.weights[rows]
             if cols is None
@@ -267,7 +273,10 @@ def fused_forward_batch(
         x_block = act
         cols = rows
         input_counts = np.count_nonzero(act, axis=1).astype(np.int64)
+        gemm_seconds += time.perf_counter() - gemm_start
 
+    if timer is not None:
+        timer.add("gather_gemm", gemm_seconds)
     return result
 
 
@@ -327,6 +336,9 @@ def fused_backward_batch(
     """
     batch_size = len(batch)
     states = result.layer_states
+    timer = getattr(network, "phase_timer", None)
+    gemm_seconds = 0.0
+    optim_seconds = 0.0
     target, losses = _output_targets_and_losses(batch, result.output_state)
     # Softmax + cross-entropy: dL/dz = p - y on each sample's active set
     # (both terms vanish outside it).
@@ -337,6 +349,7 @@ def fused_backward_batch(
         layer = network.layers[layer_idx]
         state = states[layer_idx]
 
+        gemm_start = time.perf_counter()
         weight_grad = workspace.matmul(delta.T, state.x_block, f"wgrad{layer_idx}")
         weight_grad *= scale
         bias_grad = delta.sum(axis=0)
@@ -353,12 +366,19 @@ def fused_backward_batch(
             next_delta = d_act_below * grad_mask
         else:
             next_delta = None
+        gemm_seconds += time.perf_counter() - gemm_start
 
+        optim_start = time.perf_counter()
         layer.apply_gradient_block(
             optimizer, state.rows, state.cols, weight_grad, bias_grad
         )
+        optim_seconds += time.perf_counter() - optim_start
         if next_delta is not None:
             delta = next_delta
+
+    if timer is not None:
+        timer.add("gather_gemm", gemm_seconds)
+        timer.add("optimiser", optim_seconds)
     return losses
 
 

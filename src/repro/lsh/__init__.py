@@ -1,14 +1,16 @@
 """LSH hash tables: fixed-size buckets, insertion policies, and the
 multi-table index that SLIDE layers query for active neurons."""
 
-from repro.lsh.bucket import Bucket
+from repro.lsh.bucket import Bucket, FlatBuckets
 from repro.lsh.policies import FIFOPolicy, ReservoirPolicy, make_insertion_policy
 from repro.lsh.table import HashTable
-from repro.lsh.index import LSHIndex, QueryResult
+from repro.lsh.index import BatchQueryResult, LSHIndex, QueryResult
 from repro.lsh.scheduler import ExponentialDecaySchedule, FixedPeriodSchedule
 
 __all__ = [
     "Bucket",
+    "FlatBuckets",
+    "BatchQueryResult",
     "FIFOPolicy",
     "ReservoirPolicy",
     "make_insertion_policy",

@@ -1,15 +1,103 @@
-"""A fixed-capacity bucket of neuron ids inside one hash table.
+"""Bucket storage for LSH hash tables.
 
 The paper limits every bucket to a fixed size: "Such a limit helps with the
 memory usage and also balances the load on threads during parallel
 aggregation of neurons" (Section 3.2).
+
+Two implementations live here:
+
+* :class:`FlatBuckets` — the production layout.  All buckets of one table
+  share a single fixed-width ``int64`` slot matrix (one row per bucket, the
+  paper's fixed bucket size as the row width) plus parallel ``sizes`` /
+  ``seen`` / ``rejections`` counter arrays, so whole-batch insertions and
+  removals are plain array ops instead of per-item object mutations.
+* :class:`Bucket` — the original object-per-bucket container, kept as the
+  reference for the sequential insertion-policy semantics (the policy unit
+  tests pin FIFO/reservoir behaviour against it).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["Bucket"]
+from repro.types import IntArray
+
+__all__ = ["Bucket", "FlatBuckets"]
+
+_EMPTY_SLOT = -1
+
+
+class FlatBuckets:
+    """All buckets of one table as a flat slot matrix plus counter arrays.
+
+    Row ``r`` holds one bucket: ``slots[r, :sizes[r]]`` are the stored ids
+    (``-1`` marks an empty slot), ``seen[r]`` counts every insertion attempt
+    ever made against the bucket and ``rejections[r]`` the attempts a policy
+    declined to store (reservoir only).  FIFO buckets keep their slots in
+    arrival order (oldest first), which is what makes batched FIFO eviction
+    a single keep-the-newest-``capacity`` gather.
+
+    Stored ids must be non-negative — ``-1`` is reserved as the empty-slot
+    sentinel so batched query gathers can mask missing buckets for free.
+    """
+
+    __slots__ = ("capacity", "slots", "sizes", "seen", "rejections", "num_rows", "_free")
+
+    def __init__(self, capacity: int, initial_rows: int = 0) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        rows = max(int(initial_rows), 0)
+        self.slots = np.full((rows, self.capacity), _EMPTY_SLOT, dtype=np.int64)
+        self.sizes = np.zeros(rows, dtype=np.int64)
+        self.seen = np.zeros(rows, dtype=np.int64)
+        self.rejections = np.zeros(rows, dtype=np.int64)
+        self.num_rows = 0
+        # Rows released by emptied buckets, reused before the matrix grows —
+        # keeps table memory tracking the *live* bucket count.
+        self._free: list[int] = []
+
+    def alloc(self, count: int) -> IntArray:
+        """Allocate ``count`` empty bucket rows (reusing released rows)."""
+        if count <= 0:
+            return np.zeros(0, dtype=np.int64)
+        reused = []
+        while self._free and len(reused) < count:
+            reused.append(self._free.pop())
+        fresh_count = count - len(reused)
+        needed = self.num_rows + fresh_count
+        if needed > self.slots.shape[0]:
+            grown = max(needed, 2 * self.slots.shape[0], 8)
+            new_slots = np.full((grown, self.capacity), _EMPTY_SLOT, dtype=np.int64)
+            new_slots[: self.num_rows] = self.slots[: self.num_rows]
+            self.slots = new_slots
+            for name in ("sizes", "seen", "rejections"):
+                old = getattr(self, name)
+                new = np.zeros(grown, dtype=np.int64)
+                new[: self.num_rows] = old[: self.num_rows]
+                setattr(self, name, new)
+        fresh = np.arange(self.num_rows, needed, dtype=np.int64)
+        self.num_rows = needed
+        rows = np.concatenate([np.asarray(reused, dtype=np.int64), fresh])
+        # Rows may have been used before (clear() or release()); re-blank.
+        self.slots[rows] = _EMPTY_SLOT
+        self.sizes[rows] = 0
+        self.seen[rows] = 0
+        self.rejections[rows] = 0
+        return rows
+
+    def release(self, rows: IntArray) -> None:
+        """Return emptied bucket rows to the allocator for reuse."""
+        self._free.extend(int(row) for row in np.asarray(rows, dtype=np.int64))
+
+    def clear(self) -> None:
+        """Drop every bucket (allocation is retained for reuse)."""
+        self.num_rows = 0
+        self._free.clear()
+
+    def contents(self, row: int) -> IntArray:
+        """Copy of one bucket's stored ids."""
+        return self.slots[row, : int(self.sizes[row])].copy()
 
 
 class Bucket:

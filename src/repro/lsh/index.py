@@ -7,6 +7,15 @@ This is the data structure at the heart of SLIDE (Figure 2).  It supports:
   sampling strategies (:mod:`repro.sampling`) turn into an active-neuron set;
 * full rebuilds and *incremental* rebuilds of a subset of neurons after
   their weights change.
+
+Storage is flat and contiguous: the index keeps one ``(n,)`` item array, one
+``(n, L, K)`` code matrix and one ``(n, L)`` fingerprint matrix instead of
+per-item dictionary entries.  ``build``/``restore_codes`` are pure array ops
+(one vectorised hash sweep, one fingerprint pack and one batched table
+insert per table), and ``update`` is a *code diff*: an item is moved between
+buckets of table ``t`` only when its fingerprint in table ``t`` actually
+changed, so an incremental rebuild costs O(changed entries), not O(dirty
+items × L).
 """
 
 from __future__ import annotations
@@ -23,7 +32,7 @@ from repro.lsh.table import HashTable
 from repro.types import FloatArray, IntArray
 from repro.utils.rng import derive_rng
 
-__all__ = ["LSHIndex", "QueryResult"]
+__all__ = ["LSHIndex", "QueryResult", "BatchQueryResult"]
 
 
 @dataclass
@@ -65,6 +74,54 @@ class QueryResult:
         return int(sum(bucket.size for bucket in self.buckets))
 
 
+@dataclass
+class BatchQueryResult:
+    """Candidate sets for a whole query batch, as flat arrays.
+
+    ``candidates[b, t]`` holds the bucket contents table ``t`` returned for
+    query row ``b``, padded with ``-1`` beyond ``sizes[b, t]`` — no per-query
+    Python objects are materialised.  :meth:`result` builds a per-row
+    :class:`QueryResult` view on demand for consumers that want the
+    per-table bucket list (e.g. the sampling strategies).
+    """
+
+    codes: IntArray  # (batch, L, K)
+    candidates: IntArray  # (batch, L, bucket_size), -1 padded
+    sizes: IntArray  # (batch, L)
+
+    @property
+    def batch_size(self) -> int:
+        return int(self.candidates.shape[0])
+
+    @property
+    def num_tables(self) -> int:
+        return int(self.candidates.shape[1])
+
+    def result(self, row: int) -> QueryResult:
+        """Per-row :class:`QueryResult` (bucket arrays are views)."""
+        buckets = [
+            self.candidates[row, t, : self.sizes[row, t]]
+            for t in range(self.num_tables)
+        ]
+        return QueryResult(buckets=buckets, codes=self.codes[row])
+
+    def union(self, row: int) -> IntArray:
+        """Unique union of one row's candidates across all tables."""
+        values = self.candidates[row]
+        values = values[values >= 0]
+        return np.unique(values)
+
+    def frequencies(self, row: int) -> tuple[IntArray, IntArray]:
+        """One row's candidate ids with their cross-table collision counts."""
+        values = self.candidates[row]
+        values = values[values >= 0]
+        if values.size == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty
+        ids, counts = np.unique(values, return_counts=True)
+        return ids.astype(np.int64), counts.astype(np.int64)
+
+
 class LSHIndex:
     """``L`` hash tables built over the rows of a weight matrix."""
 
@@ -88,14 +145,20 @@ class LSHIndex:
             )
             for _ in range(config.l)
         ]
-        # Last-known codes of each inserted item, so incremental updates can
-        # remove the item from its previous buckets; the parallel fingerprint
-        # cache avoids re-packing codes on removal.
-        self._item_codes: dict[int, np.ndarray] = {}
-        self._item_fps: dict[int, tuple[int, ...]] = {}
+        # Contiguous per-item state: row r of every matrix describes the item
+        # stored in self._items[r].  The fingerprint matrix is what makes
+        # update() a code diff — only rows whose fingerprint changed move.
+        self._items = np.zeros(0, dtype=np.int64)
+        self._codes = np.zeros((0, config.l, config.k), dtype=np.int64)
+        self._fps = np.zeros((0, config.l), dtype=np.int64)
+        self._row_of: dict[int, int] = {}
         # Counters used by the cost model and diagnostics.
         self.num_insertions = 0
         self.num_queries = 0
+        # Incremental-rebuild accounting: items passed to update() and the
+        # (item, table) bucket moves actually applied.
+        self.num_update_items = 0
+        self.num_moved_entries = 0
 
     # ------------------------------------------------------------------
     # Construction / maintenance
@@ -115,43 +178,91 @@ class LSHIndex:
     @property
     def num_items(self) -> int:
         """Number of distinct items currently indexed."""
-        return len(self._item_codes)
+        return int(self._items.size)
 
-    def insert(self, item: int, vector: VectorLike) -> None:
-        """Hash ``vector`` and store ``item`` in every table."""
-        codes = self.hash_family.hash_vector(vector)
-        self._insert_with_codes(item, codes)
+    def item_codes(self, item: int) -> IntArray:
+        """Last-known ``(L, K)`` codes of one indexed item (copy)."""
+        row = self._row_of.get(int(item))
+        if row is None:
+            raise KeyError(f"item {item} is not indexed")
+        return self._codes[row].copy()
 
-    def _insert_with_codes(
-        self, item: int, codes: IntArray, fps: tuple[int, ...] | None = None
-    ) -> None:
-        if fps is None:
-            fps = tuple(
-                table.fingerprint(codes[table_idx])
-                for table_idx, table in enumerate(self._tables)
-            )
-        previous = self._item_fps.get(item)
-        if previous is not None:
-            for table_idx, table in enumerate(self._tables):
-                table.remove_fingerprint(previous[table_idx], item)
-        for table_idx, table in enumerate(self._tables):
-            table.insert_fingerprint(fps[table_idx], item)
-        self._item_codes[item] = np.array(codes, copy=True)
-        self._item_fps[item] = fps
-        self.num_insertions += 1
-
-    def _fingerprint_rows(self, all_codes: IntArray) -> list[tuple[int, ...]]:
-        """Per-item ``L``-tuples of bucket fingerprints for ``(n, L, K)`` codes.
+    def _fingerprint_matrix(self, all_codes: IntArray) -> IntArray:
+        """Per-item ``(n, L)`` bucket fingerprints for ``(n, L, K)`` codes.
 
         One vectorised packing per table replaces the per-item, per-table
-        Python loop; this is what makes incremental rebuilds of thousands of
-        dirty neurons cheap.
+        Python loop; this is what makes bulk rebuilds of thousands of
+        neurons cheap.
         """
+        n = all_codes.shape[0]
+        if n == 0:
+            return np.zeros((0, self.l), dtype=np.int64)
         columns = [
             table.fingerprint_many(all_codes[:, table_idx, :])
             for table_idx, table in enumerate(self._tables)
         ]
-        return list(zip(*columns))
+        return np.stack(columns, axis=1)
+
+    def insert(self, item: int, vector: VectorLike) -> None:
+        """Hash ``vector`` and store ``item`` in every table."""
+        codes = self.hash_family.hash_vector(vector)
+        self._apply_codes(np.asarray([int(item)], dtype=np.int64), codes[None])
+
+    def _set_contents(
+        self, item_ids: IntArray, codes: IntArray, fps: IntArray
+    ) -> None:
+        """Replace the index contents wholesale (tables already cleared)."""
+        for table_idx, table in enumerate(self._tables):
+            table.insert_many(fps[:, table_idx], item_ids)
+        self._items = item_ids.copy()
+        self._codes = codes.astype(np.int64, copy=True)
+        self._fps = fps
+        self._row_of = {int(item): row for row, item in enumerate(item_ids)}
+        self.num_insertions += int(item_ids.size)
+
+    def _apply_codes(self, item_ids: IntArray, codes: IntArray) -> None:
+        """Index ``item_ids`` under fresh ``(d, L, K)`` codes.
+
+        Already-indexed items are *moved*: for each table, only the entries
+        whose fingerprint differs from the stored one are removed from their
+        old bucket and inserted into the new one (the code diff).  Unknown
+        items are appended.
+        """
+        fps = self._fingerprint_matrix(codes)
+        rows = np.fromiter(
+            (self._row_of.get(int(item), -1) for item in item_ids),
+            dtype=np.int64,
+            count=item_ids.size,
+        )
+        known = rows >= 0
+        if np.any(known):
+            known_rows = rows[known]
+            known_ids = item_ids[known]
+            old_fps = self._fps[known_rows]
+            new_fps = fps[known]
+            changed = old_fps != new_fps
+            for table_idx, table in enumerate(self._tables):
+                moved = changed[:, table_idx]
+                if np.any(moved):
+                    table.remove_many(old_fps[moved, table_idx], known_ids[moved])
+                    table.insert_many(new_fps[moved, table_idx], known_ids[moved])
+            self._codes[known_rows] = codes[known]
+            self._fps[known_rows] = new_fps
+            self.num_moved_entries += int(changed.sum())
+        if not np.all(known):
+            fresh_ids = item_ids[~known]
+            fresh_fps = fps[~known]
+            base = self._items.size
+            self._items = np.concatenate([self._items, fresh_ids])
+            self._codes = np.concatenate(
+                [self._codes, codes[~known].astype(np.int64)], axis=0
+            )
+            self._fps = np.concatenate([self._fps, fresh_fps], axis=0)
+            for offset, item in enumerate(fresh_ids):
+                self._row_of[int(item)] = base + offset
+            for table_idx, table in enumerate(self._tables):
+                table.insert_many(fresh_fps[:, table_idx], fresh_ids)
+        self.num_insertions += int(item_ids.size)
 
     def build(self, weights: FloatArray, item_ids: IntArray | None = None) -> None:
         """(Re)build the index from scratch over the rows of ``weights``."""
@@ -164,22 +275,33 @@ class LSHIndex:
             item_ids = np.asarray(item_ids, dtype=np.int64)
             if item_ids.shape[0] != weights.shape[0]:
                 raise ValueError("item_ids must align with weights rows")
+            if np.unique(item_ids).size != item_ids.size:
+                raise ValueError("item_ids must be unique")
         self.clear()
         all_codes = self.hash_family.hash_matrix(weights)
-        all_fps = self._fingerprint_rows(all_codes)
-        for row, item in enumerate(item_ids):
-            self._insert_with_codes(int(item), all_codes[row], fps=all_fps[row])
+        self._set_contents(item_ids, all_codes, self._fingerprint_matrix(all_codes))
 
     def update(self, item_ids: IntArray, weights: FloatArray) -> None:
-        """Re-hash only the given items (incremental rebuild after updates)."""
+        """Re-hash only the given items (incremental rebuild after updates).
+
+        The new codes are compared against the stored fingerprint matrix and
+        only entries whose bucket actually changed are moved, so the cost
+        scales with the number of *changed* fingerprints rather than the
+        size of the dirty set.  Duplicate ids keep their last occurrence.
+        """
         item_ids = np.asarray(item_ids, dtype=np.int64)
         weights = np.asarray(weights, dtype=np.float64)
         if weights.ndim != 2 or weights.shape[0] != item_ids.shape[0]:
             raise ValueError("weights rows must align with item_ids")
+        if item_ids.size and np.unique(item_ids).size != item_ids.size:
+            reversed_ids = item_ids[::-1]
+            _, first_in_reversed = np.unique(reversed_ids, return_index=True)
+            keep = np.sort(item_ids.size - 1 - first_in_reversed)
+            item_ids = item_ids[keep]
+            weights = weights[keep]
         codes = self.hash_family.hash_matrix(weights)
-        all_fps = self._fingerprint_rows(codes)
-        for row, item in enumerate(item_ids):
-            self._insert_with_codes(int(item), codes[row], fps=all_fps[row])
+        self._apply_codes(item_ids, codes)
+        self.num_update_items += int(item_ids.size)
 
     def snapshot_codes(self) -> tuple[IntArray, IntArray]:
         """The indexed items and their codes, in insertion order.
@@ -188,12 +310,7 @@ class LSHIndex:
         everything :meth:`restore_codes` needs to rebuild the tables without
         re-hashing (the serialisation surface used by checkpoints).
         """
-        items = np.fromiter(self._item_codes.keys(), dtype=np.int64)
-        if items.size:
-            codes = np.stack([self._item_codes[int(i)] for i in items]).astype(np.int64)
-        else:
-            codes = np.zeros((0, self.l, self.k), dtype=np.int64)
-        return items, codes
+        return self._items.copy(), self._codes.copy()
 
     def restore_codes(self, items: IntArray, codes: IntArray) -> None:
         """Rebuild the tables from a :meth:`snapshot_codes` snapshot.
@@ -208,27 +325,39 @@ class LSHIndex:
             raise ValueError(
                 f"codes must have shape ({items.shape[0]}, {self.l}, {self.k})"
             )
+        if np.unique(items).size != items.size:
+            raise ValueError("snapshot items must be unique")
         self.clear()
-        all_fps = self._fingerprint_rows(codes)
-        for row, item in enumerate(items):
-            self._insert_with_codes(int(item), codes[row], fps=all_fps[row])
+        self._set_contents(items, codes, self._fingerprint_matrix(codes))
 
     def remove(self, item: int) -> bool:
         """Remove ``item`` from every table (if it was indexed)."""
-        fps = self._item_fps.pop(item, None)
-        self._item_codes.pop(item, None)
-        if fps is None:
+        row = self._row_of.pop(int(item), None)
+        if row is None:
             return False
+        fps = self._fps[row]
         for table_idx, table in enumerate(self._tables):
-            table.remove_fingerprint(fps[table_idx], item)
+            table.remove_fingerprint(int(fps[table_idx]), item)
+        last = self._items.size - 1
+        if row != last:
+            moved_item = int(self._items[last])
+            self._items[row] = self._items[last]
+            self._codes[row] = self._codes[last]
+            self._fps[row] = self._fps[last]
+            self._row_of[moved_item] = row
+        self._items = self._items[:last]
+        self._codes = self._codes[:last]
+        self._fps = self._fps[:last]
         return True
 
     def clear(self) -> None:
         """Drop every bucket in every table."""
         for table in self._tables:
             table.clear()
-        self._item_codes.clear()
-        self._item_fps.clear()
+        self._items = np.zeros(0, dtype=np.int64)
+        self._codes = np.zeros((0, self.l, self.k), dtype=np.int64)
+        self._fps = np.zeros((0, self.l), dtype=np.int64)
+        self._row_of = {}
 
     # ------------------------------------------------------------------
     # Queries
@@ -278,29 +407,36 @@ class LSHIndex:
             )
         return self.hash_family.hash_matrix(queries)
 
+    def query_batch_flat(self, queries: FloatArray) -> BatchQueryResult:
+        """Probe the tables with a dense query block; flat-array result.
+
+        Hashing, fingerprint packing and the bucket gathers are vectorised
+        across the batch — per table, one ``searchsorted`` resolves every
+        query's bucket row and one fancy-index gather pulls the slot matrix
+        rows.  No per-query Python objects are created.
+        """
+        codes = self.hash_batch(queries)
+        fps = self._fingerprint_matrix(codes)
+        batch = codes.shape[0]
+        bucket_size = self.config.bucket_size
+        candidates = np.full((batch, self.l, bucket_size), -1, dtype=np.int64)
+        sizes = np.zeros((batch, self.l), dtype=np.int64)
+        for table_idx, table in enumerate(self._tables):
+            cand_t, sizes_t = table.query_many(fps[:, table_idx])
+            candidates[:, table_idx, :] = cand_t
+            sizes[:, table_idx] = sizes_t
+        self.num_queries += batch
+        return BatchQueryResult(codes=codes, candidates=candidates, sizes=sizes)
+
     def query_batch(self, queries: FloatArray) -> list[QueryResult]:
         """Probe the tables with every row of a dense query block.
 
-        Hashing and fingerprint packing are vectorised across the batch;
-        only the final bucket lookups (one dictionary access per table per
-        query) remain per-sample.  Returns one :class:`QueryResult` per row,
-        identical to ``[self.query(q) for q in queries]`` table-for-table.
+        A compatibility wrapper over :meth:`query_batch_flat` returning one
+        :class:`QueryResult` per row, identical to ``[self.query(q) for q in
+        queries]`` table-for-table.
         """
-        codes = self.hash_batch(queries)
-        fps_per_table = [
-            table.fingerprint_many(codes[:, table_idx, :])
-            for table_idx, table in enumerate(self._tables)
-        ]
-        results = []
-        for row in range(codes.shape[0]):
-            result = QueryResult(codes=codes[row])
-            result.buckets = [
-                table.query_fingerprint(fps_per_table[table_idx][row])
-                for table_idx, table in enumerate(self._tables)
-            ]
-            results.append(result)
-        self.num_queries += codes.shape[0]
-        return results
+        flat = self.query_batch_flat(queries)
+        return [flat.result(row) for row in range(flat.batch_size)]
 
     # ------------------------------------------------------------------
     # Diagnostics
@@ -318,4 +454,6 @@ class LSHIndex:
             "mean_load_factor": float(load.mean()) if self.l else 0.0,
             "insertions": float(self.num_insertions),
             "queries": float(self.num_queries),
+            "update_items": float(self.num_update_items),
+            "moved_entries": float(self.num_moved_entries),
         }

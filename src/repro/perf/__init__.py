@@ -45,8 +45,10 @@ from repro.perf.memory import (
     HUGEPAGES_SPEEDUP,
 )
 from repro.perf.latency import LatencyHistogram, ThroughputMeter
+from repro.perf.phases import PhaseTimer
 
 __all__ = [
+    "PhaseTimer",
     "WorkloadCounts",
     "slide_iteration_work",
     "dense_iteration_work",

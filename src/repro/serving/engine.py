@@ -178,7 +178,10 @@ class SparseInferenceEngine(InferenceEngine):
 
     def _select_from_result(self, result) -> IntArray:
         """Budgeted candidate set from an existing table query result."""
-        ids, counts = result.frequencies()
+        return self._select_from_counts(*result.frequencies())
+
+    def _select_from_counts(self, ids: IntArray, counts: IntArray) -> IntArray:
+        """Budgeted candidate set from aggregated collision counts."""
         if ids.size == 0:
             return ids
         budget = self.active_budget
@@ -205,15 +208,16 @@ class SparseInferenceEngine(InferenceEngine):
 
         output_layer = self.network.output_layer
         assert output_layer.lsh_index is not None
-        # Batched LSH probing (the same kernel path training uses): one hash
-        # sweep for every request in the batch, per-row bucket lookups after.
-        query_results = output_layer.lsh_index.query_batch(features)
+        # Flat batched LSH probing (the same kernel path training uses): one
+        # hash sweep and one bucket gather per table for the whole batch; no
+        # per-request query objects are materialised.
+        flat = output_layer.lsh_index.query_batch_flat(features)
         min_candidates = max(k, self.min_candidate_factor * k)
         predictions: list[Prediction] = []
         dense_rows: list[int] = []
         for row in range(features.shape[0]):
             hidden = features[row]
-            candidates = self._select_from_result(query_results[row])
+            candidates = self._select_from_counts(*flat.frequencies(row))
             if candidates.size < min_candidates:
                 dense_rows.append(row)
                 predictions.append(None)  # type: ignore[arg-type]

@@ -111,7 +111,10 @@ class TestBatchedHashing:
         table = index.tables[0]
         codes = rng.integers(0, 2, size=(50, 5))
         many = table.fingerprint_many(codes)
-        assert many == [table.fingerprint(row) for row in codes]
+        assert isinstance(many, np.ndarray) and many.dtype == np.int64
+        np.testing.assert_array_equal(
+            many, [table.fingerprint(row) for row in codes]
+        )
 
     def test_query_batch_matches_per_query(self, rng):
         index = LSHIndex(input_dim=32, config=LSHConfig(k=3, l=8), seed=2)

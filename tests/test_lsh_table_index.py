@@ -156,10 +156,12 @@ class TestLSHIndex:
         vector = rng.normal(size=32)
         index.insert(7, vector)
         index.insert(7, vector + 0.001)
-        # Each table should hold item 7 at most once.
-        for table in index.tables:
-            total = sum((table.query(index._item_codes[7][i]) == 7).sum() for i in range(1))
         assert index.num_items == 1
+        # Each table should hold item 7 exactly once, under its latest codes.
+        codes = index.item_codes(7)
+        for table_idx, table in enumerate(index.tables):
+            assert int((table.query(codes[table_idx]) == 7).sum()) == 1
+            assert table.num_items == 1
 
     def test_build_validates_shapes(self, index, rng):
         with pytest.raises(ValueError):
