@@ -50,6 +50,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-serve=repro.serving.__main__:main",
+            "repro-ingest=repro.data.__main__:main",
         ],
     },
     classifiers=[

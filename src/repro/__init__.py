@@ -17,6 +17,9 @@ Public API overview
 * :mod:`repro.baselines` — dense full-softmax and sampled-softmax baselines.
 * :mod:`repro.datasets` — synthetic extreme-classification data and the XC
   repository loader.
+* :mod:`repro.data` — the streaming pipeline for real XC datasets: one-time
+  ingest into memory-mapped CSR shards (``python -m repro.data``), the
+  bounded-memory ``ShardedDataset`` and the background ``BatchPrefetcher``.
 * :mod:`repro.parallel` — HOGWILD-style asynchronous update simulation and
   conflict analysis.
 * :mod:`repro.perf` — operation counting, calibrated device profiles and the

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -21,6 +22,12 @@ from repro.types import SparseBatch, SparseExample
 from repro.utils.rng import derive_rng
 
 __all__ = ["IterationRecord", "TrainingHistory", "SlideTrainer"]
+
+# Any random-access example source works for training: a plain list, or the
+# mmap-backed ``repro.data.ShardedDataset`` (same ``len``/``__getitem__``
+# contract, so the global shuffle — and therefore every batch and loss —
+# is bit-for-bit identical across the two).
+ExampleSource = Sequence[SparseExample]
 
 
 @dataclass
@@ -79,6 +86,12 @@ class SlideTrainer:
     through the fused batched kernels (:mod:`repro.kernels`); pass
     ``batched=False`` to use the legacy per-sample synchronous loop instead
     (ablations / parity testing only).
+
+    ``train_examples`` may be any random-access sequence — an eager list or
+    a :class:`repro.data.ShardedDataset` — and ``prefetch_depth > 0`` moves
+    batch assembly onto a background :class:`repro.data.BatchPrefetcher`
+    thread.  Neither choice changes the training trajectory: the same
+    ``TrainingConfig.seed`` produces the same batches and losses bit-for-bit.
     """
 
     def __init__(
@@ -87,11 +100,15 @@ class SlideTrainer:
         training: TrainingConfig,
         hogwild: bool = True,
         batched: bool | None = None,
+        prefetch_depth: int = 0,
     ) -> None:
+        if prefetch_depth < 0:
+            raise ValueError("prefetch_depth must be non-negative")
         self.network = network
         self.training = training
         self.hogwild = hogwild
         self.batched = batched
+        self.prefetch_depth = int(prefetch_depth)
         self.optimizer = network.build_optimizer(training)
         self._rng = derive_rng(training.seed, stream=31)
         self.history = TrainingHistory()
@@ -99,22 +116,39 @@ class SlideTrainer:
     # ------------------------------------------------------------------
     # Batching
     # ------------------------------------------------------------------
-    def _make_batches(self, examples: list[SparseExample]) -> list[SparseBatch]:
+    def _iter_batches(self, examples: ExampleSource) -> Iterator[SparseBatch]:
+        """One epoch of shuffled batches, assembled lazily.
+
+        Only ``len(examples)`` and per-index access are required, so a
+        mmap-backed dataset streams through without ever materialising the
+        full example list.
+        """
         order = np.arange(len(examples))
         if self.training.shuffle:
             self._rng.shuffle(order)
-        batches = []
+        gather = getattr(examples, "gather", None)
         for start in range(0, len(examples), self.training.batch_size):
-            chunk = [examples[i] for i in order[start : start + self.training.batch_size]]
-            if not chunk:
+            chunk_ids = order[start : start + self.training.batch_size]
+            if chunk_ids.size == 0:
                 continue
-            batches.append(
-                SparseBatch.from_examples(
-                    chunk,
-                    feature_dim=self.network.input_dim,
-                    label_dim=self.network.output_dim,
-                )
+            chunk = (
+                gather(chunk_ids)
+                if gather is not None
+                else [examples[int(i)] for i in chunk_ids]
             )
+            yield SparseBatch.from_examples(
+                chunk,
+                feature_dim=self.network.input_dim,
+                label_dim=self.network.output_dim,
+            )
+
+    def _epoch_batches(self, examples: ExampleSource):
+        """The epoch's batch stream, prefetched when configured."""
+        batches = self._iter_batches(examples)
+        if self.prefetch_depth > 0:
+            from repro.data.prefetch import BatchPrefetcher
+
+            return BatchPrefetcher(batches, depth=self.prefetch_depth)
         return batches
 
     # ------------------------------------------------------------------
@@ -122,24 +156,51 @@ class SlideTrainer:
     # ------------------------------------------------------------------
     def train(
         self,
-        train_examples: list[SparseExample],
-        eval_examples: list[SparseExample] | None = None,
+        train_examples: ExampleSource,
+        eval_examples: ExampleSource | None = None,
     ) -> TrainingHistory:
         """Run ``training.epochs`` epochs and return the full history."""
-        if not train_examples:
+        if len(train_examples) == 0:
             raise ValueError("train_examples must not be empty")
-        eval_pool = eval_examples or []
+        eval_pool = eval_examples if eval_examples is not None else []
         for _epoch in range(self.training.epochs):
-            for batch in self._make_batches(train_examples):
-                self._train_one_batch(batch, eval_pool)
-            if eval_pool:
+            batches = self._epoch_batches(train_examples)
+            try:
+                for batch in batches:
+                    self._train_one_batch(batch, eval_pool)
+            finally:
+                # Generator or BatchPrefetcher alike: stop assembly promptly
+                # if an exception aborts the epoch mid-stream.
+                batches.close()
+            if len(eval_pool):
                 self.history.epoch_accuracy.append(
                     evaluate_precision_at_1(self.network, eval_pool)
                 )
         return self.history
 
+    def train_batches(
+        self,
+        batches,
+        eval_examples: ExampleSource | None = None,
+    ) -> TrainingHistory:
+        """Train on an externally produced batch stream (one pass).
+
+        The streaming counterpart of :meth:`train`: accepts any iterable of
+        :class:`~repro.types.SparseBatch` — e.g.
+        ``ShardedDataset.iter_batches`` wrapped in a ``BatchPrefetcher`` —
+        and leaves epoch/shuffle discipline to the producer.
+        """
+        eval_pool = eval_examples if eval_examples is not None else []
+        for batch in batches:
+            self._train_one_batch(batch, eval_pool)
+        if len(eval_pool):
+            self.history.epoch_accuracy.append(
+                evaluate_precision_at_1(self.network, eval_pool)
+            )
+        return self.history
+
     def _train_one_batch(
-        self, batch: SparseBatch, eval_pool: list[SparseExample]
+        self, batch: SparseBatch, eval_pool: ExampleSource
     ) -> IterationRecord:
         start = time.perf_counter()
         metrics = self.network.train_batch(
@@ -171,6 +232,6 @@ class SlideTrainer:
     # ------------------------------------------------------------------
     # Convenience
     # ------------------------------------------------------------------
-    def evaluate(self, examples: list[SparseExample]) -> float:
+    def evaluate(self, examples: ExampleSource) -> float:
         """Precision@1 of the current model on ``examples``."""
         return evaluate_precision_at_1(self.network, examples)

@@ -1,0 +1,44 @@
+"""Streaming data pipeline for real extreme-classification datasets.
+
+``repro.datasets`` can eagerly parse an XC-repository file into a Python
+list, which is fine for synthetic/small runs but cannot reach the paper's
+Delicious-200K / Amazon-670K scale.  This package adds the streaming path:
+
+* :mod:`repro.data.ingest` — one-time parse of the XC text format into
+  memory-mapped CSR shards plus a checksummed JSON manifest
+  (``python -m repro.data`` is the CLI);
+* :mod:`repro.data.shards` — :class:`ShardedDataset`, bounded-memory random
+  access and shard-shuffled epoch streaming over an ingested cache;
+* :mod:`repro.data.prefetch` — :class:`BatchPrefetcher`, a background
+  thread assembling ready CSR micro-batches ahead of the trainer.
+"""
+
+from repro.data.ingest import ShardCacheWriter, ingest_examples, ingest_xc_file
+from repro.data.prefetch import BatchPrefetcher
+from repro.data.shards import (
+    ARRAY_NAMES,
+    FORMAT_VERSION,
+    MANIFEST_NAME,
+    Shard,
+    ShardInfo,
+    ShardManifest,
+    ShardedDataset,
+    file_crc32,
+    gather_csr_rows,
+)
+
+__all__ = [
+    "ARRAY_NAMES",
+    "FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "BatchPrefetcher",
+    "Shard",
+    "ShardCacheWriter",
+    "ShardInfo",
+    "ShardManifest",
+    "ShardedDataset",
+    "file_crc32",
+    "gather_csr_rows",
+    "ingest_examples",
+    "ingest_xc_file",
+]

@@ -1,0 +1,106 @@
+"""CLI for the shard-cache ingest: ``python -m repro.data`` / ``repro-ingest``.
+
+Examples::
+
+    # One-time ingest of a downloaded XC repository file.
+    python -m repro.data data/deliciousLarge_train.txt data/delicious-shards
+
+    # Smoke-ingest only the first 10K examples, 2K per shard.
+    python -m repro.data data/amazon_train.txt /tmp/amz --shard-size 2048 \
+        --max-examples 10000
+
+    # Verify an existing cache against its manifest checksums.
+    python -m repro.data --verify-only data/delicious-shards
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.data.ingest import DEFAULT_SHARD_SIZE, ingest_xc_file
+from repro.data.shards import ARRAY_NAMES, ShardedDataset, ShardManifest
+
+
+def _cache_bytes(cache_dir: Path, manifest: ShardManifest) -> int:
+    return sum(
+        (cache_dir / shard.filename(array)).stat().st_size
+        for shard in manifest.shards
+        for array in ARRAY_NAMES
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-ingest",
+        description="Ingest an XC-format dataset file into a mmap CSR shard cache.",
+    )
+    parser.add_argument("source", nargs="?", help="XC-format input file")
+    parser.add_argument("cache_dir", nargs="?", help="output shard-cache directory")
+    parser.add_argument(
+        "--shard-size",
+        type=int,
+        default=DEFAULT_SHARD_SIZE,
+        help=f"examples per shard (default {DEFAULT_SHARD_SIZE})",
+    )
+    parser.add_argument(
+        "--max-examples",
+        type=int,
+        default=None,
+        help="truncate the input (smoke runs on the full-size corpora)",
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-read and checksum-verify the cache after ingesting",
+    )
+    parser.add_argument(
+        "--verify-only",
+        metavar="CACHE_DIR",
+        default=None,
+        help="skip ingesting; checksum-verify an existing cache and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.verify_only is not None:
+        dataset = ShardedDataset(args.verify_only, verify_checksums=True)
+        print(
+            f"ok: {len(dataset)} examples in {dataset.num_shards} shards, "
+            "all checksums match"
+        )
+        return 0
+
+    if not args.source or not args.cache_dir:
+        parser.error("source and cache_dir are required unless --verify-only is used")
+
+    started = time.perf_counter()
+    manifest = ingest_xc_file(
+        args.source,
+        args.cache_dir,
+        shard_size=args.shard_size,
+        max_examples=args.max_examples,
+    )
+    elapsed = time.perf_counter() - started
+    cache_dir = Path(args.cache_dir)
+    total_bytes = _cache_bytes(cache_dir, manifest)
+    print(
+        f"ingested {manifest.num_examples} examples "
+        f"({manifest.feature_dim} features x {manifest.label_dim} labels) "
+        f"into {manifest.num_shards} shards in {elapsed:.2f}s "
+        f"({manifest.num_examples / max(elapsed, 1e-9):.0f} examples/s)"
+    )
+    print(
+        f"cache: {cache_dir} — {total_bytes / 1e6:.1f} MB, "
+        f"{manifest.total_feature_nnz} feature nnz, "
+        f"{manifest.total_label_nnz} label nnz"
+    )
+    if args.verify:
+        ShardedDataset(cache_dir, verify_checksums=True)
+        print("verify: all shard checksums match the manifest")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

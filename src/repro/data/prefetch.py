@@ -1,0 +1,116 @@
+"""Background-thread batch prefetching.
+
+Training alternates between two kinds of work: batch *assembly* (shard
+reads, CSR gathers, ``SparseExample`` construction) and batch *math* (the
+fused kernels).  :class:`BatchPrefetcher` moves assembly onto a daemon
+thread feeding a bounded queue, so the trainer dequeues ready batches while
+the next ones are being built — the classic input-pipeline overlap, with a
+``depth``-batch bound keeping memory flat.
+
+Determinism: one producer, one FIFO queue, one consumer — the consumer sees
+exactly the iterator's order, so a seeded batch stream stays reproducible
+with or without prefetching.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Generic, Iterable, Iterator, TypeVar
+
+__all__ = ["BatchPrefetcher"]
+
+T = TypeVar("T")
+
+_DONE = "done"
+_ITEM = "item"
+_ERROR = "error"
+
+
+class BatchPrefetcher(Generic[T]):
+    """Iterate ``items`` through a bounded background-filled queue.
+
+    Usable as a context manager; exceptions raised by the source iterator
+    are re-raised in the consumer thread at the position they occurred.
+    ``close()`` (or leaving the ``with`` block) stops the producer promptly
+    even if the consumer abandoned the stream mid-epoch.
+    """
+
+    def __init__(self, items: Iterable[T], depth: int = 4) -> None:
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        self.depth = int(depth)
+        self._queue: queue.Queue = queue.Queue(maxsize=self.depth)
+        self._stop = threading.Event()
+        self._finished = False
+        self.produced = 0
+        self.consumed = 0
+        self._thread = threading.Thread(
+            target=self._produce,
+            args=(iter(items),),
+            name="batch-prefetcher",
+            daemon=True,
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # Producer
+    # ------------------------------------------------------------------
+    def _put(self, message: tuple[str, object]) -> bool:
+        """Blocking put that aborts promptly once ``close()`` is called."""
+        while not self._stop.is_set():
+            try:
+                self._queue.put(message, timeout=0.05)
+                return True
+            except queue.Full:
+                continue
+        return False
+
+    def _produce(self, iterator: Iterator[T]) -> None:
+        try:
+            for item in iterator:
+                if not self._put((_ITEM, item)):
+                    return
+                self.produced += 1
+            self._put((_DONE, None))
+        except BaseException as exc:  # noqa: BLE001 — relayed to the consumer
+            self._put((_ERROR, exc))
+
+    # ------------------------------------------------------------------
+    # Consumer
+    # ------------------------------------------------------------------
+    def __iter__(self) -> "BatchPrefetcher[T]":
+        return self
+
+    def __next__(self) -> T:
+        if self._finished:
+            raise StopIteration
+        kind, payload = self._queue.get()
+        if kind == _ITEM:
+            self.consumed += 1
+            return payload  # type: ignore[return-value]
+        self._finished = True
+        if kind == _ERROR:
+            raise payload  # type: ignore[misc]
+        raise StopIteration
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop the producer and release the queue (idempotent)."""
+        self._stop.set()
+        self._finished = True
+        # Drain so a producer blocked on a full queue can observe the stop.
+        while True:
+            try:
+                self._queue.get_nowait()
+            except queue.Empty:
+                break
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "BatchPrefetcher[T]":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

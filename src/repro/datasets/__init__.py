@@ -9,7 +9,14 @@ from repro.datasets.synthetic import (
     delicious_like_config,
     amazon_like_config,
 )
-from repro.datasets.loaders import load_xc_file, parse_xc_line
+from repro.datasets.loaders import (
+    iter_xc_rows,
+    load_xc_file,
+    parse_xc_line,
+    parse_xc_tokens,
+    read_xc_header,
+    write_xc_file,
+)
 from repro.datasets.stats import DatasetStatistics, compute_statistics, PAPER_DATASET_STATS
 
 __all__ = [
@@ -18,8 +25,12 @@ __all__ = [
     "generate_synthetic_xc",
     "delicious_like_config",
     "amazon_like_config",
+    "iter_xc_rows",
     "load_xc_file",
     "parse_xc_line",
+    "parse_xc_tokens",
+    "read_xc_header",
+    "write_xc_file",
     "DatasetStatistics",
     "compute_statistics",
     "PAPER_DATASET_STATS",

@@ -121,6 +121,9 @@ class ExperimentConfig:
     target_active_fraction: float = 0.05
     rebuild_initial_period: int = 20
     sampled_softmax_fraction: float = 0.2
+    # Depth of the background batch-assembly queue for SLIDE training runs
+    # (0 = assemble batches inline; see repro.data.BatchPrefetcher).
+    prefetch_depth: int = 0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -128,6 +131,8 @@ class ExperimentConfig:
             raise ValueError("hidden_dim, batch_size and epochs must be positive")
         if not 0 < self.target_active_fraction <= 1:
             raise ValueError("target_active_fraction must lie in (0, 1]")
+        if self.prefetch_depth < 0:
+            raise ValueError("prefetch_depth must be non-negative")
 
     @property
     def target_active(self) -> int:
@@ -241,7 +246,11 @@ class HeadToHeadExperiment:
             hash_family=hash_family,
             insertion_policy=insertion_policy,
         )
-        trainer = SlideTrainer(network, self.training_config(batch_size))
+        trainer = SlideTrainer(
+            network,
+            self.training_config(batch_size),
+            prefetch_depth=cfg.prefetch_depth,
+        )
         history = trainer.train(self.dataset.train, self.dataset.test)
 
         batch = batch_size or cfg.batch_size

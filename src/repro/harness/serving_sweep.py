@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -61,7 +62,7 @@ class ServingSweepResult:
 
 def measure_engine(
     engine: InferenceEngine,
-    examples: list[SparseExample],
+    examples: Sequence[SparseExample],
     k: int = 1,
     batch_size: int = 32,
 ) -> tuple[float, LatencyHistogram, float, float]:
@@ -69,7 +70,10 @@ def measure_engine(
 
     Returns ``(precision@1, latency_histogram, throughput_rps,
     mean_candidates_scored)`` — the shared measurement loop behind the
-    sweep and ``benchmarks/bench_serving_latency.py``.
+    sweep and ``benchmarks/bench_serving_latency.py``.  ``examples`` may be
+    any sequence, including a mmap-backed
+    :class:`repro.data.ShardedDataset`, so sweeps run over real XC test
+    splits without loading them eagerly.
     """
     histogram = LatencyHistogram()
     hits = 0
@@ -99,7 +103,7 @@ def measure_engine(
 
 def serving_accuracy_latency_sweep(
     network: SlideNetwork,
-    examples: list[SparseExample],
+    examples: Sequence[SparseExample],
     budgets: tuple[int | None, ...] = (None, 256, 128, 64, 32),
     k: int = 1,
     batch_size: int = 32,

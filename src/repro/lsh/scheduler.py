@@ -77,10 +77,23 @@ class ExponentialDecaySchedule(RebuildSchedule):
         self._rebuild_count = 0
         self._next = self.initial_period
 
+    def _capped_period(self, rebuild_count: int) -> float:
+        """``min(N0 * exp(lambda * t), max_period)`` without overflowing.
+
+        ``math.exp`` raises ``OverflowError`` once the exponent passes ~709;
+        on long runs ``decay * rebuild_count`` sails past that even though the
+        result is capped at ``max_period`` anyway, so the exponent is clamped
+        at the point where the uncapped period already exceeds the cap.
+        """
+        exponent = self.decay * rebuild_count
+        cap_exponent = math.log(max(self.max_period / self.initial_period, 1.0))
+        if exponent >= cap_exponent:
+            return float(self.max_period)
+        return min(self.initial_period * math.exp(exponent), float(self.max_period))
+
     def current_period(self) -> int:
         """Gap that will follow the *next* rebuild."""
-        period = self.initial_period * math.exp(self.decay * self._rebuild_count)
-        return int(min(round(period), self.max_period))
+        return int(round(self._capped_period(self._rebuild_count)))
 
     def should_rebuild(self, iteration: int) -> bool:
         return iteration >= self._next
@@ -108,7 +121,6 @@ class ExponentialDecaySchedule(RebuildSchedule):
         iterations = []
         total = 0.0
         for t in range(num_rebuilds):
-            gap = min(self.initial_period * math.exp(self.decay * t), self.max_period)
-            total += gap
+            total += self._capped_period(t)
             iterations.append(int(round(total)))
         return iterations

@@ -15,7 +15,12 @@ from repro.utils.topk import top_k_indices
 __all__ = ["precision_at_k", "precision_at_1"]
 
 
-def precision_at_k(scores: FloatArray, labels: list[IntArray], k: int = 1) -> float:
+def precision_at_k(
+    scores: FloatArray,
+    labels: list[IntArray],
+    k: int = 1,
+    skip_unlabeled: bool = True,
+) -> float:
     """Mean precision@k.
 
     Parameters
@@ -24,6 +29,13 @@ def precision_at_k(scores: FloatArray, labels: list[IntArray], k: int = 1) -> fl
         ``(num_examples, num_classes)`` score matrix.
     labels:
         One array of true label indices per example.
+    skip_unlabeled:
+        Examples without labels carry no signal for the metric.  With the
+        default ``True`` they are dropped from the mean; ``False`` raises
+        on them instead — the same strict contract as
+        :func:`repro.core.inference.evaluate_precision_at_k` — so
+        data-pipeline bugs surface rather than silently shrinking the
+        denominator.
     """
     scores = np.asarray(scores, dtype=np.float64)
     if scores.ndim != 2:
@@ -32,6 +44,15 @@ def precision_at_k(scores: FloatArray, labels: list[IntArray], k: int = 1) -> fl
         raise ValueError("labels must align with the rows of scores")
     if k <= 0:
         raise ValueError("k must be positive")
+    if not skip_unlabeled:
+        unlabeled = sum(
+            1 for true_labels in labels if np.asarray(true_labels).size == 0
+        )
+        if unlabeled:
+            raise ValueError(
+                f"{unlabeled} of {len(labels)} examples have no labels; "
+                "pass skip_unlabeled=True to drop them"
+            )
 
     per_example = []
     for row, true_labels in enumerate(labels):

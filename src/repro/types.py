@@ -123,6 +123,13 @@ class SparseBatch:
     examples: list[SparseExample] = field(default_factory=list)
     feature_dim: int = 0
     label_dim: int = 0
+    # CSR view of the batch's features (indptr, indices, values), set by
+    # :meth:`from_csr` when the batch was assembled by the data pipeline.
+    # Purely an acceleration cache for :meth:`to_dense_features`; it must
+    # stay consistent with ``examples`` (never mutate one without the other).
+    features_csr: tuple[IntArray, IntArray, FloatArray] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.examples:
@@ -152,6 +159,12 @@ class SparseBatch:
 
     def to_dense_features(self) -> FloatArray:
         """Dense ``(batch, feature_dim)`` feature matrix (for baselines)."""
+        if self.features_csr is not None:
+            indptr, indices, values = self.features_csr
+            dense = np.zeros((len(self.examples), self.feature_dim), dtype=np.float64)
+            rows = np.repeat(np.arange(len(self.examples)), np.diff(indptr))
+            dense[rows, indices] = values
+            return dense
         return dense_features(self.examples, self.feature_dim)
 
     def to_dense_labels(self) -> FloatArray:
@@ -176,6 +189,56 @@ class SparseBatch:
         label_dim: int,
     ) -> "SparseBatch":
         return cls(examples=list(examples), feature_dim=feature_dim, label_dim=label_dim)
+
+    @classmethod
+    def from_csr(
+        cls,
+        feat_indptr: IntArray,
+        feat_indices: IntArray,
+        feat_values: FloatArray,
+        label_indptr: IntArray,
+        label_indices: IntArray,
+        feature_dim: int,
+        label_dim: int,
+    ) -> "SparseBatch":
+        """Assemble a batch from CSR feature and label arrays.
+
+        The streaming data pipeline (:mod:`repro.data`) stores examples as
+        CSR shards; this constructor turns a row range of those arrays into a
+        batch without re-sorting or re-validating per-example index order
+        (the ingest path guarantees sorted, unique indices per row).  The
+        feature CSR triple is kept on the batch so dense scatters skip the
+        per-example loop.
+        """
+        feat_indptr = np.asarray(feat_indptr, dtype=np.int64)
+        label_indptr = np.asarray(label_indptr, dtype=np.int64)
+        if feat_indptr.shape != label_indptr.shape:
+            raise ValueError("feature and label indptr must describe the same rows")
+        feat_indices = np.asarray(feat_indices, dtype=np.int64)
+        feat_values = np.asarray(feat_values, dtype=np.float64)
+        label_indices = np.asarray(label_indices, dtype=np.int64)
+        examples = []
+        for row in range(feat_indptr.shape[0] - 1):
+            lo, hi = int(feat_indptr[row]), int(feat_indptr[row + 1])
+            llo, lhi = int(label_indptr[row]), int(label_indptr[row + 1])
+            examples.append(
+                SparseExample(
+                    features=SparseVector(
+                        indices=feat_indices[lo:hi],
+                        values=feat_values[lo:hi],
+                        dimension=feature_dim,
+                    ),
+                    labels=label_indices[llo:lhi],
+                )
+            )
+        batch = cls(examples=examples, feature_dim=feature_dim, label_dim=label_dim)
+        start, stop = int(feat_indptr[0]), int(feat_indptr[-1])
+        batch.features_csr = (
+            feat_indptr - start,
+            feat_indices[start:stop],
+            feat_values[start:stop],
+        )
+        return batch
 
 
 def dense_features(

@@ -5,7 +5,12 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.datasets.loaders import load_xc_file, parse_xc_line
+from repro.datasets.loaders import (
+    load_xc_file,
+    parse_xc_line,
+    parse_xc_tokens,
+    write_xc_file,
+)
 from repro.datasets.stats import PAPER_DATASET_STATS, compute_statistics
 from repro.datasets.synthetic import (
     SyntheticXCConfig,
@@ -144,6 +149,56 @@ class TestXCLoader:
         example = parse_xc_line("0:1.0 2:2.0", feature_dim=4)
         assert example.labels.size == 0
         assert example.features.nnz == 2
+
+    def test_parse_line_coalesces_duplicate_features(self):
+        """Duplicate ``feat:val`` tokens sum their values; indices stay
+        sorted and unique as the downstream CSR/searchsorted paths assume."""
+        example = parse_xc_line("1 3:1.0 0:0.5 3:2.5 0:0.25", feature_dim=8)
+        np.testing.assert_array_equal(example.features.indices, [0, 3])
+        np.testing.assert_allclose(example.features.values, [0.75, 3.5])
+
+    def test_parse_tokens_unsorted_input_sorted_output(self):
+        labels, indices, values = parse_xc_tokens("2 9:1.0 1:2.0 5:3.0", feature_dim=16)
+        np.testing.assert_array_equal(labels, [2])
+        np.testing.assert_array_equal(indices, [1, 5, 9])
+        np.testing.assert_allclose(values, [2.0, 3.0, 1.0])
+
+    def test_write_rejects_fully_empty_example(self, tmp_path):
+        """A line with no labels and no features would be blank — the readers
+        skip blank lines, so the writer must refuse it up front."""
+        from repro.types import SparseExample, SparseVector
+
+        empty = SparseExample(
+            features=SparseVector(
+                indices=np.zeros(0, dtype=np.int64),
+                values=np.zeros(0),
+                dimension=8,
+            ),
+            labels=np.zeros(0, dtype=np.int64),
+        )
+        with pytest.raises(ValueError, match="fully empty"):
+            write_xc_file(tmp_path / "empty.txt", [empty], 8, 5)
+
+    def test_write_then_load_round_trip(self, tmp_path, tiny_dataset):
+        path = tmp_path / "roundtrip.txt"
+        write_xc_file(
+            path,
+            tiny_dataset.train[:16],
+            tiny_dataset.config.feature_dim,
+            tiny_dataset.config.label_dim,
+        )
+        examples, feature_dim, label_dim = load_xc_file(path)
+        assert feature_dim == tiny_dataset.config.feature_dim
+        assert label_dim == tiny_dataset.config.label_dim
+        assert len(examples) == 16
+        for original, loaded in zip(tiny_dataset.train, examples):
+            np.testing.assert_array_equal(
+                original.features.indices, loaded.features.indices
+            )
+            np.testing.assert_array_equal(
+                original.features.values, loaded.features.values
+            )
+            np.testing.assert_array_equal(original.labels, loaded.labels)
 
     def test_parse_line_feature_out_of_range(self):
         with pytest.raises(ValueError, match="out of range"):

@@ -70,6 +70,23 @@ class TestExponentialDecaySchedule:
             expected.append(int(round(total)))
         assert planned == expected
 
+    def test_long_runs_do_not_overflow(self):
+        """Regression: ``N0 * exp(lambda * t)`` used to raise OverflowError
+        once ``lambda * t`` passed math.exp's ~709 limit; long trainings must
+        settle at max_period instead of crashing."""
+        schedule = ExponentialDecaySchedule(
+            initial_period=10, decay=5.0, max_period=1000
+        )
+        iteration = 0
+        for _ in range(500):  # exponent reaches 2500 — far past overflow
+            iteration = schedule.next_rebuild_iteration()
+            schedule.record_rebuild(iteration)
+        assert schedule.current_period() == 1000
+        assert schedule.next_rebuild_iteration() == iteration + 1000
+        # planned_iterations shares the clamped formula.
+        planned = schedule.planned_iterations(400)
+        assert planned[-1] - planned[-2] == 1000
+
     def test_planned_iterations_validation(self):
         schedule = ExponentialDecaySchedule(initial_period=10)
         with pytest.raises(ValueError):

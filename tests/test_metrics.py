@@ -35,6 +35,20 @@ class TestPrecision:
         scores = np.array([[0.9, 0.1]])
         assert precision_at_1(scores, [np.array([], dtype=np.int64)]) == 0.0
 
+    def test_skip_unlabeled_flag_pins_both_behaviours(self):
+        """Regression: unlabeled examples used to be silently dropped with no
+        strict alternative, unlike evaluate_precision_at_k.  The default
+        still skips them; ``skip_unlabeled=False`` raises instead."""
+        scores = np.array([[0.9, 0.1], [0.1, 0.9]])
+        labels = [np.array([], dtype=np.int64), np.array([1])]
+        assert precision_at_k(scores, labels, k=1, skip_unlabeled=True) == 1.0
+        with pytest.raises(ValueError, match="1 of 2 examples have no labels"):
+            precision_at_k(scores, labels, k=1, skip_unlabeled=False)
+        # Fully labelled input is unaffected by the strict flag.
+        labelled = [np.array([0]), np.array([1])]
+        assert precision_at_k(scores, labelled, k=1, skip_unlabeled=False) == 1.0
+        assert precision_at_k(scores, labelled, k=1) == 1.0
+
     def test_validation(self):
         with pytest.raises(ValueError):
             precision_at_k(np.zeros(3), [np.array([0])], k=1)
