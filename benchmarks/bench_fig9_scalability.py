@@ -1,15 +1,60 @@
-"""Figures 9 and 13 — scalability with CPU core count.
+"""Figures 9 and 13 — scalability with CPU cores, **measured** and projected.
 
-Paper findings: SLIDE's convergence time falls steeply with added cores
-(near-linear), TF-CPU's flattens after ~16 cores, TF-GPU is oblivious to CPU
-cores, and SLIDE overtakes TF-GPU somewhere between 8 and 32 cores.
+The paper's headline systems claim is that SLIDE's lock-free HOGWILD design
+scales near-linearly with CPU cores (Figure 9, Table 2).  This bench now
+backs that claim with real processes instead of a model:
+
+* **Measured section** — trains the synthetic XC workload through
+  :class:`repro.parallel.sharedmem.ProcessHogwildTrainer` at several worker
+  process counts (shared-memory parameters, disjoint
+  :class:`~repro.data.ShardedDataset` shards per worker, private per-worker
+  LSH indexes) and records real wall-clock speedup, parallel efficiency,
+  CPU utilisation and gradient-conflict counts.  The 1-process run *is*
+  today's fused synchronous path, so it doubles as the precision baseline.
+* **Projection section** — the calibrated device-model extrapolation to the
+  paper's 44-core Xeon (the previous content of this bench, unchanged in
+  spirit): SLIDE vs TF-CPU vs TF-GPU convergence-time curves and the
+  Figure 13 ratio view.
+
+Results land in ``BENCH_fig9_scalability.json``.  Measured speedup is
+hardware-bounded: the JSON records ``available_cores`` and the assertions
+only demand speedup the machine can physically deliver (a 1-core container
+cannot run 4 processes faster than 1 — the projection section carries the
+paper-scale story there).
+
+Runs under the pytest bench harness or standalone::
+
+    PYTHONPATH=src python benchmarks/bench_fig9_scalability.py [--smoke]
 """
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
 
 from repro.harness.experiment import AMAZON_PAPER_DIMS, DELICIOUS_PAPER_DIMS
 from repro.harness.figures import figure9_scalability, figure13_scalability_ratio
 from repro.harness.report import format_table
+from repro.harness.scaling import available_cores, measure_process_scaling
 
+_REPO_ROOT = Path(__file__).parent.parent
+DEFAULT_OUTPUT = _REPO_ROOT / "BENCH_fig9_scalability.json"
+
+PROCESS_COUNTS = (1, 2, 4)
 CORE_COUNTS = (2, 4, 8, 16, 32, 44)
+# Acceptance bars for the measured section: the async multi-process runs
+# must stay within one precision point of the fused single-process baseline,
+# and — when the machine actually has >= 4 usable cores — deliver >= 1.5x
+# wall-clock speedup at 4 processes.  The smoke/pytest configs use a much
+# looser precision bar: their eval sets are ~100-200 examples (one flipped
+# prediction is already ~0.5-1%) and HOGWILD run-to-run variance on a
+# seconds-long workload spans a few points.  The smoke bar exists to catch
+# divergence-class regressions — e.g. the shared-moment tearing bug showed
+# up as a 40-60 point collapse — not to relitigate noise.
+PRECISION_TOLERANCE = 0.01
+SMOKE_PRECISION_TOLERANCE = 0.05
+SPEEDUP_AT_4_BAR = 1.5
 
 
 def _crossover(rows, column):
@@ -20,34 +65,248 @@ def _crossover(rows, column):
     return None
 
 
-def _run(run_once, config, dims, name):
-    rows = run_once(figure9_scalability, config, core_counts=CORE_COUNTS, paper_dims=dims)
-    print()
-    print(format_table(rows, title=f"Figure 9: convergence time vs cores ({name})"))
+def paper_projection(config, dims) -> dict[str, object]:
+    """The calibrated device-model section (SLIDE/TF-CPU/TF-GPU vs cores)."""
+    rows = figure9_scalability(config, core_counts=CORE_COUNTS, paper_dims=dims)
     ratios = figure13_scalability_ratio(rows)
-    print(format_table(ratios, title=f"Figure 13: ratio to best convergence time ({name})"))
-    return rows, ratios
+    return {
+        "paper_dims": dims.name,
+        "rows": rows,
+        "figure13_ratios": ratios,
+        "tf_cpu_crossover_cores": _crossover(rows, "TF-CPU_convergence_s"),
+        "tf_gpu_crossover_cores": _crossover(rows, "TF-GPU_convergence_s"),
+    }
 
 
-def test_fig9_delicious_like(run_once, delicious_config):
-    rows, ratios = _run(run_once, delicious_config, DELICIOUS_PAPER_DIMS, "Delicious-200K-like")
+def precision_gaps(measured: dict[str, object]) -> dict[int, float]:
+    """Absolute precision@1 gap of each multi-process run vs the baseline."""
+    baseline = float(measured["baseline_precision_at_1"])
+    return {
+        int(row["processes"]): abs(float(row["precision_at_1"]) - baseline)
+        for row in measured["rows"]
+        if int(row["processes"]) > 1
+    }
+
+
+def build_report(
+    process_counts: tuple[int, ...] = PROCESS_COUNTS,
+    scale: float = 1.0 / 256.0,
+    epochs: int = 5,
+    batch_size: int = 32,
+    seed: int = 0,
+    start_method: str | None = None,
+    include_projection: bool = True,
+) -> dict[str, object]:
+    """Measured process scaling plus (optionally) the paper-scale projection."""
+    measured = measure_process_scaling(
+        process_counts=process_counts,
+        scale=scale,
+        epochs=epochs,
+        batch_size=batch_size,
+        seed=seed,
+        start_method=start_method,
+    )
+    report: dict[str, object] = {
+        "measured": measured,
+        "precision_gap_vs_baseline": {
+            str(processes): round(gap, 4)
+            for processes, gap in sorted(precision_gaps(measured).items())
+        },
+    }
+    if include_projection:
+        from repro.harness.experiment import small_experiment_config
+
+        delicious = small_experiment_config(
+            dataset="delicious", scale=1.0 / 1024.0, epochs=2, seed=seed
+        )
+        report["projection"] = paper_projection(delicious, DELICIOUS_PAPER_DIMS)
+    return report
+
+
+def write_report(report: dict[str, object], output: Path = DEFAULT_OUTPUT) -> None:
+    output.write_text(json.dumps(report, indent=2) + "\n")
+
+
+def check_measured(
+    report: dict[str, object],
+    precision_tolerance: float = PRECISION_TOLERANCE,
+    require_speedup: bool = True,
+) -> list[str]:
+    """Hardware-aware acceptance checks; returns human-readable failures.
+
+    ``require_speedup=False`` is for smoke/pytest configs: their workloads
+    are deliberately sub-second, so fixed per-process costs (fork/spawn,
+    network construction, LSH re-hash) dominate and a speedup bar would
+    only measure overhead, not scaling.  Precision parity is always checked.
+    """
+    measured = report["measured"]
+    rows = {int(row["processes"]): row for row in measured["rows"]}
+    cores = int(measured["available_cores"])
+    failures: list[str] = []
+    for processes, gap in precision_gaps(measured).items():
+        if gap > precision_tolerance:
+            failures.append(
+                f"{processes}-process precision@1 deviates {gap:.4f} from the "
+                f"fused baseline (tolerance {precision_tolerance})"
+            )
+    if not require_speedup:
+        return failures
+    if 4 in rows and cores >= 4:
+        speedup = float(rows[4]["speedup_vs_1"])
+        if speedup < SPEEDUP_AT_4_BAR:
+            failures.append(
+                f"4-process speedup {speedup:.2f}x below the "
+                f"{SPEEDUP_AT_4_BAR}x bar on a {cores}-core machine"
+            )
+    elif 2 in rows and cores >= 2:
+        speedup = float(rows[2]["speedup_vs_1"])
+        if speedup < 1.2:
+            failures.append(
+                f"2-process speedup {speedup:.2f}x below 1.2x on a "
+                f"{cores}-core machine"
+            )
+    return failures
+
+
+# ----------------------------------------------------------------------
+# pytest bench harness entry points
+# ----------------------------------------------------------------------
+def test_fig9_measured_process_scaling(run_once):
+    report = run_once(
+        build_report,
+        process_counts=(1, 2),
+        scale=1.0 / 1024.0,
+        epochs=3,
+        include_projection=False,
+    )
+    measured = report["measured"]
+    print()
+    print(
+        format_table(
+            measured["rows"],
+            title=(
+                "Figure 9 (measured): process-HOGWILD scaling "
+                f"({measured['available_cores']} usable cores)"
+            ),
+        )
+    )
+    failures = check_measured(
+        report,
+        precision_tolerance=SMOKE_PRECISION_TOLERANCE,
+        require_speedup=False,
+    )
+    assert not failures, "\n".join(failures)
+    # The async run really trained: every worker applied updates and the
+    # conflict counters saw the output layer.
+    two_proc = next(r for r in measured["rows"] if r["processes"] == 2)
+    assert two_proc["neurons_updated"] > 0
+    workload = measured["workload"]
+    assert two_proc["samples"] == workload["num_train"] * workload["epochs"]
+
+
+def test_fig9_projection_delicious_like(run_once, delicious_config):
+    projection = run_once(paper_projection, delicious_config, DELICIOUS_PAPER_DIMS)
+    rows = projection["rows"]
+    print()
+    print(format_table(rows, title="Figure 9 (projected): convergence vs cores (Delicious-200K)"))
+    print(
+        format_table(
+            projection["figure13_ratios"],
+            title="Figure 13: ratio to best convergence time (Delicious-200K)",
+        )
+    )
     # SLIDE improves monotonically with cores; at 44 cores it beats the GPU.
     slide_times = [r["SLIDE_convergence_s"] for r in rows]
     assert all(b < a for a, b in zip(slide_times, slide_times[1:]))
     assert rows[-1]["SLIDE_convergence_s"] < rows[-1]["TF-GPU_convergence_s"]
     # A GPU crossover exists and is not at the minimum core count (paper:
     # between 16 and 32 cores).
-    gpu_crossover = _crossover(rows, "TF-GPU_convergence_s")
-    print(f"GPU crossover at {gpu_crossover} cores (paper: between 16 and 32)")
-    assert gpu_crossover is not None and gpu_crossover > 2
-    # SLIDE scales better than TF-CPU: its ratio-to-best falls faster (Fig 13).
-    assert ratios[0]["SLIDE_ratio"] > ratios[0]["TF-CPU_ratio"] * 0.9
+    assert projection["tf_gpu_crossover_cores"] is not None
+    assert projection["tf_gpu_crossover_cores"] > 2
 
 
-def test_fig9_amazon_like(run_once, amazon_config):
-    rows, _ = _run(run_once, amazon_config, AMAZON_PAPER_DIMS, "Amazon-670K-like")
+def test_fig9_projection_amazon_like(run_once, amazon_config):
+    projection = run_once(paper_projection, amazon_config, AMAZON_PAPER_DIMS)
+    rows = projection["rows"]
+    print()
+    print(format_table(rows, title="Figure 9 (projected): convergence vs cores (Amazon-670K)"))
     assert rows[-1]["SLIDE_convergence_s"] < rows[-1]["TF-GPU_convergence_s"]
     # Against TF-CPU, SLIDE wins from a very small core count (paper: 2).
-    cpu_crossover = _crossover(rows, "TF-CPU_convergence_s")
-    print(f"TF-CPU crossover at {cpu_crossover} cores (paper: 2)")
-    assert cpu_crossover is not None and cpu_crossover <= 8
+    crossover = projection["tf_cpu_crossover_cores"]
+    assert crossover is not None and crossover <= 8
+
+
+# ----------------------------------------------------------------------
+# Standalone CLI
+# ----------------------------------------------------------------------
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny config for CI: 2-process run, projection skipped",
+    )
+    parser.add_argument(
+        "--processes",
+        type=int,
+        nargs="+",
+        default=None,
+        help="worker process counts to measure (1 is always included)",
+    )
+    parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument("--epochs", type=int, default=None)
+    parser.add_argument("--start-method", default=None, choices=("fork", "spawn"))
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args()
+
+    if args.smoke:
+        process_counts = tuple(args.processes or (1, 2))
+        scale = args.scale if args.scale is not None else 1.0 / 2048.0
+        epochs = args.epochs if args.epochs is not None else 2
+        include_projection = False
+    else:
+        process_counts = tuple(args.processes or PROCESS_COUNTS)
+        scale = args.scale if args.scale is not None else 1.0 / 256.0
+        epochs = args.epochs if args.epochs is not None else 5
+        include_projection = True
+
+    report = build_report(
+        process_counts=process_counts,
+        scale=scale,
+        epochs=epochs,
+        start_method=args.start_method,
+        include_projection=include_projection,
+    )
+    measured = report["measured"]
+    print(
+        format_table(
+            measured["rows"],
+            title=(
+                "Figure 9 (measured): process-HOGWILD scaling "
+                f"({measured['available_cores']} usable cores, "
+                f"start method {measured['start_method']})"
+            ),
+        )
+    )
+    if "projection" in report:
+        print(
+            format_table(
+                report["projection"]["rows"],
+                title="Figure 9 (projected): convergence time vs cores",
+            )
+        )
+    print(f"max measured speedup: {measured['max_measured_speedup']}x "
+          f"(cores available: {available_cores()})")
+    write_report(report, args.out)
+    print(f"wrote {args.out}")
+
+    tolerance = SMOKE_PRECISION_TOLERANCE if args.smoke else PRECISION_TOLERANCE
+    failures = check_measured(
+        report, precision_tolerance=tolerance, require_speedup=not args.smoke
+    )
+    if failures:
+        raise SystemExit("fig9 scalability bench failed:\n" + "\n".join(failures))
+
+
+if __name__ == "__main__":
+    main()

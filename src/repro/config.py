@@ -168,7 +168,17 @@ class LayerConfig:
 
 @dataclass(frozen=True)
 class OptimizerConfig:
-    """Optimiser hyper-parameters (the paper uses Adam throughout)."""
+    """Optimiser hyper-parameters (the paper uses Adam throughout).
+
+    ``update_clip`` bounds every Adam parameter change to
+    ``update_clip * learning_rate`` per element per step.  ``None``
+    (default) is exact, unclipped Adam.  The clip exists for lock-free
+    multi-process training (:mod:`repro.parallel.sharedmem`): concurrent
+    block updates can tear the shared first/second-moment buffers out of
+    sync (large ``m`` paired with a raced-away ``v``), and an unbounded
+    ``m_hat / sqrt(v_hat)`` then produces arbitrarily large steps.  The
+    clip turns that worst case into bounded HOGWILD noise.
+    """
 
     name: Literal["adam", "sgd"] = "adam"
     learning_rate: float = 1e-3
@@ -176,6 +186,7 @@ class OptimizerConfig:
     beta2: float = 0.999
     epsilon: float = 1e-8
     momentum: float = 0.0
+    update_clip: float | None = None
 
     def __post_init__(self) -> None:
         if self.learning_rate <= 0:
@@ -186,6 +197,8 @@ class OptimizerConfig:
             raise ValueError("epsilon must be positive")
         if not 0 <= self.momentum < 1:
             raise ValueError("momentum must lie in [0, 1)")
+        if self.update_clip is not None and self.update_clip <= 0:
+            raise ValueError("update_clip must be positive when provided")
 
 
 @dataclass(frozen=True)

@@ -117,6 +117,11 @@ class SlideLayer:
         # actually moved — the measured O(changed) claim.
         self.last_rebuild_dirty = 0
         self.last_rebuild_moved = 0
+        # Rows touched by the most recent gradient application (per-sample or
+        # accumulated block).  Purely diagnostic: the process-parallel trainer
+        # reads it to stamp each worker's update footprint into the shared
+        # gradient-conflict counters.
+        self.last_update_rows: IntArray | None = None
 
     # ------------------------------------------------------------------
     # Optimiser wiring
@@ -291,6 +296,7 @@ class SlideLayer:
             None,
             bias_grad,
         )
+        self.last_update_rows = state.active_out
         self.mark_dirty(state.active_out)
 
     def apply_gradient_block(
@@ -312,6 +318,7 @@ class SlideLayer:
             f"{self.name}.weights", self.weights, rows, cols, weight_grad
         )
         optimizer.sparse_step(f"{self.name}.biases", self.biases, rows, None, bias_grad)
+        self.last_update_rows = rows
         self.mark_dirty(rows)
 
     def mark_dirty(self, neuron_ids: IntArray) -> None:

@@ -92,6 +92,17 @@ class SlideTrainer:
     batch assembly onto a background :class:`repro.data.BatchPrefetcher`
     thread.  Neither choice changes the training trajectory: the same
     ``TrainingConfig.seed`` produces the same batches and losses bit-for-bit.
+
+    ``num_processes > 1`` hands the whole run to
+    :class:`repro.parallel.sharedmem.ProcessHogwildTrainer`: weights,
+    biases and optimiser moments move into shared memory and ``N`` worker
+    processes train lock-free on disjoint data slices (process-level
+    HOGWILD — the paper's scalability claim, for real).  In that mode the
+    ``hogwild``/``batched``/``prefetch_depth`` knobs and periodic
+    ``eval_every`` evaluation do not apply (workers run the fused batched
+    step on their own batches), the run is not bit-reproducible (HOGWILD
+    races), and the detailed report lands in :attr:`last_process_report`.
+    ``num_processes=1`` never changes behaviour.
     """
 
     def __init__(
@@ -101,17 +112,24 @@ class SlideTrainer:
         hogwild: bool = True,
         batched: bool | None = None,
         prefetch_depth: int = 0,
+        num_processes: int = 1,
     ) -> None:
         if prefetch_depth < 0:
             raise ValueError("prefetch_depth must be non-negative")
+        if num_processes < 1:
+            raise ValueError("num_processes must be positive")
         self.network = network
         self.training = training
         self.hogwild = hogwild
         self.batched = batched
         self.prefetch_depth = int(prefetch_depth)
+        self.num_processes = int(num_processes)
         self.optimizer = network.build_optimizer(training)
         self._rng = derive_rng(training.seed, stream=31)
         self.history = TrainingHistory()
+        # Filled by multi-process runs: the ProcessTrainingReport with
+        # per-worker stats and measured gradient-conflict counters.
+        self.last_process_report = None
 
     # ------------------------------------------------------------------
     # Batching
@@ -162,6 +180,8 @@ class SlideTrainer:
         """Run ``training.epochs`` epochs and return the full history."""
         if len(train_examples) == 0:
             raise ValueError("train_examples must not be empty")
+        if self.num_processes > 1:
+            return self._train_multiprocess(train_examples, eval_examples)
         eval_pool = eval_examples if eval_examples is not None else []
         for _epoch in range(self.training.epochs):
             batches = self._epoch_batches(train_examples)
@@ -176,6 +196,31 @@ class SlideTrainer:
                 self.history.epoch_accuracy.append(
                     evaluate_precision_at_1(self.network, eval_pool)
                 )
+        return self.history
+
+    def _train_multiprocess(
+        self,
+        train_examples: ExampleSource,
+        eval_examples: ExampleSource | None,
+    ) -> TrainingHistory:
+        """Delegate the run to the shared-memory process trainer.
+
+        Imported lazily: :mod:`repro.parallel.sharedmem` imports this module
+        for its single-process fallback, so a module-level import would be
+        circular.
+        """
+        from repro.parallel.sharedmem import ProcessHogwildTrainer
+
+        process_trainer = ProcessHogwildTrainer(
+            self.network, self.training, num_processes=self.num_processes
+        )
+        report = process_trainer.train(train_examples, eval_examples)
+        self.last_process_report = report
+        # The workers trained through shared optimiser state built by the
+        # process trainer; adopt it so checkpointing sees the real moments.
+        if process_trainer.optimizer is not None:
+            self.optimizer = process_trainer.optimizer
+        self.history = report.history
         return self.history
 
     def train_batches(

@@ -385,6 +385,13 @@ class ShardedDataset(Sequence[SparseExample]):
       deterministic per-epoch seed; one shard is resident at a time and each
       shard is released as soon as it has been consumed, so memory is
       bounded by ``shard_size`` regardless of the dataset size.
+
+    ``shard_subset`` restricts the view to a subset of the cache's shards
+    (given as manifest positions).  Combined with :meth:`assign_shards` /
+    :meth:`worker_view` this is what lets the process-parallel HOGWILD
+    trainer (:mod:`repro.parallel.sharedmem`) hand each worker process a
+    disjoint slice of the dataset that it can stream independently — the
+    workers share nothing but the cache directory on disk.
     """
 
     def __init__(
@@ -392,11 +399,28 @@ class ShardedDataset(Sequence[SparseExample]):
         cache_dir: str | Path,
         seed: int = 0,
         verify_checksums: bool = False,
+        shard_subset: Sequence[int] | None = None,
     ) -> None:
         self.cache_dir = Path(cache_dir)
         self.manifest = ShardManifest.load(self.cache_dir)
         self.seed = int(seed)
-        self._shards = [Shard(self.cache_dir, info) for info in self.manifest.shards]
+        if shard_subset is None:
+            self._shard_indices = list(range(self.manifest.num_shards))
+        else:
+            self._shard_indices = [int(i) for i in shard_subset]
+            seen: set[int] = set()
+            for index in self._shard_indices:
+                if not 0 <= index < self.manifest.num_shards:
+                    raise ValueError(
+                        f"shard_subset index {index} out of range "
+                        f"(cache has {self.manifest.num_shards} shards)"
+                    )
+                if index in seen:
+                    raise ValueError(f"shard_subset repeats shard {index}")
+                seen.add(index)
+        self._shards = [
+            Shard(self.cache_dir, self.manifest.shards[i]) for i in self._shard_indices
+        ]
         counts = np.array([s.num_examples for s in self._shards], dtype=np.int64)
         self._offsets = np.concatenate([[0], np.cumsum(counts)])
         if verify_checksums:
@@ -417,6 +441,11 @@ class ShardedDataset(Sequence[SparseExample]):
     def num_shards(self) -> int:
         return len(self._shards)
 
+    @property
+    def shard_indices(self) -> list[int]:
+        """Manifest positions of the shards this view covers (in view order)."""
+        return list(self._shard_indices)
+
     def open_shard_count(self) -> int:
         """How many shards currently hold open mmaps (memory diagnostics)."""
         return sum(1 for shard in self._shards if shard.is_open)
@@ -431,10 +460,56 @@ class ShardedDataset(Sequence[SparseExample]):
             shard.close()
 
     # ------------------------------------------------------------------
+    # Worker sharding
+    # ------------------------------------------------------------------
+    def assign_shards(self, num_workers: int) -> list[list[int]]:
+        """Partition this view's shards into ``num_workers`` disjoint groups.
+
+        Deterministic greedy longest-processing-time assignment over example
+        counts: shards are sorted by size (largest first, manifest position
+        as tie-break) and each goes to the currently lightest worker, so the
+        groups are balanced even when shard sizes are uneven.  Every shard of
+        the view appears in exactly one group; groups may be empty only when
+        ``num_workers`` exceeds the shard count.
+        """
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        groups: list[list[int]] = [[] for _ in range(num_workers)]
+        loads = [0] * num_workers
+        sized = sorted(
+            zip(self._shard_indices, self._shards),
+            key=lambda pair: (-pair[1].num_examples, pair[0]),
+        )
+        for manifest_index, shard in sized:
+            lightest = min(range(num_workers), key=lambda w: (loads[w], w))
+            groups[lightest].append(manifest_index)
+            loads[lightest] += shard.num_examples
+        return [sorted(group) for group in groups]
+
+    def worker_view(
+        self, worker_id: int, num_workers: int, seed: int | None = None
+    ) -> "ShardedDataset":
+        """A new dataset restricted to worker ``worker_id``'s shard group.
+
+        The view opens its own shard handles (and therefore its own mmaps),
+        so it is safe to use from another process: worker processes of the
+        process-parallel trainer each call this with their own id and stream
+        disjoint data without coordinating.
+        """
+        if not 0 <= worker_id < num_workers:
+            raise ValueError("worker_id must lie in [0, num_workers)")
+        assignment = self.assign_shards(num_workers)[worker_id]
+        return ShardedDataset(
+            self.cache_dir,
+            seed=self.seed if seed is None else seed,
+            shard_subset=assignment,
+        )
+
+    # ------------------------------------------------------------------
     # Random access (the eager-parity path)
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return self.manifest.num_examples
+        return int(self._offsets[-1])
 
     def _locate(self, index: int) -> tuple[Shard, int]:
         if index < 0:

@@ -12,9 +12,17 @@ from repro.harness.serving_sweep import (
     measure_engine,
     serving_accuracy_latency_sweep,
 )
+from repro.harness.scaling import (
+    ScalingRun,
+    available_cores,
+    measure_process_scaling,
+)
 from repro.harness import figures, tables
 
 __all__ = [
+    "ScalingRun",
+    "available_cores",
+    "measure_process_scaling",
     "format_table",
     "format_series",
     "format_comparison",

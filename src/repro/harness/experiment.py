@@ -124,6 +124,10 @@ class ExperimentConfig:
     # Depth of the background batch-assembly queue for SLIDE training runs
     # (0 = assemble batches inline; see repro.data.BatchPrefetcher).
     prefetch_depth: int = 0
+    # Worker processes for SLIDE training runs (1 = single-process; > 1
+    # trains through the shared-memory process-HOGWILD path, see
+    # repro.parallel.sharedmem).
+    num_processes: int = 1
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -133,6 +137,8 @@ class ExperimentConfig:
             raise ValueError("target_active_fraction must lie in (0, 1]")
         if self.prefetch_depth < 0:
             raise ValueError("prefetch_depth must be non-negative")
+        if self.num_processes < 1:
+            raise ValueError("num_processes must be positive")
 
     @property
     def target_active(self) -> int:
@@ -250,6 +256,7 @@ class HeadToHeadExperiment:
             network,
             self.training_config(batch_size),
             prefetch_depth=cfg.prefetch_depth,
+            num_processes=cfg.num_processes,
         )
         history = trainer.train(self.dataset.train, self.dataset.test)
 

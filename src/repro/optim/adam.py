@@ -10,6 +10,14 @@ Bias correction uses the global step count.  Strictly speaking lazily-updated
 Adam is a slight approximation of dense Adam (untouched coordinates do not
 decay their moments), matching the behaviour of the reference SLIDE code and
 of sparse Adam implementations in mainstream frameworks.
+
+``update_clip`` (optional, off by default) bounds each parameter change to
+``update_clip * learning_rate`` per element.  Lock-free multi-process
+training shares the ``m``/``v`` buffers across workers; a racing gather/
+scatter can pair a large first moment with a second moment whose
+accumulation was lost, and ``m_hat / (sqrt(v_hat) + eps)`` is unbounded in
+that state.  Clipping caps the damage of a torn moment pair at bounded
+HOGWILD noise without touching the exact-Adam default path.
 """
 
 from __future__ import annotations
@@ -32,15 +40,19 @@ class AdamOptimizer(Optimizer):
         beta1: float = 0.9,
         beta2: float = 0.999,
         epsilon: float = 1e-8,
+        update_clip: float | None = None,
     ) -> None:
         super().__init__(learning_rate=learning_rate)
         if not 0 <= beta1 < 1 or not 0 <= beta2 < 1:
             raise ValueError("beta1/beta2 must lie in [0, 1)")
         if epsilon <= 0:
             raise ValueError("epsilon must be positive")
+        if update_clip is not None and update_clip <= 0:
+            raise ValueError("update_clip must be positive when provided")
         self.beta1 = float(beta1)
         self.beta2 = float(beta2)
         self.epsilon = float(epsilon)
+        self.update_clip = None if update_clip is None else float(update_clip)
 
     def _init_state(self, shape: tuple[int, ...]) -> dict[str, FloatArray]:
         return {
@@ -55,11 +67,19 @@ class AdamOptimizer(Optimizer):
             beta1=self.beta1,
             beta2=self.beta2,
             epsilon=self.epsilon,
+            update_clip=self.update_clip,
         )
 
     def _bias_correction(self) -> tuple[float, float]:
         t = max(self.step_count, 1)
         return 1.0 - self.beta1**t, 1.0 - self.beta2**t
+
+    def _clip_delta(self, delta: FloatArray) -> FloatArray:
+        """Bound each element of an update to ``update_clip * lr`` (in place)."""
+        if self.update_clip is not None:
+            bound = self.update_clip * self.learning_rate
+            np.clip(delta, -bound, bound, out=delta)
+        return delta
 
     def step(self, name: str, param: FloatArray, grad: FloatArray) -> None:
         state = self._state[name]
@@ -71,7 +91,8 @@ class AdamOptimizer(Optimizer):
         bc1, bc2 = self._bias_correction()
         m_hat = m / bc1
         v_hat = v / bc2
-        param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+        delta = self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+        param -= self._clip_delta(delta)
 
     def sparse_step(
         self,
@@ -98,6 +119,5 @@ class AdamOptimizer(Optimizer):
         bc1, bc2 = self._bias_correction()
         m_hat = m_block / bc1
         v_hat = v_block / bc2
-        param[view] = param[view] - self.learning_rate * m_hat / (
-            np.sqrt(v_hat) + self.epsilon
-        )
+        delta = self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+        param[view] = param[view] - self._clip_delta(delta)

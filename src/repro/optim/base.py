@@ -28,6 +28,12 @@ class Optimizer(abc.ABC):
         self._state: dict[str, dict[str, FloatArray]] = {}
         # Global step counter; sparse and dense steps both advance it.
         self.step_count = 0
+        # How far begin_step() advances the counter.  1 everywhere except
+        # HOGWILD worker processes: N workers share the moment buffers, so
+        # each buffer element sees ~N decay/accumulate cycles per *local*
+        # step and bias correction should pace with the global rate.  The
+        # process trainer sets this to its worker count.
+        self.step_stride = 1
 
     # ------------------------------------------------------------------
     # Parameter registration
@@ -63,7 +69,7 @@ class Optimizer(abc.ABC):
     # ------------------------------------------------------------------
     def begin_step(self) -> None:
         """Advance the global step counter (call once per mini-batch)."""
-        self.step_count += 1
+        self.step_count += self.step_stride
 
     @abc.abstractmethod
     def step(self, name: str, param: FloatArray, grad: FloatArray) -> None:
@@ -97,6 +103,36 @@ class Optimizer(abc.ABC):
     def state_of(self, name: str) -> dict[str, FloatArray]:
         """Return the internal state arrays of a parameter (no copy)."""
         return self._state[name]
+
+    def state_items(self) -> list[tuple[str, str, FloatArray]]:
+        """Every state array as ``(param_name, state_key, array)`` triples.
+
+        Registration order for parameters, insertion order for keys — a
+        stable flat enumeration used by the shared-memory parameter store
+        (:mod:`repro.parallel.sharedmem`) to place the optimiser's moment
+        buffers alongside the weights they belong to.
+        """
+        return [
+            (name, key, array)
+            for name, state in self._state.items()
+            for key, array in state.items()
+        ]
+
+    def set_state_array(self, name: str, key: str, array: FloatArray) -> None:
+        """Rebind one state array to ``array`` (same shape, in place thereafter).
+
+        The counterpart of :meth:`state_items` for attaching/detaching
+        shared-memory backing: the new array must match the shape of the one
+        it replaces, and subsequent ``step``/``sparse_step`` calls read and
+        write through it.
+        """
+        current = self._state[name][key]
+        if array.shape != current.shape:
+            raise ValueError(
+                f"state array {name!r}/{key!r} has shape {current.shape}; "
+                f"cannot rebind to shape {array.shape}"
+            )
+        self._state[name][key] = array
 
     @staticmethod
     def _block_view(param: FloatArray, rows: IntArray, cols: IntArray | None):

@@ -18,6 +18,7 @@ def make_optimizer(config: OptimizerConfig) -> Optimizer:
             beta1=config.beta1,
             beta2=config.beta2,
             epsilon=config.epsilon,
+            update_clip=config.update_clip,
         )
     if config.name == "sgd":
         return SGDOptimizer(

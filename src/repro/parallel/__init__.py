@@ -1,9 +1,32 @@
-"""Parallelism substrate: HOGWILD-style asynchronous accumulation, update
-conflict analysis, and a batch-parallel executor."""
+"""Parallelism substrate, in two tiers.
+
+**Simulators (thread-based, GIL-bound)** — :class:`HogwildSimulator` and
+:class:`BatchParallelExecutor` reproduce SLIDE's asynchronous *update
+semantics* (staleness, arbitrary ordering, conflict behaviour) inside one
+Python process.  They are measurement instruments for the HOGWILD theory,
+not a route to core scaling: the interpreter serialises their bookkeeping no
+matter how many threads run.
+
+**Real process parallelism** — :mod:`repro.parallel.sharedmem` places the
+model's parameters (and optimiser moments) in ``multiprocessing``
+shared-memory blocks and trains with ``N`` worker *processes* performing
+lock-free asynchronous updates, each owning a private LSH index.  This is
+the execution model behind the paper's Figure 9 / Table 2 scalability
+claims; ``benchmarks/bench_fig9_scalability.py`` measures it for real.
+
+:mod:`repro.parallel.conflicts` quantifies update overlap for both tiers.
+"""
 
 from repro.parallel.conflicts import ConflictReport, analyze_update_conflicts
 from repro.parallel.hogwild import HogwildSimulator, HogwildStepReport
 from repro.parallel.executor import BatchParallelExecutor, WorkerPool
+from repro.parallel.sharedmem import (
+    ProcessConflictStats,
+    ProcessHogwildTrainer,
+    ProcessTrainingReport,
+    SharedParamStore,
+    WorkerStats,
+)
 
 __all__ = [
     "ConflictReport",
@@ -12,4 +35,9 @@ __all__ = [
     "HogwildStepReport",
     "BatchParallelExecutor",
     "WorkerPool",
+    "SharedParamStore",
+    "ProcessHogwildTrainer",
+    "ProcessTrainingReport",
+    "ProcessConflictStats",
+    "WorkerStats",
 ]

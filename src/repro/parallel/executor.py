@@ -6,9 +6,14 @@ by NumPy kernels that release the GIL, so per-sample work genuinely overlaps,
 while the final (tiny) gradient application stays on the calling thread to
 keep the update semantics identical to the sequential path.
 
-This substrate exists for fidelity and for the scalability experiments'
-*measured work* inputs; the headline scaling numbers of Figure 9 come from
-the analytical device model in :mod:`repro.perf` (see DESIGN.md for why).
+**Scope: thread-based, GIL-bound.**  Only the time spent inside GIL-releasing
+NumPy kernels overlaps; the per-sample Python bookkeeping (hashing dispatch,
+gather setup, gradient application) serialises on the interpreter lock, so
+this executor is a *fidelity* substrate — it reproduces the execution shape,
+not the speedup.  Measured multi-core scaling (real wall-clock, Figure 9 /
+Table 2) comes from the process-level trainer in
+:mod:`repro.parallel.sharedmem`; the analytical projections at the paper's
+44-core scale come from the device model in :mod:`repro.perf`.
 """
 
 from __future__ import annotations
@@ -37,6 +42,11 @@ class WorkerPool:
     function, tracks liveness, and joins them on shutdown.  NumPy kernels
     release the GIL, so worker loops dominated by matrix work genuinely
     overlap — the same property :class:`BatchParallelExecutor` relies on.
+
+    A worker loop that raises does not die silently: the pool records the
+    first exception (thread start order breaks ties) and re-raises it from
+    :meth:`join`, so a crashed worker surfaces at shutdown instead of
+    leaving a dead thread behind an apparently healthy pool.
     """
 
     def __init__(self, num_workers: int, name: str = "worker") -> None:
@@ -45,14 +55,25 @@ class WorkerPool:
         self.num_workers = int(num_workers)
         self.name = name
         self._threads: list[threading.Thread] = []
+        self._error: BaseException | None = None
+        self._error_lock = threading.Lock()
 
     def start(self, loop: Callable[[int], None]) -> None:
         """Spawn ``num_workers`` threads, each running ``loop(worker_index)``."""
         if self._threads:
             raise RuntimeError("pool already started")
+
+        def guarded(index: int) -> None:
+            try:
+                loop(index)
+            except BaseException as exc:  # noqa: BLE001 - re-raised from join()
+                with self._error_lock:
+                    if self._error is None:
+                        self._error = exc
+
         for index in range(self.num_workers):
             thread = threading.Thread(
-                target=loop,
+                target=guarded,
                 args=(index,),
                 name=f"{self.name}-{index}",
                 daemon=True,
@@ -61,9 +82,17 @@ class WorkerPool:
             thread.start()
 
     def join(self, timeout: float | None = None) -> None:
-        """Wait (up to ``timeout`` seconds per thread) for every worker."""
+        """Wait (up to ``timeout`` seconds per thread) for every worker.
+
+        Re-raises the first exception any worker loop raised (clearing it,
+        so a subsequent ``join`` does not raise again).
+        """
         for thread in self._threads:
             thread.join(timeout=timeout)
+        with self._error_lock:
+            error, self._error = self._error, None
+        if error is not None:
+            raise error
 
     @property
     def started(self) -> bool:

@@ -22,6 +22,16 @@ synchronous kernels in :mod:`repro.kernels` fuse the whole batch into one
 accumulated update per layer, which has no meaningful asynchronous execution
 to simulate.  Keeping this path per-sample is also what keeps HOGWILD
 training bit-compatible across releases.
+
+**Scope: this is a GIL-bound simulator, not a scaling mechanism.**  Both
+phases run on the calling thread of a single Python process; adding CPU
+cores cannot speed it up, and it must never be used to measure the paper's
+Figure 9 / Table 2 core-scalability claims.  For genuine process-level
+parallelism — shared-memory parameters, lock-free cross-process updates,
+measured wall-clock speedup — use
+:class:`repro.parallel.sharedmem.ProcessHogwildTrainer`.  The simulator's
+job is the complementary one: isolating and measuring the *semantics* of
+asynchrony (staleness, reorderings, conflicts) deterministically.
 """
 
 from __future__ import annotations
@@ -50,13 +60,18 @@ class HogwildStepReport:
 
 
 class HogwildSimulator:
-    """Simulates lock-free per-sample gradient application.
+    """Simulates lock-free per-sample gradient application (single process).
 
     The simulator differs from ``SlideNetwork.train_batch(hogwild=True)`` in
     one deliberate way: *all* gradients are computed against the same weight
     snapshot (maximum staleness — the worst case for asynchrony) and then
     applied in a random order.  This isolates the effect the HOGWILD theory is
     about, and is what the conflict/convergence ablation tests exercise.
+
+    It executes sequentially under the GIL and therefore cannot exhibit (or
+    measure) core scaling — see
+    :class:`repro.parallel.sharedmem.ProcessHogwildTrainer` for the
+    multi-process trainer that does.
     """
 
     def __init__(self, network: SlideNetwork, optimizer: Optimizer, seed: int = 0) -> None:

@@ -1,0 +1,928 @@
+"""True multi-process HOGWILD training over shared-memory parameters.
+
+The thread-based substrates in this package (:class:`~repro.parallel.hogwild.
+HogwildSimulator`, :class:`~repro.parallel.executor.BatchParallelExecutor`)
+reproduce SLIDE's asynchronous *update semantics* but execute under the GIL,
+so they cannot demonstrate the paper's central systems claim — near-linear
+scaling with CPU cores (Figure 9, Table 2).  This module provides the real
+thing:
+
+* :class:`SharedParamStore` places named parameter arrays (layer weights and
+  biases, optimiser moment buffers, diagnostic counters) in
+  ``multiprocessing.shared_memory`` blocks.  The store serialises its layout
+  into a JSON-safe *manifest*; worker processes — forked or spawned —
+  reattach the blocks zero-copy from the manifest and bind their own
+  ``SlideNetwork`` / optimiser instances onto the shared arrays.
+* :class:`ProcessHogwildTrainer` shards each epoch's data across ``N``
+  worker processes that perform lock-free asynchronous updates directly into
+  the shared parameters (HOGWILD at micro-batch granularity, Recht et al.,
+  2011).  Per the paper's design each worker owns a *private* LSH index over
+  the shared weights, rebuilt on the worker's own schedule; nothing but the
+  parameter arrays (and two small diagnostic counters) is shared, and no
+  locks are taken anywhere on the training path.
+
+Gradient conflicts are *measured*, not assumed away: every worker stamps its
+per-batch update footprint into a shared per-neuron writer bitmask, and the
+parent reports how many neurons were touched by two or more workers (plus a
+cross-worker :class:`~repro.parallel.conflicts.ConflictReport` over the
+worker footprints).  The bitmask update is itself lock-free and therefore
+slightly approximate under contention — exactly the trade-off HOGWILD makes
+for the gradients themselves.
+
+With ``num_processes=1`` the trainer degenerates to a deterministic inline
+run of today's fused synchronous path (:mod:`repro.kernels`) — bit-for-bit
+identical weights to ``SlideTrainer(hogwild=False).train`` on the same data
+and seed, which is what the parity tests pin.
+
+Multi-process runs are *not* bit-reproducible: update interleaving across
+workers is scheduler-dependent, which is inherent to HOGWILD.  Periodic
+mid-training evaluation (``TrainingConfig.eval_every``) is skipped in
+multi-process mode; end-of-training evaluation still runs in the parent.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue as queue_module
+import resource
+import secrets
+import time
+import traceback
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+import numpy as np
+
+from repro.config import (
+    TrainingConfig,
+    network_config_from_dict,
+    network_config_to_dict,
+    optimizer_config_from_dict,
+    optimizer_config_to_dict,
+)
+from repro.core.network import SlideNetwork
+from repro.data.shards import ShardedDataset
+from repro.optim.base import Optimizer
+from repro.optim.factory import make_optimizer
+from repro.parallel.conflicts import ConflictReport, analyze_update_conflicts
+from repro.types import SparseBatch, SparseExample
+from repro.utils.rng import derive_rng
+
+__all__ = [
+    "SharedParamStore",
+    "network_state_arrays",
+    "bind_network",
+    "unbind_network",
+    "WorkerStats",
+    "ProcessConflictStats",
+    "ProcessTrainingReport",
+    "ProcessHogwildTrainer",
+]
+
+# Reserved name prefix for non-parameter arrays the trainer places in the
+# store (conflict counters); kept out of network binding helpers.
+_DIAG_PREFIX = "_diag::"
+_WRITER_MASK = _DIAG_PREFIX + "writer_mask"
+_WORKER_UPDATES = _DIAG_PREFIX + "worker_updates"
+
+# A uint64 writer bitmask caps the worker count.
+MAX_PROCESSES = 64
+
+# Workers share the Adam moment buffers lock-free, so a racing block
+# gather/scatter can pair a large first moment with a second moment whose
+# accumulation was just overwritten — and Adam's m_hat/sqrt(v_hat) step is
+# unbounded in that state (measured: hidden-layer weights exploding within a
+# few batches).  Workers therefore run with a bounded-update Adam: each
+# element moves at most DEFAULT_UPDATE_CLIP * learning_rate per step, which
+# turns a torn moment pair into ordinary bounded HOGWILD noise.  Single
+# process paths never clip, so the deterministic fallback stays bit-exact.
+DEFAULT_UPDATE_CLIP = 10.0
+
+
+def _attach_segment(name: str):
+    """Attach an existing shared-memory block, untracked where possible.
+
+    Python 3.13+ exposes ``track=False`` so attaching registers nothing with
+    the resource tracker.  On older interpreters the attach *does* register,
+    which is harmless here: every attaching process in this module is a
+    descendant of the creating one, so all of them share the creator's
+    resource-tracker process, whose cache is a set — the re-registration is
+    idempotent and exactly one unregister happens when the owner unlinks.
+    (The classic premature-unlink hazard, bpo-38119, needs *independent*
+    trackers, i.e. attaching from an unrelated process — not our topology.)
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, create=False, track=False)
+    except TypeError:  # Python < 3.13: no ``track`` parameter.
+        return shared_memory.SharedMemory(name=name, create=False)
+
+
+class SharedParamStore:
+    """Named ndarrays backed by ``multiprocessing.shared_memory`` blocks.
+
+    One block per array.  The creating process copies the source arrays in
+    (:meth:`create`) and owns the blocks' lifetime (:meth:`unlink`); any
+    process holding the :meth:`manifest` can :meth:`attach` zero-copy views
+    of the same memory.  Views returned by ``store[name]`` stay valid until
+    :meth:`close`; callers must drop every outstanding view (see
+    :func:`unbind_network`) before closing, or the export check in
+    ``mmap.close`` will refuse.
+    """
+
+    def __init__(
+        self,
+        segments: dict[str, object],
+        arrays: dict[str, np.ndarray],
+        specs: dict[str, dict[str, object]],
+        owner: bool,
+    ) -> None:
+        self._segments = segments
+        self._arrays = arrays
+        self._specs = specs
+        self._owner = owner
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls, arrays: Mapping[str, np.ndarray], prefix: str = "slide"
+    ) -> "SharedParamStore":
+        """Allocate shared blocks for ``arrays`` and copy their contents in."""
+        from multiprocessing import shared_memory
+
+        if not arrays:
+            raise ValueError("arrays must not be empty")
+        token = secrets.token_hex(4)
+        segments: dict[str, object] = {}
+        views: dict[str, np.ndarray] = {}
+        specs: dict[str, dict[str, object]] = {}
+        try:
+            for index, (name, array) in enumerate(arrays.items()):
+                if not name:
+                    raise ValueError("array names must be non-empty")
+                source = np.ascontiguousarray(array)
+                shm_name = f"{prefix}-{os.getpid():x}-{token}-{index}"
+                segment = shared_memory.SharedMemory(
+                    name=shm_name, create=True, size=max(source.nbytes, 1)
+                )
+                view = np.ndarray(source.shape, dtype=source.dtype, buffer=segment.buf)
+                view[...] = source
+                segments[name] = segment
+                views[name] = view
+                specs[name] = {
+                    "shm": shm_name,
+                    "shape": [int(dim) for dim in source.shape],
+                    "dtype": source.dtype.str,
+                }
+        except BaseException:
+            for name, segment in segments.items():
+                views.pop(name, None)
+                segment.close()
+                try:
+                    segment.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+            raise
+        return cls(segments, views, specs, owner=True)
+
+    @classmethod
+    def attach(cls, manifest: Mapping[str, object]) -> "SharedParamStore":
+        """Reattach every block described by ``manifest`` (zero-copy)."""
+        entries = manifest.get("arrays")
+        if not isinstance(entries, Mapping) or not entries:
+            raise ValueError("manifest has no 'arrays' section")
+        segments: dict[str, object] = {}
+        views: dict[str, np.ndarray] = {}
+        specs: dict[str, dict[str, object]] = {}
+        try:
+            for name, spec in entries.items():
+                segment = _attach_segment(str(spec["shm"]))
+                shape = tuple(int(dim) for dim in spec["shape"])
+                dtype = np.dtype(str(spec["dtype"]))
+                expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+                if segment.size < expected:
+                    segment.close()
+                    raise ValueError(
+                        f"shared block {spec['shm']!r} holds {segment.size} bytes; "
+                        f"manifest expects at least {expected}"
+                    )
+                segments[name] = segment
+                views[name] = np.ndarray(shape, dtype=dtype, buffer=segment.buf)
+                specs[name] = {
+                    "shm": str(spec["shm"]),
+                    "shape": list(shape),
+                    "dtype": dtype.str,
+                }
+        except BaseException:
+            for name, segment in segments.items():
+                views.pop(name, None)
+                segment.close()
+            raise
+        return cls(segments, views, specs, owner=False)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def owner(self) -> bool:
+        return self._owner
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def names(self) -> list[str]:
+        return list(self._specs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        if self._closed:
+            raise RuntimeError("store is closed; views are no longer valid")
+        return self._arrays[name]
+
+    def copy_out(self, name: str) -> np.ndarray:
+        """A private (non-shared) copy of the named array's current contents."""
+        return np.array(self[name])
+
+    def manifest(self) -> dict[str, object]:
+        """JSON-serialisable layout: pass to workers, :meth:`attach` there."""
+        return {
+            "format": 1,
+            "arrays": {name: dict(spec) for name, spec in self._specs.items()},
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Detach from the blocks (views die; the memory itself survives)."""
+        if self._closed:
+            return
+        self._arrays.clear()
+        for segment in self._segments.values():
+            segment.close()
+        self._closed = True
+
+    def unlink(self) -> None:
+        """Free the blocks system-wide (owner's responsibility, idempotent)."""
+        for segment in self._segments.values():
+            try:
+                segment.unlink()
+            except FileNotFoundError:
+                pass
+
+    def __enter__(self) -> "SharedParamStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+        if self._owner:
+            self.unlink()
+
+
+# ----------------------------------------------------------------------
+# Network <-> store binding
+# ----------------------------------------------------------------------
+def network_state_arrays(
+    network: SlideNetwork, optimizer: Optimizer
+) -> dict[str, np.ndarray]:
+    """Every trainable array of ``network`` + ``optimizer`` under stable names.
+
+    Layers contribute ``layer{i}.weights`` / ``layer{i}.biases`` (matching
+    the optimiser's registration names); optimiser state arrays contribute
+    ``opt::{param}::{key}`` (e.g. Adam's first/second moments).
+    """
+    arrays: dict[str, np.ndarray] = {}
+    for layer in network.layers:
+        arrays[f"{layer.name}.weights"] = layer.weights
+        arrays[f"{layer.name}.biases"] = layer.biases
+    for param_name, key, array in optimizer.state_items():
+        arrays[f"opt::{param_name}::{key}"] = array
+    return arrays
+
+
+def bind_network(
+    network: SlideNetwork, optimizer: Optimizer, store: SharedParamStore
+) -> None:
+    """Point ``network``/``optimizer`` arrays at the store's shared views.
+
+    After this call every gradient application writes directly into shared
+    memory; values are preserved (the store was created from — or attached
+    to — the same layout produced by :func:`network_state_arrays`).
+    """
+    for layer in network.layers:
+        layer.weights = store[f"{layer.name}.weights"]
+        layer.biases = store[f"{layer.name}.biases"]
+    for param_name, key, _ in optimizer.state_items():
+        optimizer.set_state_array(param_name, key, store[f"opt::{param_name}::{key}"])
+
+
+def unbind_network(
+    network: SlideNetwork, optimizer: Optimizer, store: SharedParamStore
+) -> None:
+    """Copy the shared values back into private arrays and rebind to those.
+
+    The inverse of :func:`bind_network`: afterwards the network holds no
+    references into the store, so the store can be closed (and unlinked)
+    without invalidating the model.
+    """
+    for layer in network.layers:
+        layer.weights = store.copy_out(f"{layer.name}.weights")
+        layer.biases = store.copy_out(f"{layer.name}.biases")
+    for param_name, key, _ in optimizer.state_items():
+        optimizer.set_state_array(
+            param_name, key, store.copy_out(f"opt::{param_name}::{key}")
+        )
+
+
+def _cpu_seconds(who: int) -> float:
+    usage = resource.getrusage(who)
+    return float(usage.ru_utime + usage.ru_stime)
+
+
+def _popcount(values: np.ndarray) -> np.ndarray:
+    """Per-element set-bit count of a uint64 array."""
+    bitwise_count = getattr(np, "bitwise_count", None)
+    if bitwise_count is not None:
+        return bitwise_count(values).astype(np.int64)
+    counts = np.zeros(values.shape, dtype=np.int64)  # pragma: no cover - numpy<2
+    for bit in range(64):  # pragma: no cover - numpy<2
+        counts += ((values >> np.uint64(bit)) & np.uint64(1)).astype(np.int64)
+    return counts  # pragma: no cover - numpy<2
+
+
+# ----------------------------------------------------------------------
+# Reports
+# ----------------------------------------------------------------------
+@dataclass
+class WorkerStats:
+    """Per-worker training telemetry returned through the result queue."""
+
+    worker_id: int
+    batches: int
+    samples: int
+    wall_time_s: float
+    mean_loss: float
+    losses: list[float]
+    active_neurons: list[int]
+    active_weights: list[int]
+    batch_sizes: list[int]
+    rebuilds: int
+    # Sorted unique output-neuron ids this worker updated at least once.
+    footprint: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+
+
+@dataclass
+class ProcessConflictStats:
+    """Cross-worker gradient-conflict measurements for one training run."""
+
+    output_dim: int
+    # Output neurons updated by >= 1 worker (from the shared writer bitmask).
+    neurons_updated: int
+    # Output neurons updated by >= 2 distinct workers over the whole run.
+    neurons_contested: int
+    # Conflict analysis treating each worker's whole-run footprint as one
+    # update set (the pairwise-overlap view of the same data).
+    footprint_report: ConflictReport
+    # Batch updates applied per worker, read back from the shared counter
+    # array — the through-shared-memory cross-check of WorkerStats.batches.
+    worker_update_counts: list[int] = field(default_factory=list)
+
+    @property
+    def contested_fraction(self) -> float:
+        """Fraction of updated neurons touched by two or more workers."""
+        return self.neurons_contested / max(self.neurons_updated, 1)
+
+
+@dataclass
+class ProcessTrainingReport:
+    """Outcome of one :class:`ProcessHogwildTrainer` run."""
+
+    num_processes: int
+    start_method: str
+    wall_time_s: float
+    samples: int
+    worker_stats: list[WorkerStats]
+    conflict: ProcessConflictStats | None
+    # Merged per-batch records (round-robin across workers in multi-process
+    # runs); ``epoch_accuracy`` carries the parent's end-of-run evaluation.
+    history: "TrainingHistory"
+    # CPU seconds consumed by the measured training phase only (the parent
+    # for inline runs, the reaped workers for multi-process runs) — the
+    # same window ``wall_time_s`` covers, so utilisation ratios are honest.
+    cpu_time_s: float = 0.0
+
+    @property
+    def samples_per_sec(self) -> float:
+        return self.samples / max(self.wall_time_s, 1e-9)
+
+    def mean_loss(self) -> float:
+        losses = [loss for stats in self.worker_stats for loss in stats.losses]
+        return float(np.mean(losses)) if losses else 0.0
+
+    def final_accuracy(self) -> float | None:
+        return self.history.final_accuracy()
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+def _iter_worker_batches(payload: dict, network: SlideNetwork):
+    """Yield this worker's batches for every epoch, deterministically.
+
+    ``shards`` plans stream disjoint :class:`ShardedDataset` shards (one
+    resident at a time); ``examples`` plans shuffle a materialised list with
+    the worker's private generator, mirroring ``SlideTrainer``'s batching.
+    """
+    data = payload["data"]
+    training = payload["training"]
+    batch_size = int(training["batch_size"])
+    epochs = int(training["epochs"])
+    shuffle = bool(training["shuffle"])
+    if data["kind"] == "shards":
+        # All workers carry the same group list and rotate through it in
+        # lockstep ``(worker_id + epoch) % N``: within any epoch index the
+        # groups are disjoint across workers, while over epochs each worker
+        # streams the whole dataset — the usual data-parallel re-sharding,
+        # without any cross-process coordination.
+        groups: list[list[int]] = data["groups"]
+        worker_id = int(data["worker_id"])
+        for epoch in range(epochs):
+            group = groups[(worker_id + epoch) % len(groups)]
+            dataset = ShardedDataset(
+                data["cache_dir"], seed=int(data["seed"]), shard_subset=group
+            )
+            yield from dataset.iter_batches(
+                batch_size, epoch=epoch, shuffle=shuffle, release=True
+            )
+            dataset.close()
+        return
+    examples: list[SparseExample] = data["examples"]
+    rng = derive_rng(int(data["seed"]), stream=31)
+    for _epoch in range(epochs):
+        order = np.arange(len(examples))
+        if shuffle:
+            rng.shuffle(order)
+        for start in range(0, len(examples), batch_size):
+            chunk = [examples[int(i)] for i in order[start : start + batch_size]]
+            if not chunk:
+                continue
+            yield SparseBatch.from_examples(
+                chunk,
+                feature_dim=network.input_dim,
+                label_dim=network.output_dim,
+            )
+
+
+def _run_worker(payload: dict) -> WorkerStats:
+    worker_id = int(payload["worker_id"])
+    store = SharedParamStore.attach(payload["manifest"])
+    network: SlideNetwork | None = None
+    optimizer: Optimizer | None = None
+    try:
+        network = SlideNetwork(network_config_from_dict(payload["network_config"]))
+        optimizer = make_optimizer(
+            optimizer_config_from_dict(payload["optimizer_config"])
+        )
+        for layer in network.layers:
+            layer.register_parameters(optimizer)
+        # Shared moments decay/accumulate at the *global* update rate (all
+        # workers write them); pace this worker's Adam bias correction to
+        # match rather than to its local step count.
+        optimizer.step_stride = int(payload.get("step_stride", 1))
+        bind_network(network, optimizer, store)
+        # The constructor hashed the worker's *random* init; re-hash the
+        # shared weights so this worker's private LSH index reflects the
+        # actual model before the first batch.
+        network.rebuild_all_tables()
+
+        writer_mask = store[_WRITER_MASK]
+        worker_updates = store[_WORKER_UPDATES]
+        worker_bit = np.uint64(1 << worker_id)
+
+        losses: list[float] = []
+        active_neurons: list[int] = []
+        active_weights: list[int] = []
+        batch_sizes: list[int] = []
+        footprint_chunks: list[np.ndarray] = []
+        samples = 0
+        start = time.perf_counter()
+        for batch in _iter_worker_batches(payload, network):
+            metrics = network.train_batch(batch, optimizer, hogwild=False)
+            losses.append(float(metrics["loss"]))
+            active_neurons.append(int(metrics["active_neurons"]))
+            active_weights.append(int(metrics["active_weights"]))
+            batch_sizes.append(int(metrics["batch_size"]))
+            samples += int(metrics["batch_size"])
+            rows = network.output_layer.last_update_rows
+            if rows is not None and rows.size:
+                # Lock-free conflict stamp: OR this worker's bit into the
+                # shared per-neuron writer mask.  The read-modify-write can
+                # race with other workers (same trade-off as the gradient
+                # updates themselves), so the mask is a floor, not a census.
+                writer_mask[rows] |= worker_bit
+                footprint_chunks.append(np.asarray(rows, dtype=np.int64))
+            worker_updates[worker_id] += 1
+        wall = time.perf_counter() - start
+
+        footprint = (
+            np.unique(np.concatenate(footprint_chunks))
+            if footprint_chunks
+            else np.zeros(0, dtype=np.int64)
+        )
+        return WorkerStats(
+            worker_id=worker_id,
+            batches=len(losses),
+            samples=samples,
+            wall_time_s=wall,
+            mean_loss=float(np.mean(losses)) if losses else 0.0,
+            losses=losses,
+            active_neurons=active_neurons,
+            active_weights=active_weights,
+            batch_sizes=batch_sizes,
+            rebuilds=sum(layer.num_rebuilds for layer in network.layers),
+            footprint=footprint,
+        )
+    finally:
+        try:
+            if network is not None and optimizer is not None:
+                # Drop every view into the store before closing it: ndarray
+                # views keep the underlying mmap exported, and close() would
+                # refuse while exports exist.
+                unbind_network(network, optimizer, store)
+        finally:
+            store.close()
+
+
+def _worker_entry(payload: dict, result_queue) -> None:
+    """Top-level process target (importable, so ``spawn`` can pickle it)."""
+    worker_id = int(payload["worker_id"])
+    try:
+        stats = _run_worker(payload)
+    except BaseException as exc:  # noqa: BLE001 - relayed to the parent
+        result_queue.put(
+            {
+                "status": "error",
+                "worker_id": worker_id,
+                "error": f"{type(exc).__name__}: {exc}",
+                "traceback": traceback.format_exc(),
+            }
+        )
+        return
+    result_queue.put({"status": "ok", "worker_id": worker_id, "stats": stats})
+
+
+# ----------------------------------------------------------------------
+# Trainer
+# ----------------------------------------------------------------------
+class ProcessHogwildTrainer:
+    """Asynchronous multi-process SLIDE training over shared parameters.
+
+    Each of ``num_processes`` workers builds its own :class:`SlideNetwork`
+    (private LSH tables, private rebuild schedule, private RNG streams),
+    binds the network's weights/biases and the optimiser's moment buffers to
+    the parent's shared-memory blocks, and trains on a disjoint slice of the
+    data — whole :class:`~repro.data.shards.ShardedDataset` shards when the
+    input is a shard cache with enough shards, otherwise a deterministic
+    round-robin split of a materialised example list.  Updates land lock-free
+    (HOGWILD); the run reports measured cross-worker gradient conflicts.
+
+    ``num_processes=1`` runs inline through ``SlideTrainer(hogwild=False)``
+    and therefore stays bit-for-bit identical to the fused synchronous path.
+    """
+
+    def __init__(
+        self,
+        network: SlideNetwork,
+        training: TrainingConfig,
+        num_processes: int = 1,
+        start_method: str | None = None,
+        join_timeout: float | None = 60.0,
+        prefix: str = "slide-hogwild",
+    ) -> None:
+        if not 1 <= num_processes <= MAX_PROCESSES:
+            raise ValueError(f"num_processes must lie in [1, {MAX_PROCESSES}]")
+        if start_method is not None and start_method not in mp.get_all_start_methods():
+            raise ValueError(
+                f"start method {start_method!r} not available on this platform"
+            )
+        self.network = network
+        self.training = training
+        self.num_processes = int(num_processes)
+        if start_method is None:
+            start_method = (
+                "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+            )
+        self.start_method = start_method
+        self.join_timeout = join_timeout
+        self.prefix = prefix
+        self.optimizer: Optimizer | None = None
+        self.last_report: ProcessTrainingReport | None = None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        train_examples,
+        eval_examples=None,
+    ) -> ProcessTrainingReport:
+        """Train for ``training.epochs`` epochs; returns the run report."""
+        if len(train_examples) == 0:
+            raise ValueError("train_examples must not be empty")
+        if self.num_processes == 1:
+            report = self._train_inline(train_examples, eval_examples)
+        else:
+            report = self._train_processes(train_examples, eval_examples)
+        self.last_report = report
+        return report
+
+    # ------------------------------------------------------------------
+    # Single-process deterministic fallback
+    # ------------------------------------------------------------------
+    def _train_inline(self, train_examples, eval_examples) -> ProcessTrainingReport:
+        from repro.core.trainer import SlideTrainer
+
+        trainer = SlideTrainer(self.network, self.training, hogwild=False)
+        # Evaluation stays outside the timed region on every path: the
+        # multi-process run evaluates once in the parent after the wall
+        # clock stops, so the 1-process baseline must not pay per-epoch
+        # eval time inside its measurement either (it would inflate every
+        # speedup_vs_1 downstream).  CPU accounting covers the same window.
+        cpu_before = _cpu_seconds(resource.RUSAGE_SELF)
+        start = time.perf_counter()
+        history = trainer.train(train_examples, None)
+        wall = time.perf_counter() - start
+        cpu_time = _cpu_seconds(resource.RUSAGE_SELF) - cpu_before
+        if eval_examples is not None and len(eval_examples):
+            from repro.core.inference import evaluate_precision_at_1
+
+            history.epoch_accuracy.append(
+                evaluate_precision_at_1(self.network, eval_examples)
+            )
+        self.optimizer = trainer.optimizer
+        records = history.records
+        stats = WorkerStats(
+            worker_id=0,
+            batches=len(records),
+            samples=sum(r.batch_size for r in records),
+            wall_time_s=wall,
+            mean_loss=float(np.mean([r.loss for r in records])) if records else 0.0,
+            losses=[r.loss for r in records],
+            active_neurons=[r.active_neurons for r in records],
+            active_weights=[r.active_weights for r in records],
+            batch_sizes=[r.batch_size for r in records],
+            rebuilds=sum(layer.num_rebuilds for layer in self.network.layers),
+        )
+        return ProcessTrainingReport(
+            num_processes=1,
+            start_method="inline",
+            wall_time_s=wall,
+            samples=stats.samples,
+            worker_stats=[stats],
+            conflict=None,
+            history=history,
+            cpu_time_s=cpu_time,
+        )
+
+    # ------------------------------------------------------------------
+    # Multi-process path
+    # ------------------------------------------------------------------
+    def _worker_seed(self, worker_id: int) -> int:
+        return (int(self.training.seed) * 1_000_003 + 7919 * (worker_id + 1)) & 0x7FFFFFFF
+
+    def _worker_network_config(self, worker_id: int):
+        """Per-worker network config: distinct seed, rescaled rebuild cadence.
+
+        The seed offset decorrelates the workers' hash functions and random
+        padding.  The rebuild schedule is expressed in *local* iterations but
+        each worker only sees ``1/N`` of the global update stream, so its
+        periods are divided by ``N`` — keeping the hash tables as fresh,
+        relative to parameter movement, as a single-process run's.
+        """
+        config = self.network.config
+        layers = []
+        for layer in config.layers:
+            rebuild = layer.rebuild
+            scaled = replace(
+                rebuild,
+                initial_period=max(1, rebuild.initial_period // self.num_processes),
+                max_period=max(1, rebuild.max_period // self.num_processes),
+            )
+            layers.append(replace(layer, rebuild=scaled))
+        return replace(
+            config,
+            layers=tuple(layers),
+            seed=int(config.seed) + 7919 * (worker_id + 1),
+        )
+
+    def _data_plans(self, train_examples) -> list[dict[str, object]]:
+        """One picklable data-slice description per worker (disjoint, total)."""
+        plans: list[dict[str, object]] = []
+        if (
+            isinstance(train_examples, ShardedDataset)
+            and train_examples.num_shards >= self.num_processes
+        ):
+            assignment = train_examples.assign_shards(self.num_processes)
+            for worker_id in range(self.num_processes):
+                plans.append(
+                    {
+                        "kind": "shards",
+                        "cache_dir": str(train_examples.cache_dir),
+                        "groups": assignment,
+                        "worker_id": worker_id,
+                        "seed": self._worker_seed(worker_id),
+                    }
+                )
+            return plans
+        order = derive_rng(self.training.seed, stream=31).permutation(
+            len(train_examples)
+        )
+        for worker_id in range(self.num_processes):
+            indices = order[worker_id :: self.num_processes]
+            plans.append(
+                {
+                    "kind": "examples",
+                    "examples": [train_examples[int(i)] for i in indices],
+                    "seed": self._worker_seed(worker_id),
+                }
+            )
+        return plans
+
+    def _collect(self, processes, result_queue) -> list[WorkerStats]:
+        pending = set(range(self.num_processes))
+        stats: dict[int, WorkerStats] = {}
+        failures: list[str] = []
+        while pending:
+            try:
+                message = result_queue.get(timeout=0.5)
+            except queue_module.Empty:
+                for worker_id, process in enumerate(processes):
+                    if (
+                        worker_id in pending
+                        and not process.is_alive()
+                        and process.exitcode not in (0, None)
+                    ):
+                        raise RuntimeError(
+                            f"worker {worker_id} died with exit code "
+                            f"{process.exitcode} before reporting a result"
+                        )
+                continue
+            worker_id = int(message["worker_id"])
+            pending.discard(worker_id)
+            if message["status"] == "ok":
+                stats[worker_id] = message["stats"]
+            else:
+                failures.append(
+                    f"worker {worker_id}: {message['error']}\n{message['traceback']}"
+                )
+        for process in processes:
+            process.join(self.join_timeout)
+        if failures:
+            raise RuntimeError(
+                "process HOGWILD worker failure(s):\n" + "\n".join(failures)
+            )
+        return [stats[worker_id] for worker_id in sorted(stats)]
+
+    def _merge_history(self, worker_stats: list[WorkerStats]) -> "TrainingHistory":
+        """Round-robin the workers' per-batch records into one history.
+
+        Iteration numbers reflect the merged order (an *approximation* of the
+        true global interleaving, which is scheduler-dependent); per-record
+        wall time is the worker's average seconds per batch.
+        """
+        from repro.core.trainer import IterationRecord, TrainingHistory
+
+        history = TrainingHistory()
+        per_batch_time = {
+            stats.worker_id: stats.wall_time_s / max(stats.batches, 1)
+            for stats in worker_stats
+        }
+        iteration = 0
+        depth = max((stats.batches for stats in worker_stats), default=0)
+        for batch_index in range(depth):
+            for stats in worker_stats:
+                if batch_index >= stats.batches:
+                    continue
+                iteration += 1
+                history.records.append(
+                    IterationRecord(
+                        iteration=iteration,
+                        loss=stats.losses[batch_index],
+                        batch_size=stats.batch_sizes[batch_index],
+                        active_neurons=stats.active_neurons[batch_index],
+                        active_weights=stats.active_weights[batch_index],
+                        wall_time_s=per_batch_time[stats.worker_id],
+                    )
+                )
+        return history
+
+    def _conflict_stats(
+        self, store: SharedParamStore, worker_stats: list[WorkerStats]
+    ) -> ProcessConflictStats:
+        counts = _popcount(store[_WRITER_MASK])
+        footprints = [np.asarray(stats.footprint, dtype=np.int64) for stats in worker_stats]
+        return ProcessConflictStats(
+            output_dim=self.network.output_dim,
+            neurons_updated=int(np.count_nonzero(counts)),
+            neurons_contested=int(np.count_nonzero(counts >= 2)),
+            footprint_report=analyze_update_conflicts(
+                footprints, self.network.output_dim
+            ),
+            worker_update_counts=[int(c) for c in store[_WORKER_UPDATES]],
+        )
+
+    def _train_processes(self, train_examples, eval_examples) -> ProcessTrainingReport:
+        optimizer = self.network.build_optimizer(self.training)
+        self.optimizer = optimizer
+        arrays = network_state_arrays(self.network, optimizer)
+        arrays[_WRITER_MASK] = np.zeros(self.network.output_dim, dtype=np.uint64)
+        arrays[_WORKER_UPDATES] = np.zeros(self.num_processes, dtype=np.int64)
+        store = SharedParamStore.create(arrays, prefix=self.prefix)
+        context = mp.get_context(self.start_method)
+        processes: list = []
+        try:
+            bind_network(self.network, optimizer, store)
+            plans = self._data_plans(train_examples)
+            manifest = store.manifest()
+            worker_optimizer = optimizer.to_config()
+            if worker_optimizer.name == "adam" and worker_optimizer.update_clip is None:
+                worker_optimizer = replace(
+                    worker_optimizer, update_clip=DEFAULT_UPDATE_CLIP
+                )
+            optimizer_config = optimizer_config_to_dict(worker_optimizer)
+            training_spec = {
+                "batch_size": int(self.training.batch_size),
+                "epochs": int(self.training.epochs),
+                "shuffle": bool(self.training.shuffle),
+            }
+            result_queue = context.Queue()
+            # RUSAGE_CHILDREN accounts reaped children only; _collect joins
+            # every worker before returning, so the delta below covers
+            # exactly the workers' lifetimes.
+            cpu_before = _cpu_seconds(resource.RUSAGE_CHILDREN)
+            start = time.perf_counter()
+            for worker_id, plan in enumerate(plans):
+                worker_config = self._worker_network_config(worker_id)
+                payload = {
+                    "worker_id": worker_id,
+                    "manifest": manifest,
+                    "network_config": network_config_to_dict(worker_config),
+                    "optimizer_config": optimizer_config,
+                    "training": training_spec,
+                    "data": plan,
+                    "step_stride": self.num_processes,
+                }
+                process = context.Process(
+                    target=_worker_entry,
+                    args=(payload, result_queue),
+                    name=f"{self.prefix}-{worker_id}",
+                    daemon=True,
+                )
+                process.start()
+                processes.append(process)
+            worker_stats = self._collect(processes, result_queue)
+            wall = time.perf_counter() - start
+            cpu_time = _cpu_seconds(resource.RUSAGE_CHILDREN) - cpu_before
+            conflict = self._conflict_stats(store, worker_stats)
+            # The shared moments experienced one decay/accumulate cycle per
+            # worker batch; stamp that global count onto the adopted
+            # optimiser so bias correction (and any checkpoint/resume) sees
+            # mature moments with a mature step count, not t=0.
+            optimizer.step_count = sum(stats.batches for stats in worker_stats)
+        finally:
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+                    process.join(5.0)
+            unbind_network(self.network, optimizer, store)
+            store.close()
+            store.unlink()
+
+        # Workers trained against their own tables; re-hash the parent's
+        # index over the final shared weights before any further use.
+        self.network.rebuild_all_tables()
+        history = self._merge_history(worker_stats)
+        if eval_examples is not None and len(eval_examples):
+            from repro.core.inference import evaluate_precision_at_1
+
+            history.epoch_accuracy.append(
+                evaluate_precision_at_1(self.network, eval_examples)
+            )
+        return ProcessTrainingReport(
+            num_processes=self.num_processes,
+            start_method=self.start_method,
+            wall_time_s=wall,
+            samples=sum(stats.samples for stats in worker_stats),
+            worker_stats=worker_stats,
+            conflict=conflict,
+            history=history,
+            cpu_time_s=cpu_time,
+        )

@@ -89,15 +89,22 @@ class EnginePool:
             while self.queue.pending() and time.monotonic() < deadline:
                 time.sleep(self.poll_timeout / 2)
         self._stopping = True
-        self._pool.join(timeout=timeout)
-        # Anything still queued (drain=False, or the drain timed out) is
-        # cancelled rather than abandoned.
-        while True:
-            batch = self.queue.next_batch(timeout=0.0)
-            if not batch:
-                break
-            for request in batch:
-                request.future.cancel()
+        try:
+            # join() re-raises the first exception any worker loop died
+            # with (WorkerPool surfaces crashes instead of leaving dead
+            # threads); the cancellation sweep below must still run in that
+            # case, or every queued caller blocks forever on a future that
+            # no worker will ever resolve.
+            self._pool.join(timeout=timeout)
+        finally:
+            # Anything still queued (drain=False, the drain timed out, or a
+            # crashed worker) is cancelled rather than abandoned.
+            while True:
+                batch = self.queue.next_batch(timeout=0.0)
+                if not batch:
+                    break
+                for request in batch:
+                    request.future.cancel()
 
     def alive_workers(self) -> int:
         return self._pool.alive_count()
@@ -201,9 +208,15 @@ class ServingRuntime:
 
     def stop(self, drain: bool = True) -> None:
         if self._started:
-            self.pool.stop(drain=drain)
-            self._started = False
-            self._stopped = True
+            try:
+                self.pool.stop(drain=drain)
+            finally:
+                # pool.stop() re-raises a crashed worker's exception; the
+                # runtime must still transition to stopped, or submit()'s
+                # fail-fast guard would keep accepting requests that no
+                # worker will ever serve.
+                self._started = False
+                self._stopped = True
 
     def __enter__(self) -> "ServingRuntime":
         return self.start()

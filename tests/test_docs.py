@@ -1,0 +1,56 @@
+"""The documentation suite stays healthy: links resolve, doctests pass.
+
+Runs ``tools/check_docs.py`` the same way the CI docs job does, so link rot
+or a broken README/docs snippet fails tier-1 locally instead of only on CI.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CHECKER = REPO_ROOT / "tools" / "check_docs.py"
+
+
+def _run_checker(*args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, str(CHECKER), *args],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+def test_docs_links_and_doctests_pass():
+    result = _run_checker()
+    assert result.returncode == 0, (
+        f"docs check failed:\n{result.stdout}\n{result.stderr}"
+    )
+    assert "docs check OK" in result.stdout
+
+
+def test_checker_detects_broken_link(tmp_path):
+    bad = tmp_path / "bad.md"
+    bad.write_text("see [missing](does/not/exist.md) and [gone](#no-such-heading)\n")
+    result = _run_checker(str(bad))
+    assert result.returncode == 1
+    assert "broken link" in result.stdout
+    assert "anchor" in result.stdout
+
+
+def test_checker_detects_failing_doctest(tmp_path):
+    bad = tmp_path / "bad_doctest.md"
+    bad.write_text("```python\n>>> 1 + 1\n3\n\n```\n")
+    result = _run_checker(str(bad))
+    assert result.returncode == 1
+    assert "doctest" in result.stdout

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -11,7 +13,7 @@ from repro.parallel.conflicts import (
     analyze_update_conflicts,
     expected_conflict_fraction,
 )
-from repro.parallel.executor import BatchParallelExecutor
+from repro.parallel.executor import BatchParallelExecutor, WorkerPool
 from repro.parallel.hogwild import HogwildSimulator
 from repro.types import SparseBatch
 
@@ -147,3 +149,30 @@ class TestBatchParallelExecutor:
         optimizer = network.build_optimizer(TrainingConfig())
         with pytest.raises(ValueError):
             BatchParallelExecutor(network, optimizer, num_threads=0)
+
+
+class TestWorkerPoolErrorSurfacing:
+    """Regression: join() must re-raise worker exceptions, not swallow them."""
+
+    def test_join_reraises_first_worker_exception(self):
+        release = threading.Event()
+
+        def loop(index: int) -> None:
+            if index == 1:
+                raise RuntimeError("worker 1 exploded")
+            release.wait(timeout=10.0)
+
+        pool = WorkerPool(3, name="crashy")
+        pool.start(loop)
+        release.set()
+        with pytest.raises(RuntimeError, match="worker 1 exploded"):
+            pool.join(timeout=5.0)
+        # The error is cleared once raised: a second join is clean.
+        pool.join(timeout=5.0)
+        assert pool.alive_count() == 0
+
+    def test_join_without_errors_is_silent(self):
+        pool = WorkerPool(2, name="quiet")
+        pool.start(lambda index: None)
+        pool.join(timeout=5.0)
+        assert pool.alive_count() == 0

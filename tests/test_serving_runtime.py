@@ -242,6 +242,32 @@ def test_runtime_cannot_restart_after_stop(served_checkpoint):
         runtime.start()
 
 
+def test_runtime_stop_transitions_even_when_pool_stop_raises(
+    served_checkpoint, tiny_dataset, monkeypatch
+):
+    """Regression: WorkerPool.join re-raises crashed-worker exceptions, so
+    pool.stop() can raise — the runtime must still reach the stopped state
+    instead of keeping submit() open with no workers behind it."""
+    network = load_checkpoint(served_checkpoint, load_optimizer=False).network
+    runtime = ServingRuntime.from_network(network, ServingConfig(num_workers=1))
+    runtime.start()
+
+    real_stop = runtime.pool.stop
+
+    def crashing_stop(drain=True):
+        real_stop(drain=drain)
+        raise RuntimeError("worker loop crashed")
+
+    monkeypatch.setattr(runtime.pool, "stop", crashing_stop)
+    with pytest.raises(RuntimeError, match="worker loop crashed"):
+        runtime.stop()
+    # The crash surfaced AND the runtime transitioned: no new submissions.
+    with pytest.raises(RuntimeError, match="not started"):
+        runtime.submit(tiny_dataset.test[0])
+    with pytest.raises(RuntimeError, match="cannot be restarted"):
+        runtime.start()
+
+
 def test_runtime_rejects_wrong_dimension_example(served_checkpoint):
     import numpy as np
 

@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""Documentation checker: internal links, heading anchors, and doctests.
+
+Validates the repository's Markdown documentation without any third-party
+dependencies, so CI and the tier-1 suite can run it anywhere:
+
+* **Links** — every relative ``[text](target)`` must point at a file or
+  directory that exists (anchors are stripped; ``http(s)``/``mailto``
+  targets are skipped).
+* **Anchors** — ``#fragment`` links (same-file or cross-file to another
+  Markdown file) must match a heading's GitHub-style slug.
+* **Doctests** — ``>>>`` examples embedded in the checked files run under
+  :mod:`doctest` with ``src`` on ``sys.path`` (the same thing
+  ``python -m doctest <file>`` would execute).
+
+Usage::
+
+    python tools/check_docs.py                 # default file set
+    python tools/check_docs.py README.md docs/*.md
+    python tools/check_docs.py --no-doctest    # links/anchors only
+
+Exits non-zero listing every failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import doctest
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_FILES = ("README.md", "docs/architecture.md", "docs/paper_map.md")
+
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*$", re.MULTILINE)
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading (close-enough approximation)."""
+    # Inline code/emphasis markers do not contribute to the slug.
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _strip_fences(markdown: str) -> str:
+    """Remove fenced code blocks (their contents are not link targets)."""
+    out: list[str] = []
+    in_fence = False
+    for line in markdown.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            out.append(line)
+    return "\n".join(out)
+
+
+def heading_slugs(path: Path) -> set[str]:
+    text = _strip_fences(path.read_text(encoding="utf-8"))
+    return {github_slug(match.group(2)) for match in _HEADING_RE.finditer(text)}
+
+
+def check_links(path: Path) -> list[str]:
+    """Link/anchor failures for one Markdown file."""
+    failures: list[str] = []
+    text = _strip_fences(path.read_text(encoding="utf-8"))
+    for match in _LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL_PREFIXES):
+            continue
+        file_part, _, anchor = target.partition("#")
+        if file_part:
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.exists():
+                failures.append(f"{path}: broken link -> {target}")
+                continue
+            anchor_file = resolved
+        else:
+            anchor_file = path
+        if anchor:
+            if anchor_file.suffix.lower() not in (".md", ".markdown"):
+                continue
+            if github_slug(anchor) not in heading_slugs(anchor_file):
+                failures.append(
+                    f"{path}: anchor #{anchor} not found in {anchor_file.name}"
+                )
+    return failures
+
+
+def run_doctests(path: Path) -> list[str]:
+    """Doctest failures for one file (empty example set passes)."""
+    try:
+        results = doctest.testfile(
+            str(path),
+            module_relative=False,
+            optionflags=doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE,
+            verbose=False,
+        )
+    except Exception as exc:  # noqa: BLE001 - report, do not crash the checker
+        return [f"{path}: doctest run crashed: {type(exc).__name__}: {exc}"]
+    if results.failed:
+        return [f"{path}: {results.failed}/{results.attempted} doctest(s) failed"]
+    return []
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "files",
+        nargs="*",
+        default=list(DEFAULT_FILES),
+        help="Markdown files to check (relative to the repository root)",
+    )
+    parser.add_argument(
+        "--no-doctest", action="store_true", help="skip the doctest pass"
+    )
+    args = parser.parse_args(argv)
+
+    # Doctests import the package; make the src layout importable without
+    # requiring an install.
+    src = REPO_ROOT / "src"
+    if str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+
+    failures: list[str] = []
+    checked = 0
+    for name in args.files:
+        path = (REPO_ROOT / name).resolve() if not Path(name).is_absolute() else Path(name)
+        if not path.exists():
+            failures.append(f"{name}: file does not exist")
+            continue
+        checked += 1
+        failures.extend(check_links(path))
+        if not args.no_doctest:
+            failures.extend(run_doctests(path))
+
+    if failures:
+        print(f"docs check FAILED ({len(failures)} problem(s)):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"docs check OK: {checked} file(s), links+anchors+doctests clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
