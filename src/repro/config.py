@@ -18,7 +18,9 @@ by the checkpoint format.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
+import json
+from dataclasses import asdict, dataclass, field, fields
+from pathlib import Path
 from typing import Any, Literal, Mapping
 
 __all__ = [
@@ -39,6 +41,7 @@ __all__ = [
     "optimizer_config_from_dict",
     "serving_config_to_dict",
     "serving_config_from_dict",
+    "load_serving_config",
 ]
 
 HashFamilyName = Literal["simhash", "wta", "dwta", "doph", "minhash"]
@@ -267,10 +270,43 @@ class ServingConfig:
         ``max_batch_size`` requests or the oldest queued request has waited
         ``max_wait_ms`` milliseconds.
     num_workers:
-        Size of the engine worker pool.
+        Size of the engine worker pool (the *initial* size when autoscaling
+        is enabled).
     queue_capacity:
-        Bound on the number of queued (not yet dispatched) requests;
-        submissions beyond it block, providing back-pressure.
+        Bound on the number of queued (not yet dispatched) requests.
+    admission_policy:
+        What happens to a submission that finds the queue full: ``shed``
+        (default) raises a typed
+        :class:`~repro.serving.errors.RejectedError` (HTTP 429 with a
+        retry-after derived from queue depth); ``block`` waits for space —
+        the pre-runtime behaviour, kept for batch/offline callers.
+    deadline_ms:
+        Per-request time budget measured from submission.  Requests still
+        queued past it are dropped *before* compute with a typed
+        :class:`~repro.serving.errors.DeadlineExceededError`.  ``None``
+        disables deadlines.
+    reload_poll_s:
+        How often the :class:`~repro.serving.runtime.CheckpointWatcher`
+        polls the checkpoint store for a new version.
+    autoscale:
+        Enable the queue-depth + p99-driven worker autoscaler
+        (:class:`~repro.serving.runtime.AutoscaleController`).
+    min_workers / max_workers:
+        Autoscaler bounds on the elastic pool size.
+    autoscale_interval_s:
+        Sampling period of the autoscaler control loop.
+    target_p99_ms:
+        p99 latency objective; sustained breaches scale the pool up, and a
+        p99 under half the target is a precondition for scaling down.
+    autoscale_queue_per_worker:
+        Queue-depth watermark, per worker: depth above it votes to scale
+        up, an empty queue votes to scale down.
+    autoscale_up_patience / autoscale_down_patience:
+        Consecutive breach/idle samples required before acting — the
+        hysteresis that stops the controller flapping on noise (scaling
+        down is deliberately slower than scaling up).
+    autoscale_cooldown_s:
+        Minimum time between scaling actions.
     host / port:
         Bind address of the HTTP front-end (:mod:`repro.serving.server`);
         port 0 binds an OS-assigned free port.
@@ -283,6 +319,18 @@ class ServingConfig:
     max_wait_ms: float = 2.0
     num_workers: int = 2
     queue_capacity: int = 1024
+    admission_policy: Literal["shed", "block"] = "shed"
+    deadline_ms: float | None = None
+    reload_poll_s: float = 1.0
+    autoscale: bool = False
+    min_workers: int = 1
+    max_workers: int = 8
+    autoscale_interval_s: float = 0.25
+    target_p99_ms: float = 50.0
+    autoscale_queue_per_worker: float = 4.0
+    autoscale_up_patience: int = 2
+    autoscale_down_patience: int = 4
+    autoscale_cooldown_s: float = 1.0
     host: str = "127.0.0.1"
     port: int = 8080
 
@@ -301,6 +349,35 @@ class ServingConfig:
             raise ValueError("num_workers must be positive")
         if self.queue_capacity <= 0:
             raise ValueError("queue_capacity must be positive")
+        if self.admission_policy not in ("shed", "block"):
+            raise ValueError("admission_policy must be 'shed' or 'block'")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError("deadline_ms must be positive when provided")
+        if self.reload_poll_s <= 0:
+            raise ValueError("reload_poll_s must be positive")
+        if self.min_workers <= 0:
+            raise ValueError("min_workers must be positive")
+        if self.max_workers < self.min_workers:
+            raise ValueError("max_workers must be >= min_workers")
+        if self.autoscale and not (
+            self.min_workers <= self.num_workers <= self.max_workers
+        ):
+            raise ValueError(
+                "num_workers must lie in [min_workers, max_workers] "
+                "when autoscale is enabled"
+            )
+        if self.autoscale_interval_s <= 0:
+            raise ValueError("autoscale_interval_s must be positive")
+        if self.target_p99_ms <= 0:
+            raise ValueError("target_p99_ms must be positive")
+        if self.autoscale_queue_per_worker <= 0:
+            raise ValueError("autoscale_queue_per_worker must be positive")
+        if self.autoscale_up_patience <= 0:
+            raise ValueError("autoscale_up_patience must be positive")
+        if self.autoscale_down_patience <= 0:
+            raise ValueError("autoscale_down_patience must be positive")
+        if self.autoscale_cooldown_s < 0:
+            raise ValueError("autoscale_cooldown_s must be non-negative")
         if not 0 <= self.port < 65536:
             raise ValueError("port must lie in [0, 65536)")
 
@@ -352,5 +429,102 @@ def serving_config_to_dict(config: ServingConfig) -> dict[str, Any]:
 
 
 def serving_config_from_dict(data: Mapping[str, Any]) -> ServingConfig:
-    """Rebuild a :class:`ServingConfig` from its dict form."""
-    return ServingConfig(**data)
+    """Rebuild a :class:`ServingConfig` from its dict form.
+
+    Strict: unknown keys and wrongly typed values raise ``ValueError``
+    messages that *name the offending field*, so a typo in a config file
+    surfaces as ``unknown serving config field 'workerz'`` rather than an
+    opaque ``TypeError`` out of the dataclass constructor.
+    """
+    valid = {f.name for f in fields(ServingConfig)}
+    unknown = sorted(set(data) - valid)
+    if unknown:
+        names = ", ".join(repr(name) for name in unknown)
+        raise ValueError(
+            f"unknown serving config field{'s' if len(unknown) > 1 else ''} "
+            f"{names}; valid fields: {', '.join(sorted(valid))}"
+        )
+    coerced: dict[str, Any] = {}
+    for name, value in data.items():
+        checker = _SERVING_FIELD_CHECKS[name]
+        try:
+            coerced[name] = checker(value)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"serving config field {name!r}: invalid value {value!r}"
+            ) from None
+    try:
+        return ServingConfig(**coerced)
+    except (TypeError, ValueError) as exc:
+        # __post_init__ messages already name the field ("top_k must be
+        # positive"); re-raise uniformly as ValueError for CLI handling.
+        raise ValueError(f"invalid serving config: {exc}") from exc
+
+
+def load_serving_config(path: str | Path) -> ServingConfig:
+    """Read a JSON file into a :class:`ServingConfig` (strict, see above)."""
+    text = Path(path).read_text()
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"serving config {path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ValueError(f"serving config {path} must be a JSON object")
+    return serving_config_from_dict(data)
+
+
+def _check_str(value: Any) -> str:
+    if not isinstance(value, str):
+        raise TypeError
+    return value
+
+
+def _check_bool(value: Any) -> bool:
+    if not isinstance(value, bool):
+        raise TypeError
+    return value
+
+
+def _check_int(value: Any) -> int:
+    # bool is an int subclass; "true" is never a worker count.
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError
+    return value
+
+
+def _check_float(value: Any) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError
+    return float(value)
+
+
+def _check_optional(check):
+    def wrapped(value: Any):
+        return None if value is None else check(value)
+
+    return wrapped
+
+
+_SERVING_FIELD_CHECKS: dict[str, Any] = {
+    "engine": _check_str,
+    "active_budget": _check_optional(_check_int),
+    "top_k": _check_int,
+    "max_batch_size": _check_int,
+    "max_wait_ms": _check_float,
+    "num_workers": _check_int,
+    "queue_capacity": _check_int,
+    "admission_policy": _check_str,
+    "deadline_ms": _check_optional(_check_float),
+    "reload_poll_s": _check_float,
+    "autoscale": _check_bool,
+    "min_workers": _check_int,
+    "max_workers": _check_int,
+    "autoscale_interval_s": _check_float,
+    "target_p99_ms": _check_float,
+    "autoscale_queue_per_worker": _check_float,
+    "autoscale_up_patience": _check_int,
+    "autoscale_down_patience": _check_int,
+    "autoscale_cooldown_s": _check_float,
+    "host": _check_str,
+    "port": _check_int,
+}

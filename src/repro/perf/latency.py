@@ -33,6 +33,15 @@ class LatencyHistogram:
     growth:
         Ratio between consecutive bucket boundaries; the relative error of
         a percentile estimate is at most ``growth - 1``.
+    reservoir_size:
+        When positive, retain up to this many *raw* observations in a
+        uniform reservoir (Vitter's Algorithm R) alongside the buckets.
+        :meth:`exact_percentile` then computes percentiles from the raw
+        samples — exact while the observation count fits the reservoir,
+        an unbiased sample estimate beyond it.  This is what fixes
+        cross-worker tail aggregation: per-worker histograms merged with
+        :meth:`merge` pool their reservoirs, so an aggregated p99/p999 is
+        not limited to bucket resolution.
     """
 
     def __init__(
@@ -40,14 +49,19 @@ class LatencyHistogram:
         min_latency: float = 1e-6,
         max_latency: float = 60.0,
         growth: float = 1.15,
+        reservoir_size: int = 0,
+        seed: int = 0,
     ) -> None:
         if min_latency <= 0 or max_latency <= min_latency:
             raise ValueError("require 0 < min_latency < max_latency")
         if growth <= 1.0:
             raise ValueError("growth must be greater than 1")
+        if reservoir_size < 0:
+            raise ValueError("reservoir_size must be non-negative")
         self.min_latency = float(min_latency)
         self.max_latency = float(max_latency)
         self.growth = float(growth)
+        self.reservoir_size = int(reservoir_size)
         num_buckets = (
             int(math.ceil(math.log(max_latency / min_latency) / math.log(growth))) + 1
         )
@@ -59,6 +73,8 @@ class LatencyHistogram:
         self._sum = 0.0
         self._min = math.inf
         self._max = 0.0
+        self._reservoir: list[float] = []
+        self._res_rng = np.random.default_rng(seed)
 
     # ------------------------------------------------------------------
     # Recording
@@ -77,6 +93,16 @@ class LatencyHistogram:
             self._sum += value
             self._min = min(self._min, value)
             self._max = max(self._max, value)
+            if self.reservoir_size:
+                if len(self._reservoir) < self.reservoir_size:
+                    self._reservoir.append(value)
+                else:
+                    # Algorithm R: observation i replaces a random slot with
+                    # probability reservoir_size / i, keeping the sample
+                    # uniform over everything seen so far.
+                    slot = int(self._res_rng.integers(self._count))
+                    if slot < self.reservoir_size:
+                        self._reservoir[slot] = value
 
     def merge(self, other: "LatencyHistogram") -> None:
         """Fold ``other``'s observations into this histogram (same layout)."""
@@ -93,6 +119,34 @@ class LatencyHistogram:
         # and b.merge(a) cannot deadlock.
         first, second = sorted((self, other), key=id)
         with first._lock, second._lock:
+            if self.reservoir_size and (self._reservoir or other._reservoir):
+                combined = self._reservoir + other._reservoir
+                if len(combined) <= self.reservoir_size:
+                    self._reservoir = combined
+                else:
+                    # Each retained sample stands for count/len(reservoir)
+                    # underlying observations; weighting the downsample by
+                    # that keeps the merged reservoir approximately uniform
+                    # over both histories.
+                    weights = np.concatenate(
+                        [
+                            np.full(
+                                len(self._reservoir),
+                                self._count / max(len(self._reservoir), 1),
+                            ),
+                            np.full(
+                                len(other._reservoir),
+                                other._count / max(len(other._reservoir), 1),
+                            ),
+                        ]
+                    )
+                    keep = self._res_rng.choice(
+                        len(combined),
+                        size=self.reservoir_size,
+                        replace=False,
+                        p=weights / weights.sum(),
+                    )
+                    self._reservoir = [combined[i] for i in keep]
             self._counts += other._counts
             self._count += other._count
             self._sum += other._sum
@@ -131,16 +185,40 @@ class LatencyHistogram:
             # Never report outside the observed range.
             return float(min(max(estimate, self._min), self._max))
 
+    def exact_percentile(self, p: float) -> float:
+        """Percentile from the retained raw samples (requires a reservoir).
+
+        Exact while the observation count fits ``reservoir_size``; beyond
+        that it is the percentile of a uniform sample of the history.  Falls
+        back to the bucketed estimate when no reservoir is configured.
+        """
+        if not 0 <= p <= 100:
+            raise ValueError("p must lie in [0, 100]")
+        with self._lock:
+            samples = list(self._reservoir)
+        if not samples:
+            return self.percentile(p)
+        return float(np.percentile(np.asarray(samples, dtype=np.float64), p))
+
+    @property
+    def retained_samples(self) -> int:
+        """Number of raw observations currently held in the reservoir."""
+        with self._lock:
+            return len(self._reservoir)
+
     def summary(self) -> dict[str, float]:
         """The quantiles and moments reported by the serving stats endpoint."""
+        exact = self.reservoir_size > 0 and self.retained_samples > 0
+        quantile = self.exact_percentile if exact else self.percentile
         return {
             "count": float(self.count),
             "mean_s": self.mean,
             "min_s": 0.0 if self._count == 0 else float(self._min),
             "max_s": float(self._max),
-            "p50_s": self.percentile(50.0),
-            "p95_s": self.percentile(95.0),
-            "p99_s": self.percentile(99.0),
+            "p50_s": quantile(50.0),
+            "p95_s": quantile(95.0),
+            "p99_s": quantile(99.0),
+            "p999_s": quantile(99.9),
         }
 
 

@@ -5,16 +5,26 @@ this package carries that idea from the training loop to the serving path:
 
 * :mod:`~repro.serving.checkpoint` — versioned save/load of network weights,
   optimiser state, and LSH table contents, with checksum-verified integrity
-  (:class:`CheckpointStore` numbers versions for trainer→server hand-off);
+  (:class:`CheckpointStore` numbers versions for trainer→server hand-off,
+  with pin-aware ``prune`` retention);
 * :mod:`~repro.serving.engine` — the LSH-budgeted
   :class:`SparseInferenceEngine` (hash-table candidate selection + exact
   top-k rerank, dense fallback) and the exact batched
-  :class:`DenseInferenceEngine`;
+  :class:`DenseInferenceEngine`, both hot-swappable in place
+  (:meth:`InferenceEngine.hot_swap`, incremental LSH patch);
 * :mod:`~repro.serving.batching` — a dynamic micro-batching queue
-  (``max_batch_size`` / ``max_wait_ms``) that coalesces concurrent requests;
+  (``max_batch_size`` / ``max_wait_ms``) with block or shed admission;
+* :mod:`~repro.serving.errors` — the typed overload errors
+  (:class:`RejectedError` → 429, :class:`DeadlineExceededError` → 504);
 * :mod:`~repro.serving.pool` — the multi-worker :class:`EnginePool` and the
   :class:`ServingRuntime` facade, recording p50/p95/p99 latency and
   throughput via :mod:`repro.perf.latency`;
+* :mod:`~repro.serving.runtime` — the online train-to-serve loop:
+  :class:`CheckpointWatcher` (zero-downtime hot reload),
+  :class:`ElasticEnginePool` + :class:`AutoscaleController` (worker
+  autoscaling with hysteresis), wired together by :class:`OnlineRuntime`;
+* :mod:`~repro.serving.loadgen` — open-loop sustained-QPS load generation
+  for the serving benchmarks;
 * :mod:`~repro.serving.server` — a stdlib HTTP/JSON front-end, with a CLI
   entry point (``python -m repro.serving`` / ``repro-serve``).
 
@@ -43,9 +53,22 @@ from repro.serving.engine import (
     InferenceEngine,
     Prediction,
     SparseInferenceEngine,
+    SwapReport,
 )
+from repro.serving.errors import (
+    DeadlineExceededError,
+    RejectedError,
+    ServingError,
+)
+from repro.serving.loadgen import LoadReport, run_open_loop
 from repro.serving.metrics import ServingMetrics
 from repro.serving.pool import EnginePool, ServingRuntime, build_engine
+from repro.serving.runtime import (
+    AutoscaleController,
+    CheckpointWatcher,
+    ElasticEnginePool,
+    OnlineRuntime,
+)
 from repro.serving.server import ModelServer, build_server
 
 __all__ = [
@@ -62,10 +85,20 @@ __all__ = [
     "InferenceEngine",
     "Prediction",
     "SparseInferenceEngine",
+    "SwapReport",
+    "ServingError",
+    "RejectedError",
+    "DeadlineExceededError",
     "ServingMetrics",
     "EnginePool",
     "ServingRuntime",
     "build_engine",
+    "AutoscaleController",
+    "CheckpointWatcher",
+    "ElasticEnginePool",
+    "OnlineRuntime",
+    "LoadReport",
+    "run_open_loop",
     "ModelServer",
     "build_server",
 ]

@@ -22,10 +22,18 @@ import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
+from typing import Callable
 
+from repro.serving.errors import RejectedError
 from repro.types import SparseExample
 
 __all__ = ["InferenceRequest", "MicroBatchQueue"]
+
+# Bounds on the Retry-After hint handed to shed clients: never so small the
+# client hammers a saturated server, never so large a transient spike reads
+# as an outage.
+_MIN_RETRY_AFTER_S = 0.01
+_MAX_RETRY_AFTER_S = 5.0
 
 
 @dataclass
@@ -36,20 +44,36 @@ class InferenceRequest:
     k: int
     future: Future = field(default_factory=Future)
     enqueued_at: float = field(default_factory=time.monotonic)
+    # Per-request time budget (seconds, measured from enqueue); None means
+    # the request waits indefinitely.
+    deadline_s: float | None = None
 
     def latency(self) -> float:
         """Seconds since the request entered the queue."""
         return time.monotonic() - self.enqueued_at
 
+    def expired(self) -> bool:
+        """True once the request has outlived its deadline in the queue."""
+        return self.deadline_s is not None and self.latency() > self.deadline_s
+
 
 class MicroBatchQueue:
-    """Bounded request queue with size- and deadline-triggered batching."""
+    """Bounded request queue with size- and deadline-triggered batching.
+
+    ``policy`` selects the admission behaviour when the queue is full:
+    ``"block"`` (the original back-pressure semantics — submit waits for
+    space) or ``"shed"`` (submit fails fast with a typed
+    :class:`~repro.serving.errors.RejectedError` carrying a retry-after
+    derived from queue depth and the measured drain rate).
+    """
 
     def __init__(
         self,
         max_batch_size: int = 32,
         max_wait_ms: float = 2.0,
         capacity: int = 1024,
+        policy: str = "block",
+        drain_rate: Callable[[], float] | None = None,
     ) -> None:
         if max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
@@ -57,8 +81,12 @@ class MicroBatchQueue:
             raise ValueError("max_wait_ms must be non-negative")
         if capacity <= 0:
             raise ValueError("capacity must be positive")
+        if policy not in ("block", "shed"):
+            raise ValueError("policy must be 'block' or 'shed'")
         self.max_batch_size = int(max_batch_size)
         self.max_wait_s = float(max_wait_ms) / 1000.0
+        self.policy = policy
+        self._drain_rate = drain_rate
         self._queue: queue.Queue[InferenceRequest] = queue.Queue(maxsize=capacity)
         self._closed = False
         # Makes submit's closed-check-and-put atomic with close(): once
@@ -69,14 +97,21 @@ class MicroBatchQueue:
     # ------------------------------------------------------------------
     # Producer side
     # ------------------------------------------------------------------
-    def submit(self, example: SparseExample, k: int = 1) -> Future:
-        """Enqueue a request; blocks when the queue is at capacity.
+    def submit(
+        self,
+        example: SparseExample,
+        k: int = 1,
+        deadline_s: float | None = None,
+    ) -> Future:
+        """Enqueue a request; full-queue behaviour depends on ``policy``.
 
         The returned :class:`~concurrent.futures.Future` resolves to a
         :class:`~repro.serving.engine.Prediction` once a worker has served
-        the batch containing this request.
+        the batch containing this request.  Under the ``shed`` policy a full
+        queue raises :class:`~repro.serving.errors.RejectedError` instead of
+        blocking.
         """
-        request = InferenceRequest(example=example, k=int(k))
+        request = InferenceRequest(example=example, k=int(k), deadline_s=deadline_s)
         while True:
             # Never block on a full queue while holding the lock: that would
             # serialize all producers behind one stuck submitter and make
@@ -90,8 +125,22 @@ class MicroBatchQueue:
                     self._queue.put_nowait(request)
                     return request.future
                 except queue.Full:
-                    pass
+                    if self.policy == "shed":
+                        raise self._rejection()
             time.sleep(0.001)
+
+    def _rejection(self) -> RejectedError:
+        """Build the typed 429 for a full queue.
+
+        Retry-after is the time the current backlog needs to drain at the
+        measured completion rate — proportional backoff, so clients ease off
+        harder the deeper the overload.
+        """
+        pending = self._queue.qsize()
+        rate = self._drain_rate() if self._drain_rate is not None else 0.0
+        retry_after = pending / max(rate, 1.0)
+        retry_after = min(max(retry_after, _MIN_RETRY_AFTER_S), _MAX_RETRY_AFTER_S)
+        return RejectedError(retry_after_s=retry_after, pending=pending)
 
     def close(self) -> None:
         """Stop accepting new requests (queued ones still drain)."""

@@ -40,9 +40,10 @@ import os
 import re
 import shutil
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any, Iterator, Mapping
 
 import numpy as np
 
@@ -348,6 +349,7 @@ class CheckpointStore:
         metadata: Mapping[str, Any] | None = None,
         tag: str | None = None,
         max_attempts: int = 16,
+        keep_last: int | None = None,
     ) -> Path:
         """Write a new version directory and return its path.
 
@@ -356,9 +358,15 @@ class CheckpointStore:
         store rescans and retries with the next number.  ``tag`` lands in
         the checkpoint metadata, keeping the claimed name — and therefore
         collision detection — independent of it.
+
+        ``keep_last=N`` auto-prunes after a successful save (see
+        :meth:`prune`), so a long-running publish loop does not grow disk
+        unboundedly.
         """
         if tag is not None:
             metadata = {**(metadata or {}), "tag": tag}
+        if keep_last is not None and keep_last < 1:
+            raise ValueError("keep_last must be at least 1")
         last_error: CheckpointExistsError | None = None
         for _ in range(max_attempts):
             versions = self.versions()
@@ -368,7 +376,7 @@ class CheckpointStore:
                 assert match is not None
                 next_number = int(match.group(1)) + 1
             try:
-                return save_checkpoint(
+                saved = save_checkpoint(
                     self.root / f"v{next_number:04d}",
                     network,
                     optimizer,
@@ -377,6 +385,10 @@ class CheckpointStore:
                 )
             except CheckpointExistsError as exc:
                 last_error = exc
+                continue
+            if keep_last is not None:
+                self.prune(keep_last=keep_last)
+            return saved
         raise CheckpointError(
             f"could not claim a version under {self.root} "
             f"after {max_attempts} attempts"
@@ -385,3 +397,47 @@ class CheckpointStore:
     def load_latest(self, load_optimizer: bool = True) -> LoadedCheckpoint:
         """Load the newest version."""
         return load_checkpoint(self.latest(), load_optimizer=load_optimizer)
+
+    # ------------------------------------------------------------------
+    # Retention
+    # ------------------------------------------------------------------
+    def prune(self, keep_last: int) -> list[Path]:
+        """Delete all but the newest ``keep_last`` versions.
+
+        Pinned versions (see :meth:`pin`) are never deleted, so a watcher
+        mid-load on an older version cannot have the directory ripped out
+        from under it — the next prune collects the version once the pin is
+        released.  Returns the paths actually removed.
+        """
+        if keep_last < 1:
+            raise ValueError("keep_last must be at least 1")
+        removed: list[Path] = []
+        for candidate in self.versions()[:-keep_last]:
+            if self._is_pinned(candidate):
+                continue
+            shutil.rmtree(candidate, ignore_errors=True)
+            removed.append(candidate)
+        return removed
+
+    @contextmanager
+    def pin(self, version: str | Path) -> Iterator[Path]:
+        """Hold ``version`` exempt from :meth:`prune` for the ``with`` body.
+
+        The pin is a marker file *inside* the version directory, so it works
+        across processes (a trainer pruning in one process cannot delete a
+        version a server is loading in another) and cannot leak beyond the
+        directory's own lifetime.
+        """
+        path = Path(version)
+        if not path.is_absolute():
+            path = self.root / path
+        marker = path / f".pin-{os.getpid()}-{time.monotonic_ns()}"
+        marker.touch()
+        try:
+            yield path
+        finally:
+            marker.unlink(missing_ok=True)
+
+    @staticmethod
+    def _is_pinned(version: Path) -> bool:
+        return any(version.glob(".pin-*"))

@@ -21,22 +21,34 @@ collection scheme) instead of going through the layer's sampler:
 
 Engines are stateless with respect to requests and therefore safe to share
 across the worker threads of :class:`repro.serving.pool.EnginePool`.
+
+For the online runtime they additionally support **zero-downtime hot
+reload**: :meth:`InferenceEngine.hot_swap` diffs an incoming network against
+the resident weights, copies only the changed rows in place, and patches the
+LSH tables through the incremental :meth:`~repro.lsh.index.LSHIndex.update`
+code-diff path — no full rebuild, no second engine.  The swap runs under a
+writer-preferring read-write lock (readers are inference batches), and a
+seqlock-style generation counter (odd while a swap is in flight, even when
+settled) lets every prediction report which weight generation produced it.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro.core.activations import sparse_softmax
 from repro.core.network import SlideNetwork
 from repro.types import FloatArray, IntArray, SparseExample, dense_features
+from repro.utils.rwlock import ReadWriteLock
 from repro.utils.topk import top_k_indices
 
 __all__ = [
     "Prediction",
+    "SwapReport",
     "InferenceEngine",
     "DenseInferenceEngine",
     "SparseInferenceEngine",
@@ -51,13 +63,37 @@ class Prediction:
     ``sparse`` when the LSH path produced the answer, ``dense`` for the
     dense engine, and ``dense_fallback`` when a sparse request fell back.
     ``candidates_scored`` counts the output neurons actually scored — the
-    quantity the active budget bounds.
+    quantity the active budget bounds.  ``generation`` identifies the weight
+    generation that produced the answer (``-1`` when the request bypassed
+    the generation-stamping guarded path).
     """
 
     class_ids: IntArray
     scores: FloatArray
     mode: str
     candidates_scored: int
+    generation: int = -1
+
+
+@dataclass(frozen=True)
+class SwapReport:
+    """What one :meth:`InferenceEngine.hot_swap` actually did.
+
+    ``changed_rows`` counts neurons whose weights or bias differed between
+    the resident and incoming networks (summed over layers);
+    ``update_items`` / ``moved_entries`` are the incremental LSH counters
+    for the swap — ``full_rebuild=False`` together with a bounded
+    ``moved_entries`` is the evidence the swap took the code-diff
+    ``update(dirty)`` path rather than rebuilding the tables.
+    """
+
+    version: str | None
+    changed_rows: int
+    update_items: int
+    moved_entries: int
+    full_rebuild: bool
+    duration_s: float
+    generation: int
 
 
 class InferenceEngine:
@@ -67,6 +103,12 @@ class InferenceEngine:
 
     def __init__(self, network: SlideNetwork) -> None:
         self.network = network
+        # Seqlock-style counter: even = settled, odd = swap in progress.
+        # Guarded-path readers only ever observe even values because they
+        # hold the read lock, but external observers (stats endpoint) can
+        # see an odd value and know a swap is mid-flight.
+        self.generation = 0
+        self._swap_lock = ReadWriteLock()
 
     @property
     def output_dim(self) -> int:
@@ -80,6 +122,96 @@ class InferenceEngine:
         self, examples: list[SparseExample], k: int = 1
     ) -> list[Prediction]:
         raise NotImplementedError
+
+    def predict_batch_guarded(
+        self, examples: list[SparseExample], k: int = 1
+    ) -> list[Prediction]:
+        """Batch prediction under the swap gate, generation-stamped.
+
+        Pool workers use this path: batches already in flight finish on the
+        weights they started with (the writer waits for them), and every
+        answer records the generation that produced it.
+        """
+        with self._swap_lock.read_locked():
+            generation = self.generation
+            predictions = self.predict_batch(examples, k=k)
+        return [replace(p, generation=generation) for p in predictions]
+
+    # ------------------------------------------------------------------
+    # Hot reload
+    # ------------------------------------------------------------------
+    def hot_swap(
+        self, incoming: SlideNetwork, version: str | None = None
+    ) -> SwapReport:
+        """Swap the resident weights for ``incoming``'s, in place.
+
+        Per layer, rows whose weights or bias changed are diffed out and
+        copied over; LSH-backed layers then re-hash exactly that dirty set
+        through :meth:`~repro.lsh.index.LSHIndex.update`, which moves only
+        entries whose per-table fingerprint actually changed.  In-flight
+        guarded batches drain first (writer-preferring lock); requests
+        admitted after the swap see the new generation.
+
+        When the incoming network was built from a *different*
+        :class:`~repro.config.SlideNetworkConfig` (but with identical layer
+        shapes), the incremental path is unsound — hash-family parameters
+        may differ — so every LSH layer is rebuilt from scratch with the
+        resident hash family and the report says ``full_rebuild=True``.
+        Shape mismatches raise ``ValueError``.
+        """
+        old_layers = self.network.layers
+        new_layers = incoming.layers
+        if len(old_layers) != len(new_layers):
+            raise ValueError(
+                f"cannot hot-swap: resident network has {len(old_layers)} "
+                f"layers, incoming has {len(new_layers)}"
+            )
+        for idx, (old, new) in enumerate(zip(old_layers, new_layers)):
+            if old.weights.shape != new.weights.shape:
+                raise ValueError(
+                    f"cannot hot-swap: layer {idx} shape mismatch "
+                    f"({old.weights.shape} vs {new.weights.shape})"
+                )
+        full_rebuild = self.network.config != incoming.config
+        start = time.monotonic()
+        changed_rows = 0
+        update_items = 0
+        moved_entries = 0
+        self._swap_lock.acquire_write()
+        try:
+            self.generation += 1  # odd: swap in progress
+            for old, new in zip(old_layers, new_layers):
+                changed = np.flatnonzero(
+                    np.any(old.weights != new.weights, axis=1)
+                    | (old.biases != new.biases)
+                )
+                changed_rows += int(changed.size)
+                if changed.size:
+                    old.weights[changed] = new.weights[changed]
+                    old.biases[changed] = new.biases[changed]
+                index = old.lsh_index
+                if index is None:
+                    continue
+                if full_rebuild:
+                    index.build(old.weights)
+                elif changed.size:
+                    items_before = index.num_update_items
+                    moved_before = index.num_moved_entries
+                    index.update(changed, old.weights[changed])
+                    update_items += index.num_update_items - items_before
+                    moved_entries += index.num_moved_entries - moved_before
+        finally:
+            self.generation += 1  # even: swap settled
+            self._swap_lock.release_write()
+        return SwapReport(
+            version=version,
+            changed_rows=changed_rows,
+            update_items=update_items,
+            moved_entries=moved_entries,
+            full_rebuild=full_rebuild,
+            duration_s=time.monotonic() - start,
+            generation=self.generation,
+        )
 
     def _check_k(self, k: int) -> None:
         if k <= 0:

@@ -1,0 +1,63 @@
+"""Typed request-rejection errors for the serving runtime.
+
+Admission control needs failures a client can *act on*, not generic
+``RuntimeError`` strings: a shed request should come back as an HTTP 429
+with a retry hint, a deadline miss as a 504, and callers of the Python API
+should be able to catch exactly the overload cases without string matching.
+
+Every error carries ``cause`` (the counter key it increments in
+:class:`~repro.serving.metrics.ServingMetrics`) and ``http_status`` (what
+the HTTP front-end maps it to).
+"""
+
+from __future__ import annotations
+
+__all__ = ["ServingError", "RejectedError", "DeadlineExceededError"]
+
+
+class ServingError(RuntimeError):
+    """Base class for typed serving-path failures."""
+
+    cause = "error"
+    http_status = 500
+
+
+class RejectedError(ServingError):
+    """Request shed at admission: the bounded queue is full.
+
+    ``retry_after_s`` is derived from the current queue depth and the
+    measured drain rate — the time by which the backlog should have cleared
+    — so well-behaved clients back off proportionally to the overload
+    instead of hammering a saturated server.
+    """
+
+    cause = "queue_full"
+    http_status = 429
+
+    def __init__(self, retry_after_s: float, pending: int) -> None:
+        self.retry_after_s = float(retry_after_s)
+        self.pending = int(pending)
+        super().__init__(
+            f"request shed: queue full ({pending} pending); "
+            f"retry after {retry_after_s:.3f}s"
+        )
+
+
+class DeadlineExceededError(ServingError):
+    """Request dropped before compute: its deadline expired while queued.
+
+    Spending engine time on an answer the client has already given up on
+    only makes the overload worse, so expired requests are failed the moment
+    a worker picks up their batch, before any scoring happens.
+    """
+
+    cause = "deadline"
+    http_status = 504
+
+    def __init__(self, waited_s: float, deadline_s: float) -> None:
+        self.waited_s = float(waited_s)
+        self.deadline_s = float(deadline_s)
+        super().__init__(
+            f"deadline exceeded: waited {waited_s * 1e3:.1f}ms "
+            f"of a {deadline_s * 1e3:.1f}ms budget before reaching a worker"
+        )

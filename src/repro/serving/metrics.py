@@ -9,28 +9,62 @@ Latency is measured queue-to-completion: the clock starts when a request
 enters the micro-batch queue and stops when its future is resolved, so the
 reported p50/p95/p99 include queueing and batching delay — what a client
 actually experiences — not just engine compute.
+
+Beyond the PR 1 counters, the online runtime adds three families:
+
+* **Shed counters** (``record_shed``): one counter per rejection cause
+  (``queue_full``, ``deadline``), so overload behaviour is observable and
+  the bench can report shed rate by cause.
+* **Per-worker histograms** (``worker_histogram``): each pool worker gets
+  its own reservoir-backed :class:`~repro.perf.latency.LatencyHistogram`;
+  :meth:`aggregate_latency` merges them (reservoirs pool), giving exact
+  cross-worker tail percentiles instead of bucket-resolution estimates.
+* **Reload records** (``record_reload``): every hot swap logs its version,
+  duration, and how many LSH entries actually moved — the evidence that the
+  swap went through the incremental ``update(dirty)`` path rather than a
+  full rebuild.
 """
 
 from __future__ import annotations
 
 import threading
+from collections import deque
+from typing import Any
 
 from repro.perf.latency import LatencyHistogram, ThroughputMeter
 
 __all__ = ["ServingMetrics"]
+
+# Raw samples retained per histogram.  4096 keeps p999 exact for the bench's
+# per-step request counts while bounding memory to a few tens of KiB.
+_GLOBAL_RESERVOIR = 4096
+_WORKER_RESERVOIR = 1024
+_WINDOW_RESERVOIR = 512
+_MAX_RELOAD_RECORDS = 64
 
 
 class ServingMetrics:
     """Aggregated counters for one serving runtime."""
 
     def __init__(self) -> None:
-        self.request_latency = LatencyHistogram()
+        self.request_latency = LatencyHistogram(reservoir_size=_GLOBAL_RESERVOIR)
         self.throughput = ThroughputMeter()
         self._lock = threading.Lock()
         self._batches = 0
         self._batched_requests = 0
         self._errors = 0
         self._mode_counts: dict[str, int] = {}
+        self._shed_counts: dict[str, int] = {}
+        self._worker_latency: dict[int, LatencyHistogram] = {}
+        # Rolling window the autoscaler drains each control period: p99 over
+        # *recent* traffic, not the lifetime histogram (which would never
+        # recover from a past overload and keep the pool pinned high).
+        self._window = LatencyHistogram(reservoir_size=_WINDOW_RESERVOIR)
+        self._reloads = 0
+        self._reload_failures = 0
+        self._reload_records: deque[dict[str, Any]] = deque(
+            maxlen=_MAX_RELOAD_RECORDS
+        )
 
     # ------------------------------------------------------------------
     # Recording (worker threads)
@@ -40,15 +74,86 @@ class ServingMetrics:
             self._batches += 1
             self._batched_requests += int(batch_size)
 
-    def record_request(self, latency_seconds: float, mode: str) -> None:
+    def record_request(
+        self,
+        latency_seconds: float,
+        mode: str,
+        worker_index: int | None = None,
+    ) -> None:
         self.request_latency.record(latency_seconds)
         self.throughput.mark()
         with self._lock:
             self._mode_counts[mode] = self._mode_counts.get(mode, 0) + 1
+            window = self._window
+        window.record(latency_seconds)
+        if worker_index is not None:
+            self.worker_histogram(worker_index).record(latency_seconds)
 
     def record_error(self) -> None:
         with self._lock:
             self._errors += 1
+
+    def record_shed(self, cause: str) -> None:
+        """Count one rejected request by cause (``queue_full``, ``deadline``)."""
+        with self._lock:
+            self._shed_counts[cause] = self._shed_counts.get(cause, 0) + 1
+
+    def record_reload(
+        self,
+        version: str,
+        duration_s: float,
+        moved_entries: int,
+        changed_rows: int,
+        full_rebuild: bool,
+    ) -> None:
+        """Log one completed hot swap (see :meth:`reload_records`)."""
+        with self._lock:
+            self._reloads += 1
+            self._reload_records.append(
+                {
+                    "version": version,
+                    "duration_s": float(duration_s),
+                    "moved_entries": int(moved_entries),
+                    "changed_rows": int(changed_rows),
+                    "full_rebuild": bool(full_rebuild),
+                }
+            )
+
+    def record_reload_failure(self) -> None:
+        with self._lock:
+            self._reload_failures += 1
+
+    # ------------------------------------------------------------------
+    # Per-worker latency
+    # ------------------------------------------------------------------
+    def worker_histogram(self, worker_index: int) -> LatencyHistogram:
+        """The (lazily created) latency histogram for one pool worker."""
+        with self._lock:
+            histogram = self._worker_latency.get(worker_index)
+            if histogram is None:
+                # Distinct seeds keep worker reservoirs independent.
+                histogram = LatencyHistogram(
+                    reservoir_size=_WORKER_RESERVOIR, seed=worker_index + 1
+                )
+                self._worker_latency[worker_index] = histogram
+            return histogram
+
+    def aggregate_latency(self) -> LatencyHistogram:
+        """Merge all per-worker histograms into one (reservoirs pool)."""
+        merged = LatencyHistogram(reservoir_size=_GLOBAL_RESERVOIR)
+        with self._lock:
+            workers = list(self._worker_latency.values())
+        for histogram in workers:
+            merged.merge(histogram)
+        return merged
+
+    def take_latency_window(self) -> LatencyHistogram:
+        """Swap out and return the rolling window (autoscaler control input)."""
+        fresh = LatencyHistogram(reservoir_size=_WINDOW_RESERVOIR)
+        with self._lock:
+            window = self._window
+            self._window = fresh
+        return window
 
     # ------------------------------------------------------------------
     # Reporting
@@ -56,6 +161,38 @@ class ServingMetrics:
     @property
     def requests(self) -> int:
         return self.request_latency.count
+
+    @property
+    def sheds(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._shed_counts)
+
+    @property
+    def shed_total(self) -> int:
+        with self._lock:
+            return sum(self._shed_counts.values())
+
+    @property
+    def reloads(self) -> int:
+        with self._lock:
+            return self._reloads
+
+    @property
+    def reload_failures(self) -> int:
+        with self._lock:
+            return self._reload_failures
+
+    def reload_records(self) -> list[dict[str, Any]]:
+        """Recent hot-swap reports, oldest first (bounded history)."""
+        with self._lock:
+            return [dict(record) for record in self._reload_records]
+
+    def incremental_reloads(self) -> int:
+        """How many recorded swaps went through the incremental LSH path."""
+        with self._lock:
+            return sum(
+                1 for record in self._reload_records if not record["full_rebuild"]
+            )
 
     def mean_batch_size(self) -> float:
         with self._lock:
@@ -68,8 +205,11 @@ class ServingMetrics:
         latency = self.request_latency.summary()
         with self._lock:
             modes = dict(self._mode_counts)
+            sheds = dict(self._shed_counts)
             batches = self._batches
             errors = self._errors
+            reloads = self._reloads
+            reload_failures = self._reload_failures
         return {
             "requests": float(self.requests),
             "errors": float(errors),
@@ -81,7 +221,12 @@ class ServingMetrics:
                 "p50": latency["p50_s"] * 1e3,
                 "p95": latency["p95_s"] * 1e3,
                 "p99": latency["p99_s"] * 1e3,
+                "p999": latency["p999_s"] * 1e3,
                 "mean": latency["mean_s"] * 1e3,
             },
             "modes": {name: float(count) for name, count in modes.items()},
+            "sheds": {name: float(count) for name, count in sheds.items()},
+            "shed_total": float(sum(sheds.values())),
+            "reloads": float(reloads),
+            "reload_failures": float(reload_failures),
         }

@@ -20,6 +20,8 @@ import time
 from concurrent.futures import Future
 from typing import Sequence
 
+from dataclasses import replace
+
 from repro.config import ServingConfig
 from repro.core.network import SlideNetwork
 from repro.parallel.executor import WorkerPool
@@ -30,6 +32,7 @@ from repro.serving.engine import (
     Prediction,
     SparseInferenceEngine,
 )
+from repro.serving.errors import DeadlineExceededError, RejectedError
 from repro.serving.metrics import ServingMetrics
 from repro.types import SparseExample
 
@@ -117,7 +120,7 @@ class EnginePool:
             batch = self.queue.next_batch(timeout=self.poll_timeout)
             if not batch:
                 continue
-            self._serve_batch(batch)
+            self._serve_batch(batch, worker_index)
         # Final drain (draining stop only) so no accepted request is left
         # unresolved; stop() has already waited for the queue to empty, so
         # this serves at most the handful of stragglers.
@@ -125,37 +128,59 @@ class EnginePool:
             batch = self.queue.next_batch(timeout=0.0)
             if not batch:
                 break
-            self._serve_batch(batch)
+            self._serve_batch(batch, worker_index)
 
-    def _serve_batch(self, batch: list[InferenceRequest]) -> None:
-        self.metrics.record_batch(len(batch))
+    def _serve_batch(self, batch: list[InferenceRequest], worker_index: int) -> None:
+        # Deadline-expired requests are failed *before* compute: engine time
+        # spent on an answer the client has abandoned only deepens the
+        # overload.  They don't count as errors — the shed counter is theirs.
+        live: list[InferenceRequest] = []
+        for request in batch:
+            if request.expired():
+                self.metrics.record_shed(DeadlineExceededError.cause)
+                if request.future.set_running_or_notify_cancel():
+                    assert request.deadline_s is not None
+                    request.future.set_exception(
+                        DeadlineExceededError(
+                            waited_s=request.latency(),
+                            deadline_s=request.deadline_s,
+                        )
+                    )
+            else:
+                live.append(request)
+        if not live:
+            return
+        self.metrics.record_batch(len(live))
         try:
             # One engine call serves the whole micro-batch; requests may ask
             # for different k, so score for the largest and trim per request
-            # (predictions are sorted by descending score).
-            max_k = max(request.k for request in batch)
-            predictions = self.engine.predict_batch(
-                [request.example for request in batch], k=max_k
+            # (predictions are sorted by descending score).  The guarded path
+            # runs under the hot-swap read lock and stamps each answer with
+            # the weight generation that produced it.
+            max_k = max(request.k for request in live)
+            predictions = self.engine.predict_batch_guarded(
+                [request.example for request in live], k=max_k
             )
         except BaseException as exc:  # noqa: BLE001 - must reach the futures
-            for request in batch:
+            for request in live:
                 self.metrics.record_error()
                 if not request.future.set_running_or_notify_cancel():
                     continue
                 request.future.set_exception(exc)
             return
-        for request, prediction in zip(batch, predictions):
+        for request, prediction in zip(live, predictions):
             if request.k < prediction.class_ids.shape[0]:
-                prediction = Prediction(
+                prediction = replace(
+                    prediction,
                     class_ids=prediction.class_ids[: request.k],
                     scores=prediction.scores[: request.k],
-                    mode=prediction.mode,
-                    candidates_scored=prediction.candidates_scored,
                 )
             if not request.future.set_running_or_notify_cancel():
                 continue
             request.future.set_result(prediction)
-            self.metrics.record_request(request.latency(), prediction.mode)
+            self.metrics.record_request(
+                request.latency(), prediction.mode, worker_index=worker_index
+            )
 
 
 class ServingRuntime:
@@ -173,15 +198,23 @@ class ServingRuntime:
             max_batch_size=self.config.max_batch_size,
             max_wait_ms=self.config.max_wait_ms,
             capacity=self.config.queue_capacity,
+            policy=self.config.admission_policy,
+            # Retry-after for shed requests = backlog / measured drain rate.
+            drain_rate=self.metrics.throughput.requests_per_second,
         )
-        self.pool = EnginePool(
-            engine,
+        self.pool = self._build_pool()
+        self._started = False
+        self._stopped = False
+
+    def _build_pool(self) -> EnginePool:
+        """Pool factory — :class:`~repro.serving.runtime.OnlineRuntime`
+        overrides this to substitute an elastic pool."""
+        return EnginePool(
+            self.engine,
             self.queue,
             self.metrics,
             num_workers=self.config.num_workers,
         )
-        self._started = False
-        self._stopped = False
 
     @classmethod
     def from_network(
@@ -251,7 +284,14 @@ class ServingRuntime:
                 f"example dimension {example.features.dimension} does not "
                 f"match the model's input_dim {input_dim}"
             )
-        return self.queue.submit(example, k=resolved)
+        deadline_s = (
+            None if self.config.deadline_ms is None else self.config.deadline_ms / 1e3
+        )
+        try:
+            return self.queue.submit(example, k=resolved, deadline_s=deadline_s)
+        except RejectedError as exc:
+            self.metrics.record_shed(exc.cause)
+            raise
 
     def predict(
         self, example: SparseExample, k: int | None = None, timeout: float = 30.0
@@ -275,6 +315,7 @@ class ServingRuntime:
     def stats(self) -> dict[str, object]:
         snapshot = self.metrics.snapshot()
         snapshot["engine"] = self.engine.name
+        snapshot["generation"] = float(self.engine.generation)
         snapshot["num_workers"] = float(self.pool.num_workers)
         snapshot["alive_workers"] = float(self.pool.alive_workers())
         snapshot["queue_pending"] = float(self.queue.pending())

@@ -1,0 +1,475 @@
+"""The online train-to-serve loop: hot reload, autoscaling, elastic workers.
+
+This module closes the lifecycle gap left by the static PR 1 server: a
+trainer keeps publishing checkpoint versions into a
+:class:`~repro.serving.checkpoint.CheckpointStore`, and a running
+:class:`OnlineRuntime` picks each one up *without restarting* — no second
+process, no connection draining, no cold LSH rebuild:
+
+* :class:`CheckpointWatcher` polls the store; when a new version appears it
+  pins the version (so a concurrent ``prune`` cannot delete it mid-read),
+  loads it, and hands the network to
+  :meth:`~repro.serving.engine.InferenceEngine.hot_swap`, which diffs the
+  incoming weights against the resident ones and patches the LSH tables
+  through the incremental ``update(dirty)`` path.  In-flight batches finish
+  on the old generation; requests admitted afterwards see the new one.
+* :class:`ElasticEnginePool` replaces the fixed
+  :class:`~repro.serving.pool.EnginePool` thread set with workers that can
+  be added and retired at runtime (``resize``), which is what the
+  autoscaler actuates.
+* :class:`AutoscaleController` samples recent p99 (from the metrics
+  latency window) and queue depth each control period and votes the pool up
+  or down with hysteresis: scale up after ``autoscale_up_patience``
+  consecutive overloaded samples, down only after
+  ``autoscale_down_patience`` consecutive idle ones, with a cooldown
+  between actions so the pool never flaps.
+* :class:`OnlineRuntime` wires all of the above behind the same
+  ``submit``/``predict`` surface as :class:`~repro.serving.pool.ServingRuntime`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+
+from repro.config import ServingConfig
+from repro.serving.checkpoint import (
+    CheckpointError,
+    CheckpointStore,
+    load_checkpoint,
+)
+from repro.serving.engine import InferenceEngine, SwapReport
+from repro.serving.metrics import ServingMetrics
+from repro.serving.pool import EnginePool, ServingRuntime, build_engine
+from repro.serving.batching import MicroBatchQueue
+
+__all__ = [
+    "ElasticEnginePool",
+    "AutoscaleController",
+    "CheckpointWatcher",
+    "OnlineRuntime",
+]
+
+_MAX_AUTOSCALE_HISTORY = 1024
+
+
+class ElasticEnginePool(EnginePool):
+    """An :class:`EnginePool` whose worker count can change at runtime.
+
+    Workers get monotonically increasing indices (so per-worker metrics
+    never alias across a shrink/grow cycle) and an individual stop event:
+    ``resize`` retires the newest workers first, each finishing its
+    in-flight batch before exiting.  Retired threads are reaped lazily and
+    joined at :meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        engine: InferenceEngine,
+        request_queue: MicroBatchQueue,
+        metrics: ServingMetrics,
+        num_workers: int = 2,
+        poll_timeout: float = 0.05,
+    ) -> None:
+        super().__init__(
+            engine,
+            request_queue,
+            metrics,
+            num_workers=num_workers,
+            poll_timeout=poll_timeout,
+        )
+        # The WorkerPool the base class built is unused: elasticity needs
+        # per-thread lifecycles, which its all-or-nothing start/join cannot
+        # express.
+        self._initial_workers = int(num_workers)
+        self._threads: dict[int, tuple[threading.Thread, threading.Event]] = {}
+        self._retired: list[threading.Thread] = []
+        self._next_index = 0
+        self._resize_lock = threading.Lock()
+        self._elastic_started = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_workers(self) -> int:
+        with self._resize_lock:
+            return len(self._threads)
+
+    def alive_workers(self) -> int:
+        with self._resize_lock:
+            return sum(
+                1 for thread, _ in self._threads.values() if thread.is_alive()
+            )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.metrics.throughput.start()
+        with self._resize_lock:
+            self._elastic_started = True
+            for _ in range(self._initial_workers):
+                self._spawn_locked()
+
+    def resize(self, target: int) -> int:
+        """Grow or shrink to ``target`` workers; returns the new count."""
+        target = max(1, int(target))
+        with self._resize_lock:
+            if not self._elastic_started or self._stopping:
+                return len(self._threads)
+            while len(self._threads) < target:
+                self._spawn_locked()
+            while len(self._threads) > target:
+                # Retire newest-first: oldest workers keep their warmed-up
+                # metrics history.
+                index = max(self._threads)
+                thread, stop_event = self._threads.pop(index)
+                stop_event.set()
+                self._retired.append(thread)
+            self._retired = [t for t in self._retired if t.is_alive()]
+            return len(self._threads)
+
+    def stop(self, drain: bool = True, timeout: float = 5.0) -> None:
+        self.queue.close()
+        self._drain_on_stop = drain
+        if drain:
+            deadline = time.monotonic() + timeout
+            while self.queue.pending() and time.monotonic() < deadline:
+                time.sleep(self.poll_timeout / 2)
+        self._stopping = True
+        with self._resize_lock:
+            threads = [thread for thread, _ in self._threads.values()]
+            threads.extend(self._retired)
+            self._threads.clear()
+            self._retired.clear()
+        try:
+            join_deadline = time.monotonic() + timeout
+            for thread in threads:
+                thread.join(timeout=max(join_deadline - time.monotonic(), 0.1))
+        finally:
+            # Anything still queued (drain=False or the drain timed out) is
+            # cancelled rather than abandoned.
+            while True:
+                batch = self.queue.next_batch(timeout=0.0)
+                if not batch:
+                    break
+                for request in batch:
+                    request.future.cancel()
+
+    # ------------------------------------------------------------------
+    # Worker internals
+    # ------------------------------------------------------------------
+    def _spawn_locked(self) -> None:
+        index = self._next_index
+        self._next_index += 1
+        stop_event = threading.Event()
+        thread = threading.Thread(
+            target=self._elastic_loop,
+            args=(index, stop_event),
+            name=f"serving-elastic-{index}",
+            daemon=True,
+        )
+        self._threads[index] = (thread, stop_event)
+        thread.start()
+
+    def _elastic_loop(self, worker_index: int, stop_event: threading.Event) -> None:
+        while not self._stopping and not stop_event.is_set():
+            batch = self.queue.next_batch(timeout=self.poll_timeout)
+            if not batch:
+                continue
+            self._serve_batch(batch, worker_index)
+        # Final drain mirrors EnginePool: only a *stopping* pool drains the
+        # queue (a retired worker must not race the survivors for work).
+        while self._stopping and self._drain_on_stop and not stop_event.is_set():
+            batch = self.queue.next_batch(timeout=0.0)
+            if not batch:
+                break
+            self._serve_batch(batch, worker_index)
+
+
+class AutoscaleController:
+    """Hysteresis controller sizing an :class:`ElasticEnginePool`.
+
+    Each control period it drains the metrics latency window (recent
+    traffic only — the lifetime histogram would never forgive a past
+    overload) and reads the queue depth, then votes:
+
+    * **overloaded** — window p99 above ``target_p99_ms`` *or* queue depth
+      above ``autoscale_queue_per_worker × workers``;
+    * **idle** — empty queue *and* p99 under half the target;
+    * anything else resets both vote counters.
+
+    Only ``autoscale_up_patience`` consecutive overloaded samples trigger a
+    +1 resize (``autoscale_down_patience`` idle samples for −1), and a
+    cooldown separates consecutive actions.  Down-patience is deliberately
+    larger than up-patience: under-provisioning costs tail latency
+    immediately, over-provisioning only costs idle threads.
+    """
+
+    def __init__(
+        self,
+        pool: ElasticEnginePool,
+        request_queue: MicroBatchQueue,
+        metrics: ServingMetrics,
+        config: ServingConfig,
+    ) -> None:
+        self.pool = pool
+        self.queue = request_queue
+        self.metrics = metrics
+        self.config = config
+        self.history: list[dict[str, float]] = []
+        self._up_votes = 0
+        self._down_votes = 0
+        self._last_action: float | None = None
+        self._stop_event = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # Decision logic (pure given signals — what the unit tests drive)
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        p99_ms: float,
+        queue_depth: int,
+        workers: int,
+        now: float | None = None,
+    ) -> int:
+        """Return the target worker count for the given signals."""
+        cfg = self.config
+        overloaded = (
+            p99_ms > cfg.target_p99_ms
+            or queue_depth > cfg.autoscale_queue_per_worker * workers
+        )
+        idle = queue_depth == 0 and p99_ms < cfg.target_p99_ms / 2
+        if overloaded:
+            self._up_votes += 1
+            self._down_votes = 0
+        elif idle:
+            self._down_votes += 1
+            self._up_votes = 0
+        else:
+            self._up_votes = 0
+            self._down_votes = 0
+        now = time.monotonic() if now is None else now
+        cooled = (
+            self._last_action is None
+            or now - self._last_action >= cfg.autoscale_cooldown_s
+        )
+        if (
+            self._up_votes >= cfg.autoscale_up_patience
+            and workers < cfg.max_workers
+            and cooled
+        ):
+            self._up_votes = 0
+            self._last_action = now
+            return workers + 1
+        if (
+            self._down_votes >= cfg.autoscale_down_patience
+            and workers > cfg.min_workers
+            and cooled
+        ):
+            self._down_votes = 0
+            self._last_action = now
+            return workers - 1
+        return workers
+
+    def step(self, now: float | None = None) -> dict[str, float]:
+        """One control period: sample signals, decide, actuate, record."""
+        window = self.metrics.take_latency_window()
+        p99_ms = window.exact_percentile(99.0) * 1e3 if window.count else 0.0
+        depth = self.queue.pending()
+        workers = self.pool.num_workers
+        target = self.evaluate(p99_ms, depth, workers, now=now)
+        if target != workers:
+            target = self.pool.resize(target)
+        record = {
+            "p99_ms": float(p99_ms),
+            "queue_depth": float(depth),
+            "workers_before": float(workers),
+            "workers_after": float(target),
+        }
+        self.history.append(record)
+        if len(self.history) > _MAX_AUTOSCALE_HISTORY:
+            del self.history[: -_MAX_AUTOSCALE_HISTORY]
+        return record
+
+    # ------------------------------------------------------------------
+    # Control thread
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("autoscaler already started")
+        self._thread = threading.Thread(
+            target=self._run, name="serving-autoscaler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop_event.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop_event.wait(self.config.autoscale_interval_s):
+            self.step()
+
+
+class CheckpointWatcher:
+    """Polls a :class:`CheckpointStore` and hot-swaps new versions in.
+
+    The watcher pins the version directory for the duration of the load, so
+    a trainer pruning old versions in another process cannot delete the one
+    being read.  A version that fails to load (corrupt, shape-mismatched)
+    is counted as a reload failure and the engine keeps serving the
+    resident weights — a bad publish never takes the server down.
+    """
+
+    def __init__(
+        self,
+        store: CheckpointStore,
+        engine: InferenceEngine,
+        metrics: ServingMetrics | None = None,
+        poll_s: float = 1.0,
+        current_version: str | None = None,
+    ) -> None:
+        if poll_s <= 0:
+            raise ValueError("poll_s must be positive")
+        self.store = store
+        self.engine = engine
+        self.metrics = metrics
+        self.poll_s = float(poll_s)
+        self.current_version = current_version
+        self.last_report: SwapReport | None = None
+        self._stop_event = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def poll_once(self) -> SwapReport | None:
+        """Check the store once; swap if a new version exists.
+
+        Returns the :class:`~repro.serving.engine.SwapReport` when a swap
+        happened, ``None`` otherwise (no versions, already current, or the
+        load failed).  Synchronous — tests and the bench call this directly
+        instead of racing the poll thread.
+        """
+        try:
+            latest = self.store.latest()
+        except CheckpointError:
+            return None
+        if latest.name == self.current_version:
+            return None
+        try:
+            with self.store.pin(latest):
+                loaded = load_checkpoint(latest, load_optimizer=False)
+                report = self.engine.hot_swap(loaded.network, version=latest.name)
+        except (CheckpointError, ValueError, OSError):
+            if self.metrics is not None:
+                self.metrics.record_reload_failure()
+            return None
+        self.current_version = latest.name
+        self.last_report = report
+        if self.metrics is not None:
+            self.metrics.record_reload(
+                version=latest.name,
+                duration_s=report.duration_s,
+                moved_entries=report.moved_entries,
+                changed_rows=report.changed_rows,
+                full_rebuild=report.full_rebuild,
+            )
+        return report
+
+    # ------------------------------------------------------------------
+    # Poll thread
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("watcher already started")
+        self._thread = threading.Thread(
+            target=self._run, name="serving-ckpt-watcher", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop_event.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop_event.wait(self.poll_s):
+            self.poll_once()
+
+
+class OnlineRuntime(ServingRuntime):
+    """A :class:`ServingRuntime` wired into the train-to-serve loop.
+
+    Boots from ``store.latest()``, then keeps itself current: the watcher
+    hot-swaps each new version the trainer publishes, and (when
+    ``config.autoscale`` is set) the autoscaler resizes the elastic worker
+    pool from live p99/queue-depth signals.
+    """
+
+    def __init__(
+        self,
+        store: CheckpointStore | str | Path,
+        config: ServingConfig | None = None,
+    ) -> None:
+        if not isinstance(store, CheckpointStore):
+            store = CheckpointStore(store)
+        self.store = store
+        config = config or ServingConfig()
+        latest = store.latest()
+        with store.pin(latest):
+            loaded = load_checkpoint(latest, load_optimizer=False)
+        engine = build_engine(loaded.network, config)
+        super().__init__(engine, config)
+        self.watcher = CheckpointWatcher(
+            store,
+            engine,
+            metrics=self.metrics,
+            poll_s=config.reload_poll_s,
+            current_version=latest.name,
+        )
+        self.autoscaler: AutoscaleController | None = None
+        if config.autoscale:
+            assert isinstance(self.pool, ElasticEnginePool)
+            self.autoscaler = AutoscaleController(
+                self.pool, self.queue, self.metrics, config
+            )
+
+    def _build_pool(self) -> EnginePool:
+        return ElasticEnginePool(
+            self.engine,
+            self.queue,
+            self.metrics,
+            num_workers=self.config.num_workers,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "OnlineRuntime":
+        super().start()
+        self.watcher.start()
+        if self.autoscaler is not None:
+            self.autoscaler.start()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        # Control loops first: a watcher mid-swap finishes (stop() joins
+        # it), then the pool drains on the settled weights.
+        if self.autoscaler is not None:
+            self.autoscaler.stop()
+        self.watcher.stop()
+        super().stop(drain=drain)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, object]:
+        snapshot = super().stats()
+        snapshot["checkpoint_version"] = self.watcher.current_version
+        snapshot["autoscale"] = self.autoscaler is not None
+        return snapshot

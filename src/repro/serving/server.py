@@ -22,6 +22,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
 
+from repro.serving.errors import RejectedError, ServingError
 from repro.serving.pool import ServingRuntime
 from repro.types import SparseExample, SparseVector
 
@@ -85,6 +86,28 @@ class _Handler(BaseHTTPRequestHandler):
             # nested lists where scalars are expected — still a 400.
             self._send_json(400, {"error": str(exc)})
             return
+        except RejectedError as exc:
+            # Load shed at admission: 429 with a Retry-After derived from
+            # the backlog, so clients back off proportionally.
+            self.send_response(exc.http_status)
+            body = json.dumps(
+                {
+                    "error": str(exc),
+                    "cause": exc.cause,
+                    "retry_after_s": exc.retry_after_s,
+                    "pending": exc.pending,
+                }
+            ).encode("utf-8")
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.send_header("Retry-After", f"{exc.retry_after_s:.3f}")
+            self.end_headers()
+            self.wfile.write(body)
+            return
+        except ServingError as exc:
+            # Deadline expiry (504) and any future typed serving failure.
+            self._send_json(exc.http_status, {"error": str(exc), "cause": exc.cause})
+            return
         except CancelledError:
             # The pool cancelled the request mid-shutdown; CancelledError is
             # a BaseException, so without this branch the connection would
@@ -101,6 +124,7 @@ class _Handler(BaseHTTPRequestHandler):
                 "scores": [float(s) for s in prediction.scores],
                 "mode": prediction.mode,
                 "candidates_scored": prediction.candidates_scored,
+                "generation": prediction.generation,
             },
         )
 

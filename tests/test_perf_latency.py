@@ -133,3 +133,81 @@ def test_throughput_meter():
     assert meter.elapsed() >= 0.0
     # Elapsed time is tiny but positive, so the rate is finite and positive.
     assert meter.requests_per_second() > 0.0
+
+
+# ----------------------------------------------------------------------
+# Raw-sample reservoir (exact percentiles, cross-worker aggregation)
+# ----------------------------------------------------------------------
+def test_exact_percentile_is_exact_while_samples_fit_reservoir():
+    histogram = LatencyHistogram(reservoir_size=1000)
+    values = np.linspace(0.001, 0.5, 500)
+    for value in values:
+        histogram.record(float(value))
+    assert histogram.retained_samples == 500
+    for p in (50.0, 99.0, 99.9):
+        assert histogram.exact_percentile(p) == pytest.approx(
+            float(np.percentile(values, p)), rel=1e-12
+        )
+    # The summary prefers exact percentiles when a reservoir is populated.
+    summary = histogram.summary()
+    assert summary["p999_s"] == pytest.approx(float(np.percentile(values, 99.9)))
+
+
+def test_reservoir_subsamples_uniformly_beyond_capacity():
+    histogram = LatencyHistogram(reservoir_size=200, seed=1)
+    for value in np.linspace(0.001, 1.0, 5000):
+        histogram.record(float(value))
+    assert histogram.retained_samples == 200
+    # A uniform sample of a uniform ramp: the median estimate must land
+    # near the true median (loose bound — it is a 200-sample estimate).
+    assert histogram.exact_percentile(50.0) == pytest.approx(0.5, abs=0.1)
+
+
+def test_exact_percentile_falls_back_to_buckets_without_reservoir():
+    histogram = LatencyHistogram()  # reservoir_size=0
+    for value in (0.01, 0.02, 0.03):
+        histogram.record(value)
+    assert histogram.retained_samples == 0
+    assert histogram.exact_percentile(50.0) == histogram.percentile(50.0)
+
+
+def test_merge_pools_reservoirs_across_workers():
+    workers = [LatencyHistogram(reservoir_size=4096, seed=i) for i in range(3)]
+    all_values = []
+    rng = np.random.default_rng(9)
+    for worker in workers:
+        values = rng.uniform(0.001, 0.2, size=300)
+        all_values.append(values)
+        for value in values:
+            worker.record(float(value))
+    merged = LatencyHistogram(reservoir_size=4096)
+    for worker in workers:
+        merged.merge(worker)
+    pooled = np.concatenate(all_values)
+    assert merged.count == pooled.size
+    assert merged.retained_samples == pooled.size
+    # Everything fit the reservoir, so the cross-worker p99 is *exact* —
+    # the property the autoscaler and the serving bench rely on.
+    assert merged.exact_percentile(99.0) == pytest.approx(
+        float(np.percentile(pooled, 99.0)), rel=1e-12
+    )
+
+
+def test_merge_downsamples_weighted_when_reservoir_overflows():
+    a = LatencyHistogram(reservoir_size=100, seed=2)
+    b = LatencyHistogram(reservoir_size=100, seed=3)
+    for value in np.full(900, 0.01):
+        a.record(float(value))
+    for value in np.full(100, 0.1):
+        b.record(float(value))
+    a.merge(b)
+    assert a.count == 1000
+    assert a.retained_samples == 100
+    # a's history is 9x larger, so its value should dominate the merged
+    # sample roughly in proportion.
+    slow = sum(1 for v in [a.exact_percentile(p) for p in range(0, 100, 5)] if v > 0.05)
+    assert slow <= 8  # ~10% of the mass sits at 0.1
+
+def test_reservoir_validation():
+    with pytest.raises(ValueError):
+        LatencyHistogram(reservoir_size=-1)

@@ -1,0 +1,520 @@
+"""The online train-to-serve runtime: hot reload, admission control, autoscaling.
+
+Covers the overload contract (typed 429 sheds with correct counters,
+deadline drops *before* compute), hot-reload parity (post-swap engine ≡
+cold-loaded checkpoint, bitwise top-k, incremental LSH patch — no full
+rebuild), the elastic pool + hysteresis autoscaler, checkpoint retention
+(prune / pin / auto-prune), the strict JSON config loader, and the full
+reload-under-live-traffic integration scenario.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    LayerConfig,
+    LSHConfig,
+    OptimizerConfig,
+    SamplingConfig,
+    ServingConfig,
+    SlideNetworkConfig,
+    TrainingConfig,
+    load_serving_config,
+    serving_config_from_dict,
+)
+from repro.core.network import SlideNetwork
+from repro.core.trainer import SlideTrainer
+from repro.serving import (
+    AutoscaleController,
+    CheckpointStore,
+    CheckpointWatcher,
+    DeadlineExceededError,
+    DenseInferenceEngine,
+    ElasticEnginePool,
+    MicroBatchQueue,
+    OnlineRuntime,
+    RejectedError,
+    ServingMetrics,
+    ServingRuntime,
+    SparseInferenceEngine,
+    load_checkpoint,
+    run_open_loop,
+)
+from repro.serving.__main__ import main as serve_main
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def _make_network(tiny_dataset, seed: int = 3) -> SlideNetwork:
+    # bucket_size=64 > label_dim=48 guarantees no FIFO bucket ever
+    # overflows, which is the precondition for bitwise hot-swap parity
+    # (overflow eviction order is the one thing a swap does not preserve).
+    lsh = LSHConfig(hash_family="simhash", k=3, l=16, bucket_size=64)
+    layers = (
+        LayerConfig(size=32, activation="relu", lsh=None),
+        LayerConfig(
+            size=tiny_dataset.config.label_dim,
+            activation="softmax",
+            lsh=lsh,
+            sampling=SamplingConfig(strategy="vanilla", target_active=12, min_active=8),
+        ),
+    )
+    return SlideNetwork(
+        SlideNetworkConfig(
+            input_dim=tiny_dataset.config.feature_dim, layers=layers, seed=seed
+        )
+    )
+
+
+def _make_trainer(network: SlideNetwork) -> SlideTrainer:
+    return SlideTrainer(
+        network,
+        TrainingConfig(
+            batch_size=16,
+            epochs=1,
+            optimizer=OptimizerConfig(name="adam", learning_rate=1e-3),
+            seed=11,
+        ),
+    )
+
+
+class SlowDenseEngine(DenseInferenceEngine):
+    """Dense engine with an artificial per-batch delay (overload tests)."""
+
+    def __init__(self, network: SlideNetwork, delay_s: float) -> None:
+        super().__init__(network)
+        self.delay_s = delay_s
+        self.batches_computed = 0
+
+    def predict_batch(self, examples, k=1):
+        time.sleep(self.delay_s)
+        self.batches_computed += 1
+        return super().predict_batch(examples, k=k)
+
+
+# ----------------------------------------------------------------------
+# Admission control: shed + deadline
+# ----------------------------------------------------------------------
+def test_full_queue_sheds_with_typed_429_and_counters(tiny_dataset):
+    engine = SlowDenseEngine(_make_network(tiny_dataset), delay_s=0.05)
+    config = ServingConfig(
+        engine="dense",
+        top_k=1,
+        max_batch_size=1,
+        max_wait_ms=0.0,
+        num_workers=1,
+        queue_capacity=1,
+        admission_policy="shed",
+    )
+    rejections = []
+    with ServingRuntime(engine, config) as runtime:
+        futures = []
+        for i in range(30):
+            try:
+                futures.append(runtime.submit(tiny_dataset.test[i % 8]))
+            except RejectedError as exc:
+                rejections.append(exc)
+        assert rejections, "a 1-deep queue under a 50ms/batch engine must shed"
+        exc = rejections[0]
+        assert exc.cause == "queue_full"
+        assert exc.http_status == 429
+        assert 0.0 < exc.retry_after_s <= 5.0
+        assert exc.pending >= 1
+        # Admitted requests still complete.
+        for future in futures:
+            future.result(timeout=30.0)
+    assert runtime.metrics.sheds["queue_full"] == len(rejections)
+    snapshot = runtime.stats()
+    assert snapshot["sheds"]["queue_full"] == float(len(rejections))
+    assert snapshot["shed_total"] == float(len(rejections))
+    # Sheds are not errors.
+    assert snapshot["errors"] == 0.0
+
+
+def test_deadline_expired_requests_drop_before_compute(tiny_dataset):
+    engine = SlowDenseEngine(_make_network(tiny_dataset), delay_s=0.05)
+    config = ServingConfig(
+        engine="dense",
+        top_k=1,
+        max_batch_size=1,
+        max_wait_ms=0.0,
+        num_workers=1,
+        queue_capacity=64,
+        deadline_ms=5.0,
+    )
+    with ServingRuntime(engine, config) as runtime:
+        futures = [runtime.submit(tiny_dataset.test[i]) for i in range(4)]
+        # First request reaches the worker within its budget; the rest sit
+        # behind a 50ms batch and expire in queue.
+        futures[0].result(timeout=10.0)
+        for future in futures[1:]:
+            with pytest.raises(DeadlineExceededError) as excinfo:
+                future.result(timeout=10.0)
+            assert excinfo.value.http_status == 504
+            assert excinfo.value.waited_s > excinfo.value.deadline_s
+    # Dropped before compute: only the one live batch hit the engine.
+    assert engine.batches_computed == 1
+    assert runtime.metrics.sheds["deadline"] == 3
+
+
+def test_block_policy_still_blocks(tiny_dataset):
+    queue = MicroBatchQueue(max_batch_size=4, capacity=1, policy="block")
+    queue.submit(tiny_dataset.test[0])
+    blocked = threading.Event()
+
+    def second_submit():
+        blocked.set()
+        queue.submit(tiny_dataset.test[1])
+
+    thread = threading.Thread(target=second_submit, daemon=True)
+    thread.start()
+    blocked.wait(timeout=1.0)
+    time.sleep(0.05)
+    assert thread.is_alive(), "block policy must wait, not shed"
+    queue.next_batch(timeout=0.1)  # free capacity
+    thread.join(timeout=2.0)
+    assert not thread.is_alive()
+
+
+# ----------------------------------------------------------------------
+# Hot reload
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def trained_store(tmp_path, tiny_dataset):
+    """A store with two versions: v1 after one epoch, v2 after two."""
+    network = _make_network(tiny_dataset)
+    trainer = _make_trainer(network)
+    store = CheckpointStore(tmp_path / "store")
+    trainer.train(tiny_dataset.train)
+    store.save(network, trainer.optimizer)
+    trainer.train(tiny_dataset.train)
+    store.save(network, trainer.optimizer)
+    return store
+
+
+def test_hot_swap_is_incremental_and_bitwise_equal_to_cold_load(
+    trained_store, tiny_dataset
+):
+    v1, v2 = trained_store.versions()
+    resident = load_checkpoint(v1, load_optimizer=False).network
+    engine = SparseInferenceEngine(resident, active_budget=32)
+    incoming = load_checkpoint(v2, load_optimizer=False).network
+
+    report = engine.hot_swap(incoming, version=v2.name)
+    assert not report.full_rebuild
+    assert report.changed_rows > 0
+    assert report.update_items > 0
+    assert report.version == v2.name
+    assert engine.generation == 2  # settled (even) after one swap
+
+    cold = SparseInferenceEngine(
+        load_checkpoint(v2, load_optimizer=False).network, active_budget=32
+    )
+    examples = [tiny_dataset.test[i] for i in range(len(tiny_dataset.test))]
+    swapped_preds = engine.predict_batch(examples, k=5)
+    cold_preds = cold.predict_batch(examples, k=5)
+    for swapped, fresh in zip(swapped_preds, cold_preds):
+        assert np.array_equal(swapped.class_ids, fresh.class_ids)
+        # Bitwise: identical weights + identical candidate sets must give
+        # identical float scores, not merely close ones.
+        assert np.array_equal(swapped.scores, fresh.scores)
+        assert swapped.mode == fresh.mode
+
+
+def test_hot_swap_rejects_shape_mismatch(trained_store, tiny_dataset):
+    resident = load_checkpoint(trained_store.versions()[0], load_optimizer=False)
+    engine = SparseInferenceEngine(resident.network, active_budget=32)
+    other = SlideNetwork(
+        SlideNetworkConfig(
+            input_dim=tiny_dataset.config.feature_dim,
+            layers=(
+                LayerConfig(size=16, activation="relu", lsh=None),
+                LayerConfig(
+                    size=tiny_dataset.config.label_dim,
+                    activation="softmax",
+                    lsh=None,
+                ),
+            ),
+            seed=1,
+        )
+    )
+    with pytest.raises(ValueError, match="shape mismatch"):
+        engine.hot_swap(other)
+
+
+def test_watcher_poll_once_swaps_and_records(trained_store):
+    v1, v2 = trained_store.versions()
+    engine = SparseInferenceEngine(
+        load_checkpoint(v1, load_optimizer=False).network, active_budget=32
+    )
+    metrics = ServingMetrics()
+    watcher = CheckpointWatcher(
+        trained_store, engine, metrics=metrics, current_version=v1.name
+    )
+    report = watcher.poll_once()
+    assert report is not None and report.version == v2.name
+    assert watcher.current_version == v2.name
+    # Idempotent: already current → no swap.
+    assert watcher.poll_once() is None
+    assert metrics.reloads == 1
+    assert metrics.incremental_reloads() == 1
+    records = metrics.reload_records()
+    assert records[-1]["version"] == v2.name
+    assert records[-1]["full_rebuild"] is False
+
+
+# ----------------------------------------------------------------------
+# Checkpoint retention
+# ----------------------------------------------------------------------
+def test_store_prune_keeps_newest_and_respects_pins(tmp_path, tiny_dataset):
+    network = _make_network(tiny_dataset)
+    store = CheckpointStore(tmp_path / "store")
+    for _ in range(5):
+        store.save(network)
+    versions = store.versions()
+    assert len(versions) == 5
+    pinned = versions[0]
+    with store.pin(pinned):
+        removed = store.prune(keep_last=2)
+        kept = {v.name for v in store.versions()}
+        # Oldest is pinned → survives; the next two oldest go.
+        assert pinned.name in kept
+        assert len(removed) == 2
+        assert {v.name for v in versions[-2:]} <= kept
+    # Pin released → next prune collects it.
+    removed = store.prune(keep_last=2)
+    assert pinned in removed
+    assert len(store.versions()) == 2
+
+
+def test_store_save_auto_prunes(tmp_path, tiny_dataset):
+    network = _make_network(tiny_dataset)
+    store = CheckpointStore(tmp_path / "store")
+    for _ in range(4):
+        store.save(network, keep_last=2)
+    names = [v.name for v in store.versions()]
+    assert names == ["v0003", "v0004"]
+    with pytest.raises(ValueError):
+        store.prune(keep_last=0)
+    with pytest.raises(ValueError):
+        store.save(network, keep_last=0)
+
+
+# ----------------------------------------------------------------------
+# Elastic pool + autoscaler
+# ----------------------------------------------------------------------
+def test_elastic_pool_resizes_while_serving(tiny_dataset):
+    engine = DenseInferenceEngine(_make_network(tiny_dataset))
+    metrics = ServingMetrics()
+    queue = MicroBatchQueue(max_batch_size=8, max_wait_ms=1.0, capacity=256)
+    pool = ElasticEnginePool(engine, queue, metrics, num_workers=1)
+    pool.start()
+    try:
+        assert pool.num_workers == 1
+        assert pool.resize(3) == 3
+        deadline = time.monotonic() + 2.0
+        while pool.alive_workers() < 3 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert pool.alive_workers() == 3
+        futures = [queue.submit(tiny_dataset.test[i % 8], k=1) for i in range(40)]
+        for future in futures:
+            assert future.result(timeout=30.0).class_ids.shape == (1,)
+        assert pool.resize(1) == 1
+        deadline = time.monotonic() + 2.0
+        while pool.alive_workers() > 1 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert pool.num_workers == 1
+        # The survivor still serves.
+        assert queue.submit(tiny_dataset.test[0], k=1).result(timeout=10.0)
+    finally:
+        pool.stop()
+
+
+def test_autoscaler_hysteresis_and_cooldown():
+    config = ServingConfig(
+        autoscale=True,
+        num_workers=1,
+        min_workers=1,
+        max_workers=4,
+        autoscale_up_patience=2,
+        autoscale_down_patience=3,
+        autoscale_cooldown_s=10.0,
+        target_p99_ms=50.0,
+        autoscale_queue_per_worker=4.0,
+    )
+    controller = AutoscaleController(None, None, None, config)  # type: ignore[arg-type]
+    # One overloaded sample is not enough (patience=2).
+    assert controller.evaluate(100.0, 0, workers=1, now=0.0) == 1
+    assert controller.evaluate(100.0, 0, workers=1, now=1.0) == 2
+    # Cooldown: still overloaded, but the last action was at t=1.
+    assert controller.evaluate(100.0, 0, workers=2, now=2.0) == 2
+    assert controller.evaluate(100.0, 0, workers=2, now=3.0) == 2
+    # Cooldown expired → the accumulated votes act.
+    assert controller.evaluate(100.0, 0, workers=2, now=12.0) == 3
+    # Queue depth alone also counts as overload (> 4 × workers).
+    controller2 = AutoscaleController(None, None, None, config)  # type: ignore[arg-type]
+    assert controller2.evaluate(1.0, 50, workers=3, now=0.0) == 3
+    assert controller2.evaluate(1.0, 50, workers=3, now=1.0) == 4
+    # Scale down needs 3 consecutive idle samples and never goes below min.
+    controller3 = AutoscaleController(None, None, None, config)  # type: ignore[arg-type]
+    assert controller3.evaluate(1.0, 0, workers=2, now=0.0) == 2
+    assert controller3.evaluate(1.0, 0, workers=2, now=1.0) == 2
+    # A busy blip resets the idle streak.
+    assert controller3.evaluate(100.0, 0, workers=2, now=2.0) == 2
+    assert controller3.evaluate(1.0, 0, workers=2, now=3.0) == 2
+    assert controller3.evaluate(1.0, 0, workers=2, now=4.0) == 2
+    assert controller3.evaluate(1.0, 0, workers=2, now=5.0) == 1
+    assert controller3.evaluate(1.0, 0, workers=1, now=100.0) == 1
+    assert controller3.evaluate(1.0, 0, workers=1, now=101.0) == 1
+    assert controller3.evaluate(1.0, 0, workers=1, now=102.0) == 1  # min floor
+
+
+def test_autoscaler_step_resizes_elastic_pool(tiny_dataset):
+    engine = DenseInferenceEngine(_make_network(tiny_dataset))
+    metrics = ServingMetrics()
+    queue = MicroBatchQueue(max_batch_size=8, capacity=256)
+    pool = ElasticEnginePool(engine, queue, metrics, num_workers=1)
+    config = ServingConfig(
+        autoscale=True,
+        num_workers=1,
+        min_workers=1,
+        max_workers=4,
+        autoscale_up_patience=1,
+        autoscale_down_patience=1,
+        autoscale_cooldown_s=0.0,
+        target_p99_ms=10.0,
+    )
+    controller = AutoscaleController(pool, queue, metrics, config)
+    pool.start()
+    try:
+        # Saturate the latency window well past target p99.
+        for _ in range(50):
+            metrics.record_request(0.5, mode="dense")
+        record = controller.step()
+        assert record["workers_after"] == 2.0
+        assert pool.num_workers == 2
+        # Window was drained by step(); an idle window scales back down.
+        record = controller.step()
+        assert record["workers_after"] == 1.0
+        assert controller.history[-1] == record
+    finally:
+        pool.stop()
+
+
+# ----------------------------------------------------------------------
+# Strict config loading
+# ----------------------------------------------------------------------
+def test_serving_config_from_dict_names_bad_fields():
+    with pytest.raises(ValueError, match="'workerz'"):
+        serving_config_from_dict({"workerz": 3})
+    with pytest.raises(ValueError, match="'top_k'"):
+        serving_config_from_dict({"top_k": "five"})
+    with pytest.raises(ValueError, match="'autoscale'"):
+        serving_config_from_dict({"autoscale": "yes"})
+    with pytest.raises(ValueError, match="num_workers"):
+        serving_config_from_dict({"num_workers": -1})
+    config = serving_config_from_dict(
+        {"deadline_ms": 25, "admission_policy": "shed", "autoscale": True}
+    )
+    assert config.deadline_ms == 25.0
+    assert config.autoscale is True
+
+
+def test_load_serving_config_file(tmp_path):
+    path = tmp_path / "serving.json"
+    path.write_text(json.dumps({"num_workers": 3, "deadline_ms": 40}))
+    config = load_serving_config(path)
+    assert config.num_workers == 3 and config.deadline_ms == 40.0
+    path.write_text("[1, 2]")
+    with pytest.raises(ValueError, match="JSON object"):
+        load_serving_config(path)
+    path.write_text("{not json")
+    with pytest.raises(ValueError, match="not valid JSON"):
+        load_serving_config(path)
+
+
+def test_cli_rejects_bad_config_naming_field(tmp_path, tiny_dataset, capsys):
+    network = _make_network(tiny_dataset)
+    store = CheckpointStore(tmp_path / "store")
+    store.save(network)
+    bad = tmp_path / "serving.json"
+    bad.write_text(json.dumps({"workerz": 3}))
+    code = serve_main([str(tmp_path / "store"), "--config", str(bad)])
+    assert code == 2
+    assert "workerz" in capsys.readouterr().err
+
+
+def test_cli_watch_requires_store_root(tmp_path, tiny_dataset, capsys):
+    from repro.serving import save_checkpoint
+
+    network = _make_network(tiny_dataset)
+    ckpt = tmp_path / "ckpt"
+    save_checkpoint(ckpt, network)
+    code = serve_main([str(ckpt), "--watch"])
+    assert code == 2
+    assert "CheckpointStore root" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Integration: hot reload under live traffic
+# ----------------------------------------------------------------------
+def test_online_runtime_reload_under_live_traffic(tmp_path, tiny_dataset):
+    """The acceptance scenario: ≥2 swaps under load, zero failed non-shed
+    requests, every swap through the incremental LSH path."""
+    network = _make_network(tiny_dataset)
+    trainer = _make_trainer(network)
+    store = CheckpointStore(tmp_path / "store")
+    trainer.train(tiny_dataset.train)
+    store.save(network, trainer.optimizer, keep_last=3)
+
+    config = ServingConfig(
+        engine="sparse",
+        active_budget=32,
+        top_k=1,
+        num_workers=2,
+        queue_capacity=512,
+        admission_policy="shed",
+        reload_poll_s=60.0,  # polled synchronously below — no thread races
+    )
+    runtime = OnlineRuntime(store, config)
+    assert isinstance(runtime.pool, ElasticEnginePool)
+    runtime.start()
+    try:
+        examples = [tiny_dataset.test[i] for i in range(len(tiny_dataset.test))]
+        reports = []
+
+        def client():
+            reports.append(
+                run_open_loop(runtime, examples, qps=120.0, duration_s=1.5, k=1)
+            )
+
+        thread = threading.Thread(target=client, daemon=True)
+        thread.start()
+        for _ in range(2):  # publish two new checkpoints mid-traffic
+            time.sleep(0.35)
+            trainer.train(tiny_dataset.train)
+            store.save(network, trainer.optimizer, keep_last=3)
+            swap = runtime.watcher.poll_once()
+            assert swap is not None and not swap.full_rebuild
+        thread.join(timeout=60.0)
+        assert not thread.is_alive()
+    finally:
+        runtime.stop()
+
+    report = reports[0]
+    assert report.errors == 0, "hot reload must not fail live requests"
+    assert report.completed == report.sent
+    assert report.completed > 0
+    # Both swaps recorded, both incremental.
+    assert runtime.metrics.reloads == 2
+    assert runtime.metrics.incremental_reloads() == 2
+    # Traffic spanned at least two weight generations.
+    assert len(report.generations) >= 2
+    assert runtime.stats()["checkpoint_version"] == store.latest().name
