@@ -35,6 +35,9 @@ __all__ = [
     "OptimizerConfig",
     "TrainingConfig",
     "ServingConfig",
+    "FaultToleranceConfig",
+    "fault_tolerance_config_to_dict",
+    "fault_tolerance_config_from_dict",
     "network_config_to_dict",
     "network_config_from_dict",
     "optimizer_config_to_dict",
@@ -251,6 +254,74 @@ class TrainingConfig:
 
 
 @dataclass(frozen=True)
+class FaultToleranceConfig:
+    """Supervision and checkpoint/resume knobs for the training runtime.
+
+    Consumed by :class:`repro.parallel.sharedmem.ProcessHogwildTrainer`
+    (worker supervision + periodic mid-run checkpoints) and by
+    :class:`repro.core.trainer.SlideTrainer` (inline checkpoint cadence).
+
+    Attributes
+    ----------
+    heartbeat_timeout_s:
+        A live worker whose shared-memory heartbeat has not advanced for
+        this long is declared hung, killed, and handled like a crash.
+        ``0`` disables hang detection (death-by-exitcode still applies).
+    poll_interval_s:
+        Upper bound on the supervisor's wait between liveness checks; death
+        and result messages wake it immediately regardless.
+    max_restarts:
+        Restarts allowed *per worker* before it is written off and its
+        remaining work is reassigned to the survivors.
+    backoff_base_s / backoff_max_s:
+        Exponential restart backoff: attempt ``k`` waits
+        ``min(base * 2**(k-1), max)`` seconds before relaunching.
+    checkpoint_every_s:
+        Supervisor-side cadence for mid-run training checkpoints in
+        multi-process runs (``0`` disables periodic saves).
+    checkpoint_every_batches:
+        Inline-trainer cadence: save a resumable checkpoint every this many
+        batches (``0`` = only at epoch boundaries when a checkpoint
+        directory is configured).
+    checkpoint_keep_last:
+        Versions retained by the auto-pruning checkpoint store.
+    """
+
+    heartbeat_timeout_s: float = 30.0
+    poll_interval_s: float = 0.2
+    max_restarts: int = 2
+    backoff_base_s: float = 0.1
+    backoff_max_s: float = 5.0
+    checkpoint_every_s: float = 0.0
+    checkpoint_every_batches: int = 0
+    checkpoint_keep_last: int = 3
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_timeout_s < 0:
+            raise ValueError("heartbeat_timeout_s must be non-negative")
+        if self.poll_interval_s <= 0:
+            raise ValueError("poll_interval_s must be positive")
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be non-negative")
+        if self.backoff_base_s < 0:
+            raise ValueError("backoff_base_s must be non-negative")
+        if self.backoff_max_s < self.backoff_base_s:
+            raise ValueError("backoff_max_s must be >= backoff_base_s")
+        if self.checkpoint_every_s < 0:
+            raise ValueError("checkpoint_every_s must be non-negative")
+        if self.checkpoint_every_batches < 0:
+            raise ValueError("checkpoint_every_batches must be non-negative")
+        if self.checkpoint_keep_last < 1:
+            raise ValueError("checkpoint_keep_last must be at least 1")
+
+    def restart_backoff_s(self, attempt: int) -> float:
+        """Backoff before restart ``attempt`` (1-based), capped."""
+        if attempt <= 0:
+            raise ValueError("attempt must be positive")
+        return min(self.backoff_base_s * 2 ** (attempt - 1), self.backoff_max_s)
+
+
+@dataclass(frozen=True)
 class ServingConfig:
     """Parameters of the :mod:`repro.serving` model server.
 
@@ -421,6 +492,38 @@ def optimizer_config_to_dict(config: OptimizerConfig) -> dict[str, Any]:
 def optimizer_config_from_dict(data: Mapping[str, Any]) -> OptimizerConfig:
     """Rebuild an :class:`OptimizerConfig` from its dict form."""
     return OptimizerConfig(**data)
+
+
+def fault_tolerance_config_to_dict(config: FaultToleranceConfig) -> dict[str, Any]:
+    """A plain-dict (JSON-serialisable) view of a fault-tolerance config."""
+    return asdict(config)
+
+
+def fault_tolerance_config_from_dict(data: Mapping[str, Any]) -> FaultToleranceConfig:
+    """Rebuild a :class:`FaultToleranceConfig` from its dict form (strict)."""
+    valid = {f.name for f in fields(FaultToleranceConfig)}
+    unknown = sorted(set(data) - valid)
+    if unknown:
+        names = ", ".join(repr(name) for name in unknown)
+        raise ValueError(
+            f"unknown fault tolerance config field"
+            f"{'s' if len(unknown) > 1 else ''} {names}; "
+            f"valid fields: {', '.join(sorted(valid))}"
+        )
+    coerced: dict[str, Any] = {}
+    for name, value in data.items():
+        checker = (
+            _check_int
+            if name in ("max_restarts", "checkpoint_every_batches", "checkpoint_keep_last")
+            else _check_float
+        )
+        try:
+            coerced[name] = checker(value)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"fault tolerance config field {name!r}: invalid value {value!r}"
+            ) from None
+    return FaultToleranceConfig(**coerced)
 
 
 def serving_config_to_dict(config: ServingConfig) -> dict[str, Any]:

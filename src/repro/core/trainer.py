@@ -11,17 +11,24 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from pathlib import Path
+from typing import Any, Iterator, Sequence
 
 import numpy as np
 
-from repro.config import TrainingConfig
+from repro.config import FaultToleranceConfig, TrainingConfig
 from repro.core.inference import evaluate_precision_at_1
 from repro.core.network import SlideNetwork
 from repro.types import SparseBatch, SparseExample
 from repro.utils.rng import derive_rng
 
-__all__ = ["IterationRecord", "TrainingHistory", "SlideTrainer"]
+__all__ = [
+    "IterationRecord",
+    "TrainingHistory",
+    "SlideTrainer",
+    "capture_network_runtime_state",
+    "restore_network_runtime_state",
+]
 
 # Any random-access example source works for training: a plain list, or the
 # mmap-backed ``repro.data.ShardedDataset`` (same ``len``/``__getitem__``
@@ -78,6 +85,46 @@ class TrainingHistory:
         return None
 
 
+def capture_network_runtime_state(network: SlideNetwork) -> dict[str, Any]:
+    """JSON-safe mutable runtime state of a network's layers.
+
+    The checkpoint arrays carry weights, biases, optimiser moments and LSH
+    codes — everything *positional*.  Bitwise resume additionally needs the
+    *procedural* state that decides what the next batch does: each layer's
+    private RNG (active-set padding, sampling tie-breaks) and its rebuild
+    schedule position.  Both are tiny, so they ride in the checkpoint
+    metadata rather than the array payload.
+    """
+    layers = []
+    for layer in network.layers:
+        entry: dict[str, Any] = {
+            "rng_state": layer._rng.bit_generator.state,
+            "num_rebuilds": int(layer.num_rebuilds),
+        }
+        if layer.rebuild_schedule is not None:
+            entry["schedule"] = layer.rebuild_schedule.state_dict()
+        layers.append(entry)
+    return {"layers": layers}
+
+
+def restore_network_runtime_state(
+    network: SlideNetwork, state: dict[str, Any]
+) -> None:
+    """Restore state captured by :func:`capture_network_runtime_state`."""
+    layers = state.get("layers", [])
+    if len(layers) != len(network.layers):
+        raise ValueError(
+            f"runtime state covers {len(layers)} layers; "
+            f"network has {len(network.layers)}"
+        )
+    for layer, entry in zip(network.layers, layers):
+        layer._rng.bit_generator.state = entry["rng_state"]
+        layer.num_rebuilds = int(entry["num_rebuilds"])
+        schedule = entry.get("schedule")
+        if schedule is not None and layer.rebuild_schedule is not None:
+            layer.rebuild_schedule.load_state_dict(schedule)
+
+
 class SlideTrainer:
     """Runs the SLIDE training loop over a list of sparse examples.
 
@@ -113,6 +160,8 @@ class SlideTrainer:
         batched: bool | None = None,
         prefetch_depth: int = 0,
         num_processes: int = 1,
+        checkpoint_dir: str | Path | None = None,
+        fault_tolerance: FaultToleranceConfig | None = None,
     ) -> None:
         if prefetch_depth < 0:
             raise ValueError("prefetch_depth must be non-negative")
@@ -130,22 +179,36 @@ class SlideTrainer:
         # Filled by multi-process runs: the ProcessTrainingReport with
         # per-worker stats and measured gradient-conflict counters.
         self.last_process_report = None
+        # Mid-run checkpointing: when checkpoint_dir is set, resumable
+        # versions land in a CheckpointStore there — every
+        # fault_tolerance.checkpoint_every_batches batches plus at every
+        # epoch boundary.  ``train(resume=...)`` picks a run back up.
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
+        self.fault_tolerance = fault_tolerance or FaultToleranceConfig()
+        self._checkpoint_store = None
+        self._last_saved_iteration = -1
 
     # ------------------------------------------------------------------
     # Batching
     # ------------------------------------------------------------------
-    def _iter_batches(self, examples: ExampleSource) -> Iterator[SparseBatch]:
+    def _iter_batches(
+        self, examples: ExampleSource, skip_batches: int = 0
+    ) -> Iterator[SparseBatch]:
         """One epoch of shuffled batches, assembled lazily.
 
         Only ``len(examples)`` and per-index access are required, so a
         mmap-backed dataset streams through without ever materialising the
-        full example list.
+        full example list.  ``skip_batches`` drops the first N batches of
+        the epoch *after* the shuffle (the resume fast-forward: the RNG
+        consumes exactly what it would have, but no assembly or training
+        happens for batches a previous incarnation already applied).
         """
         order = np.arange(len(examples))
         if self.training.shuffle:
             self._rng.shuffle(order)
         gather = getattr(examples, "gather", None)
-        for start in range(0, len(examples), self.training.batch_size):
+        start_offset = int(skip_batches) * self.training.batch_size
+        for start in range(start_offset, len(examples), self.training.batch_size):
             chunk_ids = order[start : start + self.training.batch_size]
             if chunk_ids.size == 0:
                 continue
@@ -160,9 +223,9 @@ class SlideTrainer:
                 label_dim=self.network.output_dim,
             )
 
-    def _epoch_batches(self, examples: ExampleSource):
+    def _epoch_batches(self, examples: ExampleSource, skip_batches: int = 0):
         """The epoch's batch stream, prefetched when configured."""
-        batches = self._iter_batches(examples)
+        batches = self._iter_batches(examples, skip_batches=skip_batches)
         if self.prefetch_depth > 0:
             from repro.data.prefetch import BatchPrefetcher
 
@@ -176,18 +239,41 @@ class SlideTrainer:
         self,
         train_examples: ExampleSource,
         eval_examples: ExampleSource | None = None,
+        resume: str | Path | None = None,
     ) -> TrainingHistory:
-        """Run ``training.epochs`` epochs and return the full history."""
+        """Run ``training.epochs`` epochs and return the full history.
+
+        ``resume`` continues a killed run from a checkpoint written by a
+        trainer with ``checkpoint_dir`` set: pass either a specific
+        checkpoint directory or a store root (the newest *intact* version
+        is used, so a torn final write falls back to the previous one).
+        The restored run replays the interrupted epoch's shuffle from the
+        captured RNG state, fast-forwards past the batches already applied,
+        and then produces the same batches, losses and rebuilds the
+        uninterrupted run would have — pinned by the fault-tolerance tests.
+        """
         if len(train_examples) == 0:
             raise ValueError("train_examples must not be empty")
         if self.num_processes > 1:
-            return self._train_multiprocess(train_examples, eval_examples)
+            return self._train_multiprocess(train_examples, eval_examples, resume)
+        start_epoch, skip_batches = 0, 0
+        if resume is not None:
+            start_epoch, skip_batches = self._restore(resume)
         eval_pool = eval_examples if eval_examples is not None else []
-        for _epoch in range(self.training.epochs):
-            batches = self._epoch_batches(train_examples)
+        for epoch in range(start_epoch, self.training.epochs):
+            # Captured *before* the shuffle draws from the stream, so a
+            # checkpoint taken anywhere inside this epoch can regenerate
+            # the epoch's exact batch order.
+            self._epoch_rng_state = self._rng.bit_generator.state
+            self._epoch = epoch
+            self._epoch_batches_done = skip_batches
+            batches = self._epoch_batches(train_examples, skip_batches=skip_batches)
+            skip_batches = 0
             try:
                 for batch in batches:
                     self._train_one_batch(batch, eval_pool)
+                    self._epoch_batches_done += 1
+                    self._maybe_checkpoint()
             finally:
                 # Generator or BatchPrefetcher alike: stop assembly promptly
                 # if an exception aborts the epoch mid-stream.
@@ -196,12 +282,100 @@ class SlideTrainer:
                 self.history.epoch_accuracy.append(
                     evaluate_precision_at_1(self.network, eval_pool)
                 )
+            self._checkpoint_epoch_end(epoch)
         return self.history
+
+    # ------------------------------------------------------------------
+    # Checkpoint / resume
+    # ------------------------------------------------------------------
+    def _store(self):
+        if self._checkpoint_store is None and self.checkpoint_dir is not None:
+            from repro.serving.checkpoint import CheckpointStore
+
+            self._checkpoint_store = CheckpointStore(self.checkpoint_dir)
+        return self._checkpoint_store
+
+    def _train_state(self, epoch: int, batches_done: int, rng_state) -> dict:
+        return {
+            "mode": "inline",
+            "epoch": int(epoch),
+            "batches_done": int(batches_done),
+            "rng_state": rng_state,
+            "seed": int(self.training.seed),
+            "epochs": int(self.training.epochs),
+            "batch_size": int(self.training.batch_size),
+            "runtime": capture_network_runtime_state(self.network),
+        }
+
+    def _save_checkpoint(self, epoch: int, batches_done: int, rng_state) -> None:
+        store = self._store()
+        if store is None or self.network.iteration == self._last_saved_iteration:
+            return
+        # save_checkpoint canonicalises dirty layers itself, but that would
+        # happen *after* the metadata below captured num_rebuilds; rebuild
+        # first so the runtime state and the arrays describe the same model.
+        for layer in self.network.layers:
+            if layer.lsh_index is not None and layer.dirty_neuron_count:
+                layer.rebuild()
+        store.save(
+            self.network,
+            self.optimizer,
+            metadata={
+                "train_state": self._train_state(epoch, batches_done, rng_state)
+            },
+            keep_last=self.fault_tolerance.checkpoint_keep_last,
+        )
+        self._last_saved_iteration = self.network.iteration
+
+    def _maybe_checkpoint(self) -> None:
+        cadence = self.fault_tolerance.checkpoint_every_batches
+        if cadence <= 0 or self.checkpoint_dir is None:
+            return
+        if self.network.iteration % cadence == 0:
+            self._save_checkpoint(
+                self._epoch, self._epoch_batches_done, self._epoch_rng_state
+            )
+
+    def _checkpoint_epoch_end(self, epoch: int) -> None:
+        if self.checkpoint_dir is None:
+            return
+        # The epoch is complete: the resume point is the *next* epoch's
+        # start, and the current RNG state is exactly that start state.
+        self._save_checkpoint(epoch + 1, 0, self._rng.bit_generator.state)
+
+    def _restore(self, resume: str | Path) -> tuple[int, int]:
+        """Restore network/optimiser/RNG state; return (epoch, skip)."""
+        from repro.serving.checkpoint import (
+            CheckpointError,
+            CheckpointStore,
+            restore_checkpoint_into,
+        )
+
+        path = Path(resume)
+        if not (path / "manifest.json").is_file():
+            path = CheckpointStore(path).latest_valid()
+        metadata = restore_checkpoint_into(path, self.network, self.optimizer)
+        state = metadata.get("train_state")
+        if not isinstance(state, dict) or state.get("mode") != "inline":
+            raise CheckpointError(
+                f"checkpoint {path} carries no inline training state; "
+                "it cannot seed an inline resume"
+            )
+        if int(state["seed"]) != int(self.training.seed):
+            raise CheckpointError(
+                f"checkpoint {path} was trained with seed {state['seed']}; "
+                f"this trainer uses seed {self.training.seed}"
+            )
+        self._rng.bit_generator.state = state["rng_state"]
+        restore_network_runtime_state(self.network, state["runtime"])
+        self._last_saved_iteration = self.network.iteration
+        return int(state["epoch"]), int(state["batches_done"])
 
     def _train_multiprocess(
         self,
         train_examples: ExampleSource,
         eval_examples: ExampleSource | None,
+        resume: str | Path | None = None,
     ) -> TrainingHistory:
         """Delegate the run to the shared-memory process trainer.
 
@@ -212,9 +386,13 @@ class SlideTrainer:
         from repro.parallel.sharedmem import ProcessHogwildTrainer
 
         process_trainer = ProcessHogwildTrainer(
-            self.network, self.training, num_processes=self.num_processes
+            self.network,
+            self.training,
+            num_processes=self.num_processes,
+            fault_tolerance=self.fault_tolerance,
+            checkpoint_dir=self.checkpoint_dir,
         )
-        report = process_trainer.train(train_examples, eval_examples)
+        report = process_trainer.train(train_examples, eval_examples, resume=resume)
         self.last_process_report = report
         # The workers trained through shared optimiser state built by the
         # process trainer; adopt it so checkpointing sees the real moments.

@@ -75,6 +75,18 @@ class BatchPrefetcher(Generic[T]):
             self._put((_DONE, None))
         except BaseException as exc:  # noqa: BLE001 — relayed to the consumer
             self._put((_ERROR, exc))
+        finally:
+            # The source may hold real resources (a ShardedDataset generator
+            # keeps the current shard's mmap resident).  When the consumer
+            # abandons the stream mid-epoch, ``close()`` stops this thread
+            # between items — without this, the half-consumed iterator (and
+            # its open shard) would linger until garbage collection.
+            close = getattr(iterator, "close", None)
+            if close is not None:
+                try:
+                    close()
+                except Exception:  # pragma: no cover - best-effort cleanup
+                    pass
 
     # ------------------------------------------------------------------
     # Consumer

@@ -559,7 +559,9 @@ class ShardedDataset(Sequence[SparseExample]):
         epoch)``.  Batches have exactly ``batch_size`` examples except the
         final one; runs that are not shard-aligned carry the tail rows over
         to the next shard.  ``release=True`` closes each shard's mmaps once
-        its rows have been handed out.
+        its rows have been handed out — including the shard being streamed
+        when the consumer abandons the generator mid-epoch (``close()`` on
+        the generator, an early ``break``, or an exception all release it).
         """
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
@@ -570,23 +572,32 @@ class ShardedDataset(Sequence[SparseExample]):
             else np.arange(self.num_shards)
         )
         carry: CsrBlock | None = None
-        for shard_idx in shard_order:
-            shard = self._shards[int(shard_idx)]
-            order = rng.permutation(shard.num_examples) if shuffle else None
-            block = shard.csr_block(order)
-            if carry is not None:
-                block = CsrBlock.concat(carry, block)
-                carry = None
-            n = block.num_examples
-            usable = n - (n % batch_size)
-            for start in range(0, usable, batch_size):
-                yield block.slice(start, start + batch_size).to_batch(
-                    self.feature_dim, self.label_dim
-                )
-            if usable < n:
-                # Copy the tail so releasing the shard drops its mmap.
-                carry = block.slice(usable, n).copy()
-            if release:
-                shard.close()
-        if carry is not None and carry.num_examples:
-            yield carry.to_batch(self.feature_dim, self.label_dim)
+        current: Shard | None = None
+        try:
+            for shard_idx in shard_order:
+                shard = self._shards[int(shard_idx)]
+                current = shard if release else None
+                order = rng.permutation(shard.num_examples) if shuffle else None
+                block = shard.csr_block(order)
+                if carry is not None:
+                    block = CsrBlock.concat(carry, block)
+                    carry = None
+                n = block.num_examples
+                usable = n - (n % batch_size)
+                for start in range(0, usable, batch_size):
+                    yield block.slice(start, start + batch_size).to_batch(
+                        self.feature_dim, self.label_dim
+                    )
+                if usable < n:
+                    # Copy the tail so releasing the shard drops its mmap.
+                    carry = block.slice(usable, n).copy()
+                if release:
+                    shard.close()
+                    current = None
+            if carry is not None and carry.num_examples:
+                yield carry.to_batch(self.feature_dim, self.label_dim)
+        finally:
+            # Abandoned mid-shard: the resident shard's mmap must not leak
+            # into the rest of the process's lifetime.
+            if current is not None:
+                current.close()

@@ -1,0 +1,232 @@
+"""Deterministic fault injection for the training runtime.
+
+Chaos testing a multi-process trainer with ad-hoc ``kill`` calls produces
+flaky tests; this module makes every injected failure *reproducible*: a
+:class:`FaultPlan` is a picklable list of :class:`FaultSpec` entries that
+travels to the worker processes inside their spawn payload, and each worker
+drives a :class:`FaultInjector` that fires the planned fault at an exact
+``(worker_id, batch)`` coordinate.  Supported fault kinds:
+
+* ``kill``  — ``SIGKILL`` the worker's own process (no cleanup, no result
+  message: the hard-death path the supervisor must detect via exitcode).
+* ``crash`` — raise :class:`InjectedFault` (the soft-death path: the worker
+  relays the error through the result queue before exiting).
+* ``hang``  — stop making progress without dying: sleep in a loop for
+  ``duration_s`` *without* stamping the heartbeat, so only stale-heartbeat
+  detection can catch it.
+* ``slow``  — sleep ``duration_s`` before the batch (heartbeats keep
+  flowing; exercises the non-fault path of hang detection).
+
+Faults fire on the *global* batch count of a worker slot across restarts;
+``once=True`` (default) restricts a fault to incarnation 0 so a restarted
+worker does not immediately re-trip the same fault — which is what lets a
+test assert "kill worker 1 at batch 3, then the run still completes".
+
+Two storage-level helpers round out the failure surface used by tests and
+``benchmarks/bench_fault_recovery.py``:
+
+* :func:`tear_checkpoint` simulates a crash mid-write by truncating a
+  checkpoint's array payload (the SHA-256 check must refuse it);
+* :func:`corrupt_shared_array` scribbles NaNs over a shared parameter
+  block (the workers' non-finite loss guard must surface it).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+__all__ = [
+    "FAULT_KINDS",
+    "InjectedFault",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjector",
+    "tear_checkpoint",
+    "corrupt_shared_array",
+]
+
+FAULT_KINDS = ("kill", "crash", "hang", "slow")
+
+
+class InjectedFault(RuntimeError):
+    """Raised by ``crash`` faults (and surfaced through the result queue)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault: what happens, to which worker, at which batch.
+
+    ``at_batch`` counts the batches a worker slot has *started* (0-based,
+    across items and across restarts of the slot); the fault fires just
+    before that batch trains.  ``duration_s`` applies to ``hang``/``slow``.
+    ``once=True`` fires only in the slot's first incarnation.
+    """
+
+    kind: str
+    worker_id: int
+    at_batch: int
+    duration_s: float = 0.0
+    once: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.worker_id < 0:
+            raise ValueError("worker_id must be non-negative")
+        if self.at_batch < 0:
+            raise ValueError("at_batch must be non-negative")
+        if self.duration_s < 0:
+            raise ValueError("duration_s must be non-negative")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "worker_id": self.worker_id,
+            "at_batch": self.at_batch,
+            "duration_s": self.duration_s,
+            "once": self.once,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSpec":
+        return cls(
+            kind=str(data["kind"]),
+            worker_id=int(data["worker_id"]),
+            at_batch=int(data["at_batch"]),
+            duration_s=float(data.get("duration_s", 0.0)),
+            once=bool(data.get("once", True)),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, picklable collection of planned faults."""
+
+    specs: tuple[FaultSpec, ...] = ()
+
+    @classmethod
+    def of(cls, *specs: FaultSpec) -> "FaultPlan":
+        return cls(specs=tuple(specs))
+
+    @classmethod
+    def kill_worker(cls, worker_id: int, at_batch: int) -> "FaultPlan":
+        """The most common chaos scenario: SIGKILL one worker mid-run."""
+        return cls.of(FaultSpec(kind="kill", worker_id=worker_id, at_batch=at_batch))
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def for_worker(self, worker_id: int) -> tuple[FaultSpec, ...]:
+        return tuple(s for s in self.specs if s.worker_id == worker_id)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"specs": [spec.to_dict() for spec in self.specs]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        specs: Iterable[Mapping[str, Any]] = data.get("specs", ())
+        return cls(specs=tuple(FaultSpec.from_dict(s) for s in specs))
+
+
+@dataclass
+class FaultInjector:
+    """Worker-side trigger: fires this slot's faults at their batch index.
+
+    Created inside the worker from the payload's plan; ``on_batch`` is
+    called once per batch *before* training it.  ``incarnation`` is the
+    restart count of the worker slot (0 for the original launch), used to
+    suppress ``once`` faults after a restart; ``start_batch`` offsets the
+    batch counter so a restarted worker that fast-forwards past already
+    trained batches keeps the global coordinate system.
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+    incarnation: int = 0
+    start_batch: int = 0
+    batches_seen: int = field(default=0, init=False)
+
+    @classmethod
+    def from_payload(
+        cls, payload: Mapping[str, Any], worker_id: int, incarnation: int
+    ) -> "FaultInjector":
+        plan_data = payload.get("fault_plan")
+        plan = FaultPlan.from_dict(plan_data) if plan_data else FaultPlan()
+        return cls(
+            specs=plan.for_worker(worker_id),
+            incarnation=incarnation,
+            start_batch=int(payload.get("start_batch", 0)),
+        )
+
+    def on_batch(self) -> None:
+        """Fire any fault planned for the current batch, then advance."""
+        batch = self.start_batch + self.batches_seen
+        self.batches_seen += 1
+        for spec in self.specs:
+            if spec.at_batch != batch:
+                continue
+            if spec.once and self.incarnation != 0:
+                continue
+            self._fire(spec)
+
+    def _fire(self, spec: FaultSpec) -> None:
+        if spec.kind == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+            time.sleep(60.0)  # pragma: no cover - never survives the signal
+        elif spec.kind == "crash":
+            raise InjectedFault(
+                f"injected crash in worker {spec.worker_id} "
+                f"at batch {spec.at_batch}"
+            )
+        elif spec.kind == "hang":
+            # Busy-wait in small sleeps without touching the heartbeat: the
+            # process stays alive, so only staleness detection can catch it.
+            deadline = time.monotonic() + spec.duration_s
+            while time.monotonic() < deadline:
+                time.sleep(0.01)
+        elif spec.kind == "slow":
+            time.sleep(spec.duration_s)
+
+
+# ----------------------------------------------------------------------
+# Storage-level fault helpers
+# ----------------------------------------------------------------------
+def tear_checkpoint(path: str | Path, keep_bytes: int = 128) -> Path:
+    """Truncate a checkpoint's array payload, simulating a torn write.
+
+    The manifest (and its recorded SHA-256) is left intact, so loading the
+    checkpoint must fail the checksum — exactly what a crash between the
+    payload write and the directory rename can leave behind on filesystems
+    without atomic rename, or what bit rot produces later.
+    """
+    path = Path(path)
+    arrays = path / "arrays.npz"
+    if not arrays.is_file():
+        raise FileNotFoundError(f"no arrays.npz under {path}")
+    payload = arrays.read_bytes()
+    arrays.write_bytes(payload[: min(keep_bytes, max(len(payload) - 1, 0))])
+    return path
+
+
+def corrupt_shared_array(array: np.ndarray, fraction: float = 0.25, seed: int = 0) -> int:
+    """Overwrite a deterministic slice of ``array`` with NaNs.
+
+    Models a corrupted shared-memory block (bad DIMM, stray writer).  Only
+    meaningful for float arrays; returns the number of elements poisoned.
+    """
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must lie in (0, 1]")
+    flat = array.reshape(-1)
+    count = max(1, int(flat.size * fraction))
+    rng = np.random.default_rng(seed)
+    index = rng.choice(flat.size, size=count, replace=False)
+    flat[index] = np.nan
+    return count

@@ -31,6 +31,24 @@ class RebuildSchedule(abc.ABC):
     def next_rebuild_iteration(self) -> int:
         """Iteration at which the next rebuild is due."""
 
+    def state_dict(self) -> dict[str, int]:
+        """JSON-safe mutable state, for checkpoint/resume.
+
+        A resumed run must rebuild at the same iterations the original
+        would have, or the active sets — and therefore the whole loss
+        trajectory — diverge from the point of the first mistimed rebuild.
+        """
+        return {
+            "next": int(self.next_rebuild_iteration()),
+            "rebuild_count": int(getattr(self, "_rebuild_count", 0)),
+        }
+
+    def load_state_dict(self, state: dict[str, int]) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        self._next = int(state["next"])
+        if hasattr(self, "_rebuild_count"):
+            self._rebuild_count = int(state.get("rebuild_count", 0))
+
 
 class FixedPeriodSchedule(RebuildSchedule):
     """Rebuild every ``period`` iterations (ablation baseline)."""

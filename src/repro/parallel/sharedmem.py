@@ -49,12 +49,16 @@ import resource
 import secrets
 import time
 import traceback
+from collections import deque
 from dataclasses import dataclass, field, replace
-from typing import Mapping
+from multiprocessing import connection as mp_connection
+from pathlib import Path
+from typing import Any, Mapping
 
 import numpy as np
 
 from repro.config import (
+    FaultToleranceConfig,
     TrainingConfig,
     network_config_from_dict,
     network_config_to_dict,
@@ -63,6 +67,7 @@ from repro.config import (
 )
 from repro.core.network import SlideNetwork
 from repro.data.shards import ShardedDataset
+from repro.faults import FaultInjector
 from repro.optim.base import Optimizer
 from repro.optim.factory import make_optimizer
 from repro.parallel.conflicts import ConflictReport, analyze_update_conflicts
@@ -76,15 +81,28 @@ __all__ = [
     "unbind_network",
     "WorkerStats",
     "ProcessConflictStats",
+    "SupervisionEvent",
+    "SupervisionReport",
     "ProcessTrainingReport",
     "ProcessHogwildTrainer",
 ]
 
 # Reserved name prefix for non-parameter arrays the trainer places in the
-# store (conflict counters); kept out of network binding helpers.
+# store (conflict counters, heartbeats); kept out of network binding helpers.
 _DIAG_PREFIX = "_diag::"
 _WRITER_MASK = _DIAG_PREFIX + "writer_mask"
 _WORKER_UPDATES = _DIAG_PREFIX + "worker_updates"
+_HEARTBEAT = _DIAG_PREFIX + "heartbeat"
+
+# Heartbeat slab columns, one row per worker slot (float64 so a single
+# store covers progress counters and CLOCK_MONOTONIC stamps alike; the
+# monotonic clock is system-wide on Linux, so stamps written by workers are
+# directly comparable with the supervisor's own reading of the clock).
+_HB_PROGRESS = 0  # batches of the current work item applied so far
+_HB_STAMP = 1  # time.monotonic() of the last progress update
+_HB_ITEM = 2  # id of the work item being processed (-1 when idle)
+_HB_INCARNATION = 3  # restart count of the worker slot
+_HB_COLUMNS = 4
 
 # A uint64 writer bitmask caps the worker count.
 MAX_PROCESSES = 64
@@ -402,6 +420,45 @@ class ProcessConflictStats:
 
 
 @dataclass
+class SupervisionEvent:
+    """One observation of the supervisor loop (death, restart, checkpoint…).
+
+    ``kind`` is one of ``"death"`` (process exited uncleanly), ``"error"``
+    (worker relayed an exception), ``"hang"`` (stale heartbeat, worker
+    killed), ``"restart"`` (replacement incarnation launched),
+    ``"reassign"`` (a work item moved to a different worker slot),
+    ``"gave_up"`` (slot exhausted its restart budget), ``"checkpoint"``
+    (mid-run training checkpoint saved).
+    """
+
+    kind: str
+    worker_id: int
+    time_s: float  # seconds since the supervised run started
+    detail: str = ""
+
+
+@dataclass
+class SupervisionReport:
+    """What the supervisor saw and did over one training run."""
+
+    events: list[SupervisionEvent] = field(default_factory=list)
+    restarts: int = 0
+    reassigned_items: int = 0
+    # Shared-counter batches minus batches whose telemetry reached the
+    # parent: updates a killed worker applied but never reported (retrained
+    # after the restart — HOGWILD tolerates the duplication as noise).
+    lost_batches: int = 0
+    checkpoints_saved: int = 0
+    # Per restart: seconds from detecting the death/hang to the replacement
+    # process being launched (includes the scheduled backoff).
+    recovery_latency_s: list[float] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[SupervisionEvent]:
+        return [e for e in self.events if e.kind in ("death", "error", "hang")]
+
+
+@dataclass
 class ProcessTrainingReport:
     """Outcome of one :class:`ProcessHogwildTrainer` run."""
 
@@ -418,6 +475,8 @@ class ProcessTrainingReport:
     # for inline runs, the reaped workers for multi-process runs) — the
     # same window ``wall_time_s`` covers, so utilisation ratios are honest.
     cpu_time_s: float = 0.0
+    # Fault-tolerance telemetry (multi-process runs only).
+    supervision: SupervisionReport | None = None
 
     @property
     def samples_per_sec(self) -> float:
@@ -434,55 +493,88 @@ class ProcessTrainingReport:
 # ----------------------------------------------------------------------
 # Worker process
 # ----------------------------------------------------------------------
-def _iter_worker_batches(payload: dict, network: SlideNetwork):
-    """Yield this worker's batches for every epoch, deterministically.
+def _group_seed(base_seed: int, group: int) -> int:
+    """Shuffle seed for one shard group, independent of which worker runs it.
 
-    ``shards`` plans stream disjoint :class:`ShardedDataset` shards (one
-    resident at a time); ``examples`` plans shuffle a materialised list with
-    the worker's private generator, mirroring ``SlideTrainer``'s batching.
+    Work items must produce the same batch stream no matter which worker
+    slot executes them — that is what makes a shard-group item *reassignable*
+    after a worker dies — so the seed is keyed on the group index, never on
+    the worker id.
+    """
+    return (int(base_seed) * 1_000_003 + 7919 * (int(group) + 1)) & 0x7FFFFFFF
+
+
+def _item_batches(payload: dict, item: Mapping[str, Any], network: SlideNetwork):
+    """Yield the batches of one work item, skipping ``item['skip']`` of them.
+
+    ``shards`` items stream one :class:`ShardedDataset` shard group for one
+    epoch (a ``try``/``finally`` guarantees the resident shard's mmap is
+    released even when the item is abandoned mid-stream by a fault);
+    ``examples`` items shuffle this worker's materialised slice with an
+    epoch-keyed generator, so a restarted worker reproduces the identical
+    order without replaying earlier epochs.
     """
     data = payload["data"]
     training = payload["training"]
     batch_size = int(training["batch_size"])
-    epochs = int(training["epochs"])
     shuffle = bool(training["shuffle"])
+    epoch = int(item["epoch"])
+    skip = int(item.get("skip", 0))
     if data["kind"] == "shards":
-        # All workers carry the same group list and rotate through it in
-        # lockstep ``(worker_id + epoch) % N``: within any epoch index the
-        # groups are disjoint across workers, while over epochs each worker
-        # streams the whole dataset — the usual data-parallel re-sharding,
-        # without any cross-process coordination.
         groups: list[list[int]] = data["groups"]
-        worker_id = int(data["worker_id"])
-        for epoch in range(epochs):
-            group = groups[(worker_id + epoch) % len(groups)]
-            dataset = ShardedDataset(
-                data["cache_dir"], seed=int(data["seed"]), shard_subset=group
-            )
-            yield from dataset.iter_batches(
-                batch_size, epoch=epoch, shuffle=shuffle, release=True
-            )
+        group = int(item["group"])
+        dataset = ShardedDataset(
+            data["cache_dir"],
+            seed=_group_seed(int(data["seed"]), group),
+            shard_subset=groups[group],
+        )
+        try:
+            for index, batch in enumerate(
+                dataset.iter_batches(
+                    batch_size, epoch=epoch, shuffle=shuffle, release=True
+                )
+            ):
+                # Already-trained batches are decompressed and discarded:
+                # skip cost is proportional to progress lost, never to the
+                # whole run.
+                if index < skip:
+                    continue
+                yield batch
+        finally:
             dataset.close()
         return
     examples: list[SparseExample] = data["examples"]
-    rng = derive_rng(int(data["seed"]), stream=31)
-    for _epoch in range(epochs):
-        order = np.arange(len(examples))
-        if shuffle:
-            rng.shuffle(order)
-        for start in range(0, len(examples), batch_size):
-            chunk = [examples[int(i)] for i in order[start : start + batch_size]]
-            if not chunk:
-                continue
-            yield SparseBatch.from_examples(
-                chunk,
-                feature_dim=network.input_dim,
-                label_dim=network.output_dim,
-            )
+    rng = derive_rng(int(data["seed"]), stream=31 + epoch)
+    order = np.arange(len(examples))
+    if shuffle:
+        rng.shuffle(order)
+    emitted = 0
+    for start in range(0, len(examples), batch_size):
+        chunk = [examples[int(i)] for i in order[start : start + batch_size]]
+        if not chunk:
+            continue
+        emitted += 1
+        if emitted <= skip:
+            continue
+        yield SparseBatch.from_examples(
+            chunk,
+            feature_dim=network.input_dim,
+            label_dim=network.output_dim,
+        )
 
 
-def _run_worker(payload: dict) -> WorkerStats:
+def _run_worker(payload: dict, task_queue, result_queue) -> None:
+    """Task loop of one worker incarnation.
+
+    The worker owns no epoch logic: it blocks on ``task_queue``, trains each
+    work item it receives, posts the item's full per-batch telemetry back
+    through ``result_queue`` (so a later death cannot lose completed work),
+    and exits on the ``None`` stop sentinel.  A heartbeat row in the shared
+    store is stamped after every batch; the supervisor uses it both for
+    hang detection and to compute how far a dead worker got into its item.
+    """
     worker_id = int(payload["worker_id"])
+    incarnation = int(payload.get("incarnation", 0))
     store = SharedParamStore.attach(payload["manifest"])
     network: SlideNetwork | None = None
     optimizer: Optimizer | None = None
@@ -503,53 +595,93 @@ def _run_worker(payload: dict) -> WorkerStats:
         # actual model before the first batch.
         network.rebuild_all_tables()
 
+        injector = FaultInjector.from_payload(payload, worker_id, incarnation)
         writer_mask = store[_WRITER_MASK]
         worker_updates = store[_WORKER_UPDATES]
+        heartbeat = store[_HEARTBEAT][worker_id]
         worker_bit = np.uint64(1 << worker_id)
+        heartbeat[_HB_INCARNATION] = float(incarnation)
+        heartbeat[_HB_ITEM] = -1.0
+        heartbeat[_HB_STAMP] = time.monotonic()
 
-        losses: list[float] = []
-        active_neurons: list[int] = []
-        active_weights: list[int] = []
-        batch_sizes: list[int] = []
-        footprint_chunks: list[np.ndarray] = []
-        samples = 0
-        start = time.perf_counter()
-        for batch in _iter_worker_batches(payload, network):
-            metrics = network.train_batch(batch, optimizer, hogwild=False)
-            losses.append(float(metrics["loss"]))
-            active_neurons.append(int(metrics["active_neurons"]))
-            active_weights.append(int(metrics["active_weights"]))
-            batch_sizes.append(int(metrics["batch_size"]))
-            samples += int(metrics["batch_size"])
-            rows = network.output_layer.last_update_rows
-            if rows is not None and rows.size:
-                # Lock-free conflict stamp: OR this worker's bit into the
-                # shared per-neuron writer mask.  The read-modify-write can
-                # race with other workers (same trade-off as the gradient
-                # updates themselves), so the mask is a floor, not a census.
-                writer_mask[rows] |= worker_bit
-                footprint_chunks.append(np.asarray(rows, dtype=np.int64))
-            worker_updates[worker_id] += 1
-        wall = time.perf_counter() - start
+        rebuilds_seen = sum(layer.num_rebuilds for layer in network.layers)
+        while True:
+            item = task_queue.get()
+            if item is None:
+                break
+            progress = int(item.get("skip", 0))
+            heartbeat[_HB_PROGRESS] = float(progress)
+            heartbeat[_HB_ITEM] = float(item["id"])
+            heartbeat[_HB_STAMP] = time.monotonic()
 
-        footprint = (
-            np.unique(np.concatenate(footprint_chunks))
-            if footprint_chunks
-            else np.zeros(0, dtype=np.int64)
-        )
-        return WorkerStats(
-            worker_id=worker_id,
-            batches=len(losses),
-            samples=samples,
-            wall_time_s=wall,
-            mean_loss=float(np.mean(losses)) if losses else 0.0,
-            losses=losses,
-            active_neurons=active_neurons,
-            active_weights=active_weights,
-            batch_sizes=batch_sizes,
-            rebuilds=sum(layer.num_rebuilds for layer in network.layers),
-            footprint=footprint,
-        )
+            losses: list[float] = []
+            active_neurons: list[int] = []
+            active_weights: list[int] = []
+            batch_sizes: list[int] = []
+            footprint_chunks: list[np.ndarray] = []
+            samples = 0
+            start = time.perf_counter()
+            batches = _item_batches(payload, item, network)
+            try:
+                for batch in batches:
+                    injector.on_batch()
+                    metrics = network.train_batch(batch, optimizer, hogwild=False)
+                    loss = float(metrics["loss"])
+                    if not np.isfinite(loss):
+                        # A NaN/inf loss means the shared parameters are
+                        # poisoned (corrupt block, runaway update); training
+                        # on cannot recover and silently spreads the damage.
+                        raise RuntimeError(
+                            f"non-finite loss {loss!r} in worker {worker_id} "
+                            f"(epoch {item['epoch']}, item {item['id']}): "
+                            "shared parameters are corrupt"
+                        )
+                    losses.append(loss)
+                    active_neurons.append(int(metrics["active_neurons"]))
+                    active_weights.append(int(metrics["active_weights"]))
+                    batch_sizes.append(int(metrics["batch_size"]))
+                    samples += int(metrics["batch_size"])
+                    rows = network.output_layer.last_update_rows
+                    if rows is not None and rows.size:
+                        # Lock-free conflict stamp: OR this worker's bit into
+                        # the shared per-neuron writer mask.  The
+                        # read-modify-write can race with other workers (same
+                        # trade-off as the gradient updates themselves), so
+                        # the mask is a floor, not a census.
+                        writer_mask[rows] |= worker_bit
+                        footprint_chunks.append(np.asarray(rows, dtype=np.int64))
+                    worker_updates[worker_id] += 1
+                    progress += 1
+                    heartbeat[_HB_PROGRESS] = float(progress)
+                    heartbeat[_HB_STAMP] = time.monotonic()
+            finally:
+                batches.close()
+            wall = time.perf_counter() - start
+            rebuilds_now = sum(layer.num_rebuilds for layer in network.layers)
+            result_queue.put(
+                {
+                    "status": "item_done",
+                    "worker_id": worker_id,
+                    "incarnation": incarnation,
+                    "item_id": int(item["id"]),
+                    "batches": len(losses),
+                    "samples": samples,
+                    "wall_time_s": wall,
+                    "losses": losses,
+                    "active_neurons": active_neurons,
+                    "active_weights": active_weights,
+                    "batch_sizes": batch_sizes,
+                    "rebuilds": rebuilds_now - rebuilds_seen,
+                    "footprint": (
+                        np.unique(np.concatenate(footprint_chunks))
+                        if footprint_chunks
+                        else np.zeros(0, dtype=np.int64)
+                    ),
+                }
+            )
+            rebuilds_seen = rebuilds_now
+            heartbeat[_HB_ITEM] = -1.0
+            heartbeat[_HB_STAMP] = time.monotonic()
     finally:
         try:
             if network is not None and optimizer is not None:
@@ -561,27 +693,53 @@ def _run_worker(payload: dict) -> WorkerStats:
             store.close()
 
 
-def _worker_entry(payload: dict, result_queue) -> None:
+def _worker_entry(payload: dict, task_queue, result_queue) -> None:
     """Top-level process target (importable, so ``spawn`` can pickle it)."""
     worker_id = int(payload["worker_id"])
+    incarnation = int(payload.get("incarnation", 0))
     try:
-        stats = _run_worker(payload)
+        _run_worker(payload, task_queue, result_queue)
     except BaseException as exc:  # noqa: BLE001 - relayed to the parent
         result_queue.put(
             {
                 "status": "error",
                 "worker_id": worker_id,
+                "incarnation": incarnation,
                 "error": f"{type(exc).__name__}: {exc}",
                 "traceback": traceback.format_exc(),
             }
         )
         return
-    result_queue.put({"status": "ok", "worker_id": worker_id, "stats": stats})
+    result_queue.put(
+        {"status": "ok", "worker_id": worker_id, "incarnation": incarnation}
+    )
 
 
 # ----------------------------------------------------------------------
 # Trainer
 # ----------------------------------------------------------------------
+@dataclass
+class _WorkerSlot:
+    """Parent-side bookkeeping for one supervised worker slot."""
+
+    worker_id: int
+    process: Any = None
+    task_queue: Any = None
+    incarnation: int = 0
+    restarts: int = 0
+    running: bool = False  # process launched and not yet known-dead
+    alive: bool = True  # restart budget not exhausted
+    stop_sent: bool = False
+    got_final: bool = False
+    in_flight: dict | None = None
+    assigned_at: float = 0.0
+    # Monotonic deadline of a scheduled (backed-off) restart, if any.
+    restart_at: float | None = None
+    # Monotonic time the death/hang that scheduled the restart was detected.
+    died_at: float | None = None
+    failures: list[str] = field(default_factory=list)
+
+
 class ProcessHogwildTrainer:
     """Asynchronous multi-process SLIDE training over shared parameters.
 
@@ -606,6 +764,9 @@ class ProcessHogwildTrainer:
         start_method: str | None = None,
         join_timeout: float | None = 60.0,
         prefix: str = "slide-hogwild",
+        fault_tolerance: FaultToleranceConfig | None = None,
+        checkpoint_dir: str | Path | None = None,
+        fault_plan=None,
     ) -> None:
         if not 1 <= num_processes <= MAX_PROCESSES:
             raise ValueError(f"num_processes must lie in [1, {MAX_PROCESSES}]")
@@ -623,6 +784,11 @@ class ProcessHogwildTrainer:
         self.start_method = start_method
         self.join_timeout = join_timeout
         self.prefix = prefix
+        self.fault_tolerance = fault_tolerance or FaultToleranceConfig()
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
+        # Deterministic chaos plan (tests/benchmarks only): shipped to the
+        # workers inside their spawn payload.
+        self.fault_plan = fault_plan
         self.optimizer: Optimizer | None = None
         self.last_report: ProcessTrainingReport | None = None
 
@@ -633,24 +799,40 @@ class ProcessHogwildTrainer:
         self,
         train_examples,
         eval_examples=None,
+        resume: str | Path | None = None,
     ) -> ProcessTrainingReport:
-        """Train for ``training.epochs`` epochs; returns the run report."""
+        """Train for ``training.epochs`` epochs; returns the run report.
+
+        ``resume`` names a checkpoint version directory (or a
+        :class:`~repro.serving.checkpoint.CheckpointStore` root, in which
+        case the newest *intact* version is used) written by a previous run
+        with the same configuration; training continues from the work items
+        that run had not yet finished.
+        """
         if len(train_examples) == 0:
             raise ValueError("train_examples must not be empty")
         if self.num_processes == 1:
-            report = self._train_inline(train_examples, eval_examples)
+            report = self._train_inline(train_examples, eval_examples, resume)
         else:
-            report = self._train_processes(train_examples, eval_examples)
+            report = self._train_processes(train_examples, eval_examples, resume)
         self.last_report = report
         return report
 
     # ------------------------------------------------------------------
     # Single-process deterministic fallback
     # ------------------------------------------------------------------
-    def _train_inline(self, train_examples, eval_examples) -> ProcessTrainingReport:
+    def _train_inline(
+        self, train_examples, eval_examples, resume=None
+    ) -> ProcessTrainingReport:
         from repro.core.trainer import SlideTrainer
 
-        trainer = SlideTrainer(self.network, self.training, hogwild=False)
+        trainer = SlideTrainer(
+            self.network,
+            self.training,
+            hogwild=False,
+            checkpoint_dir=self.checkpoint_dir,
+            fault_tolerance=self.fault_tolerance,
+        )
         # Evaluation stays outside the timed region on every path: the
         # multi-process run evaluates once in the parent after the wall
         # clock stops, so the 1-process baseline must not pay per-epoch
@@ -658,7 +840,7 @@ class ProcessHogwildTrainer:
         # speedup_vs_1 downstream).  CPU accounting covers the same window.
         cpu_before = _cpu_seconds(resource.RUSAGE_SELF)
         start = time.perf_counter()
-        history = trainer.train(train_examples, None)
+        history = trainer.train(train_examples, None, resume=resume)
         wall = time.perf_counter() - start
         cpu_time = _cpu_seconds(resource.RUSAGE_SELF) - cpu_before
         if eval_examples is not None and len(eval_examples):
@@ -723,73 +905,554 @@ class ProcessHogwildTrainer:
             seed=int(config.seed) + 7919 * (worker_id + 1),
         )
 
-    def _data_plans(self, train_examples) -> list[dict[str, object]]:
-        """One picklable data-slice description per worker (disjoint, total)."""
-        plans: list[dict[str, object]] = []
+    def _data_spec(self, train_examples):
+        """``(kind, groups, per-worker data dicts)`` for a fresh run.
+
+        A :class:`ShardedDataset` with at least one shard per worker is
+        split into LPT-balanced shard groups; every worker carries the same
+        group list (shard-group work items are runnable by *any* worker,
+        which is what makes them reassignable after a death).  Anything else
+        is split round-robin into per-worker materialised example slices.
+        """
         if (
             isinstance(train_examples, ShardedDataset)
             and train_examples.num_shards >= self.num_processes
         ):
-            assignment = train_examples.assign_shards(self.num_processes)
-            for worker_id in range(self.num_processes):
-                plans.append(
-                    {
-                        "kind": "shards",
-                        "cache_dir": str(train_examples.cache_dir),
-                        "groups": assignment,
-                        "worker_id": worker_id,
-                        "seed": self._worker_seed(worker_id),
-                    }
-                )
-            return plans
+            groups = [
+                [int(s) for s in group]
+                for group in train_examples.assign_shards(self.num_processes)
+            ]
+            data = {
+                "kind": "shards",
+                "cache_dir": str(train_examples.cache_dir),
+                "groups": groups,
+                "seed": int(self.training.seed),
+            }
+            return "shards", groups, [data] * self.num_processes
         order = derive_rng(self.training.seed, stream=31).permutation(
             len(train_examples)
         )
+        per_worker = []
         for worker_id in range(self.num_processes):
             indices = order[worker_id :: self.num_processes]
-            plans.append(
+            per_worker.append(
                 {
                     "kind": "examples",
                     "examples": [train_examples[int(i)] for i in indices],
                     "seed": self._worker_seed(worker_id),
                 }
             )
-        return plans
+        return "examples", None, per_worker
 
-    def _collect(self, processes, result_queue) -> list[WorkerStats]:
-        pending = set(range(self.num_processes))
-        stats: dict[int, WorkerStats] = {}
-        failures: list[str] = []
-        while pending:
-            try:
-                message = result_queue.get(timeout=0.5)
-            except queue_module.Empty:
-                for worker_id, process in enumerate(processes):
-                    if (
-                        worker_id in pending
-                        and not process.is_alive()
-                        and process.exitcode not in (0, None)
-                    ):
-                        raise RuntimeError(
-                            f"worker {worker_id} died with exit code "
-                            f"{process.exitcode} before reporting a result"
-                        )
-                continue
-            worker_id = int(message["worker_id"])
-            pending.discard(worker_id)
-            if message["status"] == "ok":
-                stats[worker_id] = message["stats"]
+    def _build_items(self, kind: str, groups) -> list[dict]:
+        """The run's full work-item list: one item per (epoch, data slice)."""
+        items: list[dict] = []
+        for epoch in range(int(self.training.epochs)):
+            if kind == "shards":
+                for group in range(len(groups)):
+                    items.append(
+                        {"id": len(items), "epoch": epoch, "group": group, "skip": 0}
+                    )
             else:
-                failures.append(
-                    f"worker {worker_id}: {message['error']}\n{message['traceback']}"
-                )
-        for process in processes:
-            process.join(self.join_timeout)
-        if failures:
-            raise RuntimeError(
-                "process HOGWILD worker failure(s):\n" + "\n".join(failures)
+                for slot in range(self.num_processes):
+                    items.append(
+                        {"id": len(items), "epoch": epoch, "slot": slot, "skip": 0}
+                    )
+        return items
+
+    def _restore_process_state(self, resume, optimizer, kind: str):
+        """Restore a mid-run checkpoint into the bound shared arrays.
+
+        Called *after* :func:`bind_network`, so the in-place restore writes
+        straight through into shared memory and every worker attaches to the
+        checkpointed parameters.  Returns ``(items, groups, base_step)``.
+        """
+        from repro.serving.checkpoint import (
+            CheckpointError,
+            CheckpointStore,
+            restore_checkpoint_into,
+        )
+
+        path = Path(resume)
+        if not (path / "manifest.json").is_file():
+            path = CheckpointStore(path).latest_valid()
+        metadata = restore_checkpoint_into(path, self.network, optimizer)
+        state = metadata.get("train_state")
+        if not isinstance(state, dict) or state.get("mode") != "process":
+            raise CheckpointError(
+                f"checkpoint {path} carries no process training state; "
+                "it cannot seed a multi-process resume"
             )
-        return [stats[worker_id] for worker_id in sorted(stats)]
+        for key, current in (
+            ("seed", int(self.training.seed)),
+            ("epochs", int(self.training.epochs)),
+            ("batch_size", int(self.training.batch_size)),
+            ("kind", kind),
+        ):
+            if state.get(key) != current:
+                raise CheckpointError(
+                    f"checkpoint {path} was written with {key}={state.get(key)!r}; "
+                    f"this run uses {key}={current!r}"
+                )
+        if kind == "examples" and int(state.get("num_processes", -1)) != self.num_processes:
+            raise CheckpointError(
+                f"checkpoint {path} sharded examples across "
+                f"{state.get('num_processes')} workers; example slices are "
+                f"worker-bound, so resume needs the same num_processes "
+                f"(got {self.num_processes})"
+            )
+        items = [dict(item) for item in state["items"]]
+        groups = state.get("groups")
+        if groups is not None:
+            groups = [[int(s) for s in group] for group in groups]
+        return items, groups, int(optimizer.step_count)
+
+    def _remaining_items(self, pending, slots, heartbeat) -> list[dict]:
+        """Snapshot of unfinished work: queued items + live in-flight skips."""
+        out = [dict(item) for item in pending]
+        for slot in slots:
+            if slot.in_flight is None:
+                continue
+            item = dict(slot.in_flight)
+            row = heartbeat[slot.worker_id]
+            if (
+                int(row[_HB_ITEM]) == int(item["id"])
+                and int(row[_HB_INCARNATION]) == slot.incarnation
+            ):
+                item["skip"] = max(int(item.get("skip", 0)), int(row[_HB_PROGRESS]))
+            out.append(item)
+        out.sort(key=lambda item: int(item["id"]))
+        return out
+
+    def _save_process_checkpoint(
+        self, ckpt_store, optimizer, base_step, kind, groups, items, worker_updates
+    ) -> None:
+        """Write one atomic mid-run checkpoint from the parent.
+
+        The parent's network is bound to the shared arrays, so the snapshot
+        sees the workers' latest (racy, HOGWILD-consistent) parameters; the
+        sidecar records which work items are still outstanding, each with
+        the number of batches its current owner had already applied.
+        """
+        optimizer.step_count = base_step + int(np.sum(worker_updates))
+        # Workers rebuild their own private tables; the parent's index is
+        # stale until rehashed, and the checkpoint stores table contents.
+        self.network.rebuild_all_tables()
+        train_state: dict[str, Any] = {
+            "mode": "process",
+            "kind": kind,
+            "seed": int(self.training.seed),
+            "epochs": int(self.training.epochs),
+            "batch_size": int(self.training.batch_size),
+            "num_processes": self.num_processes,
+            "items": items,
+        }
+        if groups is not None:
+            train_state["groups"] = groups
+        ckpt_store.save(
+            self.network,
+            optimizer,
+            metadata={"train_state": train_state},
+            keep_last=self.fault_tolerance.checkpoint_keep_last,
+        )
+
+    def _supervise(
+        self,
+        context,
+        result_queue,
+        payload_base: list[dict],
+        items: list[dict],
+        kind: str,
+        groups,
+        store: SharedParamStore,
+        optimizer: Optimizer,
+        base_step: int,
+        processes: list,
+    ) -> tuple[list[WorkerStats], SupervisionReport]:
+        """Run the worker fleet to completion, restarting/reassigning on failure.
+
+        The supervisor owns all scheduling: work items live in a parent-side
+        queue, each worker slot gets one item at a time through its private
+        task queue, and completed items come back — with their full
+        per-batch telemetry — through the shared result queue.  Worker death
+        is detected promptly via ``multiprocessing.connection.wait`` on the
+        process sentinels (not by polling a timeout window); hangs are
+        detected from stale heartbeat rows in shared memory.  A failed slot
+        is restarted with exponential backoff up to
+        ``fault_tolerance.max_restarts`` times; when a slot's budget is
+        exhausted its outstanding shard-group items drain to the surviving
+        workers.  Only when an item can never run again (examples-mode slot
+        gone, or every slot dead) does the run fail, with every underlying
+        worker failure in the message.
+        """
+        ft = self.fault_tolerance
+        run_start = time.monotonic()
+        worker_updates = store[_WORKER_UPDATES]
+        heartbeat = store[_HEARTBEAT]
+        report = SupervisionReport()
+        pending: deque = deque(items)
+        records: dict[int, dict] = {}
+        attempts: dict[int, set[int]] = {int(item["id"]): set() for item in items}
+        slots = [_WorkerSlot(worker_id=w) for w in range(self.num_processes)]
+
+        ckpt_store = None
+        if self.checkpoint_dir is not None and ft.checkpoint_every_s > 0:
+            from repro.serving.checkpoint import CheckpointStore
+
+            ckpt_store = CheckpointStore(self.checkpoint_dir)
+        last_checkpoint = run_start
+
+        def now_s() -> float:
+            return time.monotonic() - run_start
+
+        def eligible(slot: _WorkerSlot, item: Mapping[str, Any]) -> bool:
+            # Shard-group batches are worker-independent (group-keyed seed),
+            # so any worker may run them; example slices live only in their
+            # own worker's payload.
+            return kind == "shards" or int(item["slot"]) == slot.worker_id
+
+        def launch(slot: _WorkerSlot) -> None:
+            slot.incarnation = slot.restarts
+            payload = dict(payload_base[slot.worker_id])
+            payload["incarnation"] = slot.incarnation
+            # Restarted incarnations keep the slot's global batch coordinate
+            # (read from the shared counter) so fault specs addressed by
+            # batch index do not re-fire after a restart.
+            payload["start_batch"] = int(worker_updates[slot.worker_id])
+            slot.task_queue = context.Queue()
+            process = context.Process(
+                target=_worker_entry,
+                args=(payload, slot.task_queue, result_queue),
+                name=f"{self.prefix}-{slot.worker_id}-i{slot.incarnation}",
+                daemon=True,
+            )
+            process.start()
+            processes.append(process)
+            slot.process = process
+            slot.running = True
+            slot.got_final = False
+            slot.stop_sent = False
+            slot.in_flight = None
+            slot.assigned_at = time.monotonic()
+            slot.restart_at = None
+
+        def requeue_in_flight(slot: _WorkerSlot) -> None:
+            item = slot.in_flight
+            if item is None:
+                return
+            slot.in_flight = None
+            progress = int(item.get("skip", 0))
+            row = heartbeat[slot.worker_id]
+            if (
+                int(row[_HB_ITEM]) == int(item["id"])
+                and int(row[_HB_INCARNATION]) == slot.incarnation
+            ):
+                # Resume the item where the dead worker's heartbeat left it;
+                # at most one applied-but-unstamped batch gets retrained.
+                progress = max(progress, int(row[_HB_PROGRESS]))
+            fresh = dict(item)
+            fresh["skip"] = progress
+            pending.appendleft(fresh)
+
+        def handle_failure(slot: _WorkerSlot, event_kind: str, detail: str) -> None:
+            report.events.append(
+                SupervisionEvent(
+                    kind=event_kind,
+                    worker_id=slot.worker_id,
+                    time_s=now_s(),
+                    detail=detail,
+                )
+            )
+            slot.failures.append(detail)
+            slot.running = False
+            slot.died_at = time.monotonic()
+            requeue_in_flight(slot)
+            if slot.restarts < ft.max_restarts:
+                slot.restarts += 1
+                slot.restart_at = time.monotonic() + ft.restart_backoff_s(slot.restarts)
+            else:
+                slot.alive = False
+                slot.restart_at = None
+                report.events.append(
+                    SupervisionEvent(
+                        kind="gave_up",
+                        worker_id=slot.worker_id,
+                        time_s=now_s(),
+                        detail=f"restart budget ({ft.max_restarts}) exhausted",
+                    )
+                )
+
+        def drain_results() -> None:
+            while True:
+                try:
+                    message = result_queue.get_nowait()
+                except queue_module.Empty:
+                    return
+                slot = slots[int(message["worker_id"])]
+                status = message["status"]
+                incarnation = int(message.get("incarnation", 0))
+                if status == "item_done":
+                    item_id = int(message["item_id"])
+                    if (
+                        slot.in_flight is not None
+                        and int(slot.in_flight["id"]) == item_id
+                        and incarnation == slot.incarnation
+                    ):
+                        slot.in_flight = None
+                    if item_id not in records:
+                        records[item_id] = message
+                        # A completion racing its own death re-enqueue:
+                        # drop the queued duplicate so the item is not
+                        # trained twice.
+                        for queued in pending:
+                            if int(queued["id"]) == item_id:
+                                pending.remove(queued)
+                                break
+                elif status == "ok":
+                    if incarnation == slot.incarnation:
+                        slot.got_final = True
+                else:  # "error"
+                    if incarnation != slot.incarnation or not slot.running:
+                        continue  # stale message from an already-replaced incarnation
+                    slot.process.join(5.0)
+                    if slot.process.is_alive():  # pragma: no cover - defensive
+                        slot.process.terminate()
+                        slot.process.join(5.0)
+                    handle_failure(
+                        slot,
+                        "error",
+                        f"worker {slot.worker_id}: {message['error']}\n"
+                        f"{message['traceback']}",
+                    )
+
+        def check_deaths() -> None:
+            for slot in slots:
+                if not slot.running or slot.process.is_alive():
+                    continue
+                slot.process.join(0)
+                exitcode = slot.process.exitcode
+                if exitcode == 0 and (
+                    slot.got_final or (slot.stop_sent and slot.in_flight is None)
+                ):
+                    # Clean exit (the final "ok" may still be in the pipe
+                    # when the sentinel fires first).
+                    slot.running = False
+                    slot.got_final = True
+                    continue
+                # Any other silent exit — SIGKILL, OOM, even exit code 0
+                # without posting a result — is surfaced immediately with
+                # the worker id and exit code, not after a join timeout.
+                handle_failure(
+                    slot,
+                    "death",
+                    f"worker {slot.worker_id} died with exit code {exitcode} "
+                    "before reporting a result",
+                )
+
+        def check_hangs() -> None:
+            if ft.heartbeat_timeout_s <= 0:
+                return
+            now = time.monotonic()
+            for slot in slots:
+                if not slot.running or slot.in_flight is None:
+                    continue
+                last = max(float(heartbeat[slot.worker_id][_HB_STAMP]), slot.assigned_at)
+                if now - last <= ft.heartbeat_timeout_s:
+                    continue
+                detail = (
+                    f"worker {slot.worker_id} heartbeat stale for "
+                    f"{now - last:.1f}s (timeout {ft.heartbeat_timeout_s}s); killed"
+                )
+                slot.process.kill()
+                slot.process.join(5.0)
+                handle_failure(slot, "hang", detail)
+
+        def work_remaining() -> bool:
+            return bool(pending) or any(s.in_flight is not None for s in slots)
+
+        def unrunnable_failure() -> list[str] | None:
+            failures = None
+            for item in pending:
+                if kind == "shards":
+                    stuck = not any(s.alive for s in slots)
+                else:
+                    stuck = not slots[int(item["slot"])].alive
+                if stuck:
+                    failures = [f for s in slots for f in s.failures]
+                    break
+            return failures
+
+        def do_restarts() -> None:
+            now = time.monotonic()
+            for slot in slots:
+                if slot.restart_at is None or not slot.alive or now < slot.restart_at:
+                    continue
+                died_at = slot.died_at
+                launch(slot)
+                report.restarts += 1
+                if died_at is not None:
+                    report.recovery_latency_s.append(time.monotonic() - died_at)
+                report.events.append(
+                    SupervisionEvent(
+                        kind="restart",
+                        worker_id=slot.worker_id,
+                        time_s=now_s(),
+                        detail=f"incarnation {slot.incarnation}",
+                    )
+                )
+
+        def assign_work() -> None:
+            for slot in slots:
+                if not slot.running or slot.stop_sent or slot.in_flight is not None:
+                    continue
+                chosen = None
+                for item in pending:
+                    if eligible(slot, item):
+                        chosen = item
+                        break
+                if chosen is None:
+                    continue
+                pending.remove(chosen)
+                others = attempts[int(chosen["id"])] - {slot.worker_id}
+                if others:
+                    report.reassigned_items += 1
+                    report.events.append(
+                        SupervisionEvent(
+                            kind="reassign",
+                            worker_id=slot.worker_id,
+                            time_s=now_s(),
+                            detail=(
+                                f"item {chosen['id']} previously attempted by "
+                                f"worker(s) {sorted(others)}"
+                            ),
+                        )
+                    )
+                attempts[int(chosen["id"])].add(slot.worker_id)
+                slot.in_flight = chosen
+                slot.assigned_at = time.monotonic()
+                slot.task_queue.put(dict(chosen))
+
+        def maybe_checkpoint() -> None:
+            nonlocal last_checkpoint
+            if ckpt_store is None:
+                return
+            now = time.monotonic()
+            if now - last_checkpoint < ft.checkpoint_every_s:
+                return
+            self._save_process_checkpoint(
+                ckpt_store,
+                optimizer,
+                base_step,
+                kind,
+                groups,
+                self._remaining_items(pending, slots, heartbeat),
+                worker_updates,
+            )
+            last_checkpoint = time.monotonic()
+            report.checkpoints_saved += 1
+            report.events.append(
+                SupervisionEvent(
+                    kind="checkpoint",
+                    worker_id=-1,
+                    time_s=now_s(),
+                    detail=f"{len(records)}/{len(items)} items done",
+                )
+            )
+
+        for slot in slots:
+            launch(slot)
+        queue_reader = getattr(result_queue, "_reader", None)
+
+        while True:
+            drain_results()
+            check_deaths()
+            check_hangs()
+            if not work_remaining():
+                for slot in slots:
+                    slot.restart_at = None
+                    if slot.running and not slot.stop_sent:
+                        slot.task_queue.put(None)
+                        slot.stop_sent = True
+                if not any(slot.running for slot in slots):
+                    break
+            else:
+                failures = unrunnable_failure()
+                if failures is not None:
+                    raise RuntimeError(
+                        "process HOGWILD worker failure(s):\n" + "\n".join(failures)
+                    )
+                do_restarts()
+                assign_work()
+                maybe_checkpoint()
+
+            timeout = ft.poll_interval_s
+            for slot in slots:
+                if slot.restart_at is not None and slot.alive:
+                    timeout = min(
+                        timeout, max(slot.restart_at - time.monotonic(), 0.0)
+                    )
+            handles = [slot.process.sentinel for slot in slots if slot.running]
+            if queue_reader is not None:
+                handles.append(queue_reader)
+            if handles:
+                # Wakes the instant a worker dies (sentinel) or a result
+                # lands (queue pipe) — the fallback timeout only paces hang
+                # detection and scheduled restarts.
+                mp_connection.wait(handles, timeout=timeout)
+            else:
+                time.sleep(max(min(timeout, 0.05), 0.001))
+
+        report.lost_batches = int(np.sum(worker_updates)) - sum(
+            int(message["batches"]) for message in records.values()
+        )
+        return self._slot_stats(records), report
+
+    def _slot_stats(self, records: dict[int, dict]) -> list[WorkerStats]:
+        """Fold per-item result messages into per-worker-slot WorkerStats."""
+        stats: list[WorkerStats] = []
+        for worker_id in range(self.num_processes):
+            losses: list[float] = []
+            active_neurons: list[int] = []
+            active_weights: list[int] = []
+            batch_sizes: list[int] = []
+            footprints: list[np.ndarray] = []
+            samples = 0
+            wall = 0.0
+            rebuilds = 0
+            for item_id in sorted(records):
+                message = records[item_id]
+                if int(message["worker_id"]) != worker_id:
+                    continue
+                losses.extend(message["losses"])
+                active_neurons.extend(message["active_neurons"])
+                active_weights.extend(message["active_weights"])
+                batch_sizes.extend(message["batch_sizes"])
+                samples += int(message["samples"])
+                wall += float(message["wall_time_s"])
+                rebuilds += int(message["rebuilds"])
+                footprint = np.asarray(message["footprint"], dtype=np.int64)
+                if footprint.size:
+                    footprints.append(footprint)
+            stats.append(
+                WorkerStats(
+                    worker_id=worker_id,
+                    batches=len(losses),
+                    samples=samples,
+                    wall_time_s=wall,
+                    mean_loss=float(np.mean(losses)) if losses else 0.0,
+                    losses=losses,
+                    active_neurons=active_neurons,
+                    active_weights=active_weights,
+                    batch_sizes=batch_sizes,
+                    rebuilds=rebuilds,
+                    footprint=(
+                        np.unique(np.concatenate(footprints))
+                        if footprints
+                        else np.zeros(0, dtype=np.int64)
+                    ),
+                )
+            )
+        return stats
 
     def _merge_history(self, worker_stats: list[WorkerStats]) -> "TrainingHistory":
         """Round-robin the workers' per-batch records into one history.
@@ -839,18 +1502,42 @@ class ProcessHogwildTrainer:
             worker_update_counts=[int(c) for c in store[_WORKER_UPDATES]],
         )
 
-    def _train_processes(self, train_examples, eval_examples) -> ProcessTrainingReport:
+    def _train_processes(
+        self, train_examples, eval_examples, resume=None
+    ) -> ProcessTrainingReport:
         optimizer = self.network.build_optimizer(self.training)
         self.optimizer = optimizer
         arrays = network_state_arrays(self.network, optimizer)
         arrays[_WRITER_MASK] = np.zeros(self.network.output_dim, dtype=np.uint64)
         arrays[_WORKER_UPDATES] = np.zeros(self.num_processes, dtype=np.int64)
+        arrays[_HEARTBEAT] = np.zeros(
+            (self.num_processes, _HB_COLUMNS), dtype=np.float64
+        )
         store = SharedParamStore.create(arrays, prefix=self.prefix)
         context = mp.get_context(self.start_method)
         processes: list = []
         try:
             bind_network(self.network, optimizer, store)
-            plans = self._data_plans(train_examples)
+            kind, groups, data_per_worker = self._data_spec(train_examples)
+            base_step = 0
+            if resume is not None:
+                items, resumed_groups, base_step = self._restore_process_state(
+                    resume, optimizer, kind
+                )
+                if kind == "shards" and resumed_groups is not None:
+                    # The checkpoint's items index into *its* group list;
+                    # carry it over so item identity survives the resume
+                    # (works for any surviving worker count).
+                    groups = resumed_groups
+                    data = {
+                        "kind": "shards",
+                        "cache_dir": str(train_examples.cache_dir),
+                        "groups": groups,
+                        "seed": int(self.training.seed),
+                    }
+                    data_per_worker = [data] * self.num_processes
+            else:
+                items = self._build_items(kind, groups)
             manifest = store.manifest()
             worker_optimizer = optimizer.to_config()
             if worker_optimizer.name == "adam" and worker_optimizer.update_clip is None:
@@ -863,40 +1550,54 @@ class ProcessHogwildTrainer:
                 "epochs": int(self.training.epochs),
                 "shuffle": bool(self.training.shuffle),
             }
-            result_queue = context.Queue()
-            # RUSAGE_CHILDREN accounts reaped children only; _collect joins
-            # every worker before returning, so the delta below covers
-            # exactly the workers' lifetimes.
-            cpu_before = _cpu_seconds(resource.RUSAGE_CHILDREN)
-            start = time.perf_counter()
-            for worker_id, plan in enumerate(plans):
-                worker_config = self._worker_network_config(worker_id)
-                payload = {
+            fault_plan = (
+                self.fault_plan.to_dict()
+                if self.fault_plan is not None and self.fault_plan
+                else None
+            )
+            payload_base = [
+                {
                     "worker_id": worker_id,
                     "manifest": manifest,
-                    "network_config": network_config_to_dict(worker_config),
+                    "network_config": network_config_to_dict(
+                        self._worker_network_config(worker_id)
+                    ),
                     "optimizer_config": optimizer_config,
                     "training": training_spec,
-                    "data": plan,
+                    "data": data_per_worker[worker_id],
                     "step_stride": self.num_processes,
+                    "fault_plan": fault_plan,
                 }
-                process = context.Process(
-                    target=_worker_entry,
-                    args=(payload, result_queue),
-                    name=f"{self.prefix}-{worker_id}",
-                    daemon=True,
-                )
-                process.start()
-                processes.append(process)
-            worker_stats = self._collect(processes, result_queue)
+                for worker_id in range(self.num_processes)
+            ]
+            result_queue = context.Queue()
+            # RUSAGE_CHILDREN accounts reaped children only; the supervisor
+            # joins every worker (and every failed incarnation) before
+            # returning, so the delta below covers exactly their lifetimes.
+            cpu_before = _cpu_seconds(resource.RUSAGE_CHILDREN)
+            start = time.perf_counter()
+            worker_stats, supervision = self._supervise(
+                context,
+                result_queue,
+                payload_base,
+                items,
+                kind,
+                groups,
+                store,
+                optimizer,
+                base_step,
+                processes,
+            )
             wall = time.perf_counter() - start
             cpu_time = _cpu_seconds(resource.RUSAGE_CHILDREN) - cpu_before
             conflict = self._conflict_stats(store, worker_stats)
             # The shared moments experienced one decay/accumulate cycle per
-            # worker batch; stamp that global count onto the adopted
-            # optimiser so bias correction (and any checkpoint/resume) sees
-            # mature moments with a mature step count, not t=0.
-            optimizer.step_count = sum(stats.batches for stats in worker_stats)
+            # worker batch (the shared counter is the authoritative census,
+            # including updates whose telemetry died with a worker); stamp
+            # that global count onto the adopted optimiser so bias
+            # correction (and any checkpoint/resume) sees mature moments
+            # with a mature step count, not t=0.
+            optimizer.step_count = base_step + int(np.sum(store[_WORKER_UPDATES]))
         finally:
             for process in processes:
                 if process.is_alive():
@@ -925,4 +1626,5 @@ class ProcessHogwildTrainer:
             conflict=conflict,
             history=history,
             cpu_time_s=cpu_time,
+            supervision=supervision,
         )

@@ -46,7 +46,9 @@ from repro.serving.checkpoint import (
     CheckpointStore,
     LoadedCheckpoint,
     load_checkpoint,
+    restore_checkpoint_into,
     save_checkpoint,
+    verify_checkpoint,
 )
 from repro.serving.engine import (
     DenseInferenceEngine,
@@ -78,7 +80,9 @@ __all__ = [
     "CheckpointStore",
     "LoadedCheckpoint",
     "load_checkpoint",
+    "restore_checkpoint_into",
     "save_checkpoint",
+    "verify_checkpoint",
     "InferenceRequest",
     "MicroBatchQueue",
     "DenseInferenceEngine",

@@ -66,6 +66,8 @@ __all__ = [
     "LoadedCheckpoint",
     "save_checkpoint",
     "load_checkpoint",
+    "verify_checkpoint",
+    "restore_checkpoint_into",
     "CheckpointStore",
 ]
 
@@ -298,6 +300,99 @@ def load_checkpoint(
     )
 
 
+def verify_checkpoint(path: str | Path) -> dict[str, Any]:
+    """Cheap integrity check: manifest well-formed, payload checksum intact.
+
+    Returns the manifest on success; raises :class:`CheckpointError` on a
+    missing, truncated, or corrupt checkpoint.  Does *not* build a network,
+    so resume paths can scan several candidate versions quickly.
+    """
+    path = Path(path)
+    manifest = _read_manifest(path)
+    arrays_path = path / str(manifest.get("arrays_file", _ARRAYS_NAME))
+    if not arrays_path.is_file():
+        raise CheckpointError(f"missing array payload {arrays_path.name} in {path}")
+    digest = hashlib.sha256(arrays_path.read_bytes()).hexdigest()
+    if digest != manifest.get("arrays_sha256"):
+        raise CheckpointError(
+            f"checksum mismatch for {arrays_path.name} in {path}: "
+            "the checkpoint is corrupt or partially written"
+        )
+    return manifest
+
+
+def restore_checkpoint_into(
+    path: str | Path,
+    network: SlideNetwork,
+    optimizer: Optimizer | None = None,
+) -> dict[str, Any]:
+    """Restore a checkpoint *in place* into a live network (and optimiser).
+
+    The mid-run resume path: unlike :func:`load_checkpoint`, which builds a
+    fresh network from the stored config, this overwrites the arrays of an
+    existing ``network``/``optimizer`` pair — preserving every external
+    reference to them (shared-memory bindings, registered optimiser slots,
+    LSH index views).  The stored hash codes are replayed into the layers'
+    own indexes, so the restored tables match the saving network's exactly
+    (the checkpoint was saved canonical: dirty neurons re-hashed first).
+
+    The stored network config must match ``network.config``; a mismatch
+    raises :class:`CheckpointError`.  Returns the checkpoint metadata.
+    """
+    path = Path(path)
+    manifest = _read_manifest(path)
+    arrays = _read_arrays(path, manifest)
+
+    stored_config = network_config_from_dict(manifest["network_config"])
+    if stored_config != network.config:
+        raise CheckpointError(
+            f"checkpoint {path} was saved with a different network config; "
+            "resume requires an identical architecture and seed"
+        )
+    network.iteration = int(arrays.get("iteration", 0))
+    for idx, layer in enumerate(network.layers):
+        try:
+            weights = arrays[f"layer{idx}.weights"]
+            biases = arrays[f"layer{idx}.biases"]
+        except KeyError as exc:
+            raise CheckpointError(f"missing arrays for layer {idx} in {path}") from exc
+        if weights.shape != layer.weights.shape or biases.shape != layer.biases.shape:
+            raise CheckpointError(
+                f"layer {idx} shape mismatch: checkpoint {weights.shape} "
+                f"vs live network {layer.weights.shape}"
+            )
+        layer.weights[...] = weights
+        layer.biases[...] = biases
+        if layer.lsh_index is not None:
+            items = arrays.get(f"layer{idx}.lsh_items")
+            codes = arrays.get(f"layer{idx}.lsh_codes")
+            if items is None or codes is None:
+                raise CheckpointError(
+                    f"missing LSH index contents for layer {idx} in {path}"
+                )
+            layer.lsh_index.restore_codes(items, codes)
+
+    optimizer_entry = manifest.get("optimizer")
+    if optimizer is not None and optimizer_entry is not None:
+        optimizer.step_count = int(optimizer_entry["step_count"])
+        for name, slots in optimizer_entry["parameters"].items():
+            if not optimizer.has_parameter(name):
+                raise CheckpointError(
+                    f"optimiser state for unknown parameter {name!r} in {path}"
+                )
+            state = optimizer.state_of(name)
+            for slot in slots:
+                key = f"optim.{name}.{slot}"
+                if key not in arrays:
+                    raise CheckpointError(f"missing optimiser array {key} in {path}")
+                if state[slot].shape != arrays[key].shape:
+                    raise CheckpointError(
+                        f"optimiser array {key} shape mismatch in {path}"
+                    )
+                state[slot][...] = arrays[key]
+    return dict(manifest.get("metadata", {}))
+
+
 # ----------------------------------------------------------------------
 # Versioned store
 # ----------------------------------------------------------------------
@@ -397,6 +492,32 @@ class CheckpointStore:
     def load_latest(self, load_optimizer: bool = True) -> LoadedCheckpoint:
         """Load the newest version."""
         return load_checkpoint(self.latest(), load_optimizer=load_optimizer)
+
+    def latest_valid(self) -> Path:
+        """Newest version that passes :func:`verify_checkpoint`.
+
+        The resume entry point after an unclean shutdown: a torn or
+        corrupted newest version (crash mid-write on a non-atomic
+        filesystem, disk damage) is skipped and the scan falls back to the
+        next older one, so a run resumes from the last *good* checkpoint
+        instead of dying on the bad one.  Raises :class:`CheckpointError`
+        when no intact version exists.
+        """
+        versions = self.versions()
+        if not versions:
+            raise CheckpointError(f"no checkpoint versions under {self.root}")
+        errors: list[str] = []
+        for candidate in reversed(versions):
+            try:
+                verify_checkpoint(candidate)
+            except CheckpointError as exc:
+                errors.append(f"{candidate.name}: {exc}")
+                continue
+            return candidate
+        raise CheckpointError(
+            f"no intact checkpoint under {self.root}; "
+            "all versions failed verification:\n" + "\n".join(errors)
+        )
 
     # ------------------------------------------------------------------
     # Retention

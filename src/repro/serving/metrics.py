@@ -62,6 +62,7 @@ class ServingMetrics:
         self._window = LatencyHistogram(reservoir_size=_WINDOW_RESERVOIR)
         self._reloads = 0
         self._reload_failures = 0
+        self._reload_failures_by_cause: dict[str, int] = {}
         self._reload_records: deque[dict[str, Any]] = deque(
             maxlen=_MAX_RELOAD_RECORDS
         )
@@ -119,9 +120,14 @@ class ServingMetrics:
                 }
             )
 
-    def record_reload_failure(self) -> None:
+    def record_reload_failure(self, cause: str = "unknown") -> None:
+        """Count one failed checkpoint reload by cause (``corrupt``,
+        ``shape_mismatch``, ``io``, ``unknown``)."""
         with self._lock:
             self._reload_failures += 1
+            self._reload_failures_by_cause[cause] = (
+                self._reload_failures_by_cause.get(cause, 0) + 1
+            )
 
     # ------------------------------------------------------------------
     # Per-worker latency
@@ -182,6 +188,11 @@ class ServingMetrics:
         with self._lock:
             return self._reload_failures
 
+    @property
+    def reload_failures_by_cause(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._reload_failures_by_cause)
+
     def reload_records(self) -> list[dict[str, Any]]:
         """Recent hot-swap reports, oldest first (bounded history)."""
         with self._lock:
@@ -210,6 +221,7 @@ class ServingMetrics:
             errors = self._errors
             reloads = self._reloads
             reload_failures = self._reload_failures
+            failures_by_cause = dict(self._reload_failures_by_cause)
         return {
             "requests": float(self.requests),
             "errors": float(errors),
@@ -229,4 +241,7 @@ class ServingMetrics:
             "shed_total": float(sum(sheds.values())),
             "reloads": float(reloads),
             "reload_failures": float(reload_failures),
+            "reload_failures_by_cause": {
+                name: float(count) for name, count in failures_by_cause.items()
+            },
         }

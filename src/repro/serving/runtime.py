@@ -323,9 +323,19 @@ class CheckpointWatcher:
     The watcher pins the version directory for the duration of the load, so
     a trainer pruning old versions in another process cannot delete the one
     being read.  A version that fails to load (corrupt, shape-mismatched)
-    is counted as a reload failure and the engine keeps serving the
-    resident weights — a bad publish never takes the server down.
+    is counted as a reload failure — by cause — and the engine keeps serving
+    the resident weights; a bad publish never takes the server down.
+
+    Failures are retried with exponential backoff (``retry_backoff_s``
+    doubling per attempt): a version still mid-write when first seen gets
+    another chance, but a persistently bad one is *quarantined* after
+    ``max_load_attempts`` attempts and never touched again — without
+    backoff, a torn final version would otherwise be re-read (and re-hashed
+    against its checksum) on every poll, forever.
     """
+
+    # Ceiling on the per-version retry delay, whatever the attempt count.
+    MAX_RETRY_BACKOFF_S = 60.0
 
     def __init__(
         self,
@@ -334,25 +344,70 @@ class CheckpointWatcher:
         metrics: ServingMetrics | None = None,
         poll_s: float = 1.0,
         current_version: str | None = None,
+        max_load_attempts: int = 3,
+        retry_backoff_s: float = 0.5,
     ) -> None:
         if poll_s <= 0:
             raise ValueError("poll_s must be positive")
+        if max_load_attempts < 1:
+            raise ValueError("max_load_attempts must be at least 1")
+        if retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s must be non-negative")
         self.store = store
         self.engine = engine
         self.metrics = metrics
         self.poll_s = float(poll_s)
         self.current_version = current_version
+        self.max_load_attempts = int(max_load_attempts)
+        self.retry_backoff_s = float(retry_backoff_s)
         self.last_report: SwapReport | None = None
+        self._load_attempts: dict[str, int] = {}
+        self._retry_at: dict[str, float] = {}
+        self._quarantined: set[str] = set()
         self._stop_event = threading.Event()
         self._thread: threading.Thread | None = None
+
+    @property
+    def quarantined_versions(self) -> frozenset[str]:
+        """Version names given up on after ``max_load_attempts`` failures."""
+        return frozenset(self._quarantined)
+
+    @staticmethod
+    def _classify_failure(exc: Exception) -> str:
+        # CheckpointError subclasses OSError-adjacent causes are checked
+        # most-specific first; the cause keys feed the per-cause reload
+        # failure counters in ServingMetrics.
+        if isinstance(exc, CheckpointError):
+            return "corrupt"
+        if isinstance(exc, ValueError):
+            return "shape_mismatch"
+        if isinstance(exc, OSError):
+            return "io"
+        return "unknown"  # pragma: no cover - defensive
+
+    def _record_failure(self, version: str, exc: Exception) -> None:
+        attempts = self._load_attempts.get(version, 0) + 1
+        self._load_attempts[version] = attempts
+        if self.metrics is not None:
+            self.metrics.record_reload_failure(cause=self._classify_failure(exc))
+        if attempts >= self.max_load_attempts:
+            self._quarantined.add(version)
+            self._retry_at.pop(version, None)
+        else:
+            delay = min(
+                self.retry_backoff_s * 2 ** (attempts - 1),
+                self.MAX_RETRY_BACKOFF_S,
+            )
+            self._retry_at[version] = time.monotonic() + delay
 
     def poll_once(self) -> SwapReport | None:
         """Check the store once; swap if a new version exists.
 
         Returns the :class:`~repro.serving.engine.SwapReport` when a swap
-        happened, ``None`` otherwise (no versions, already current, or the
-        load failed).  Synchronous — tests and the bench call this directly
-        instead of racing the poll thread.
+        happened, ``None`` otherwise (no versions, already current, version
+        quarantined or backing off, or the load failed).  Synchronous —
+        tests and the bench call this directly instead of racing the poll
+        thread.
         """
         try:
             latest = self.store.latest()
@@ -360,14 +415,20 @@ class CheckpointWatcher:
             return None
         if latest.name == self.current_version:
             return None
+        if latest.name in self._quarantined:
+            return None
+        retry_at = self._retry_at.get(latest.name)
+        if retry_at is not None and time.monotonic() < retry_at:
+            return None
         try:
             with self.store.pin(latest):
                 loaded = load_checkpoint(latest, load_optimizer=False)
                 report = self.engine.hot_swap(loaded.network, version=latest.name)
-        except (CheckpointError, ValueError, OSError):
-            if self.metrics is not None:
-                self.metrics.record_reload_failure()
+        except (CheckpointError, ValueError, OSError) as exc:
+            self._record_failure(latest.name, exc)
             return None
+        self._load_attempts.pop(latest.name, None)
+        self._retry_at.pop(latest.name, None)
         self.current_version = latest.name
         self.last_report = report
         if self.metrics is not None:

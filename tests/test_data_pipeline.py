@@ -334,6 +334,38 @@ class TestBatchPrefetcher:
         with pytest.raises(ValueError):
             BatchPrefetcher(iter([]), depth=0)
 
+    def test_abandoned_iterations_leak_no_threads_or_shards(self, pipeline_setup):
+        """Regression: a consumer abandoning the stream mid-epoch must not
+        leave prefetcher threads alive or shard mmaps resident.
+
+        Before the fix, ``BatchPrefetcher.close()`` stopped the producer
+        thread but never closed the *source* generator, so the resident
+        shard's mmap lingered until garbage collection — 100 abandoned
+        epochs accumulated 100 open shards under refcounting pessimism.
+        """
+        import threading
+
+        dataset = ShardedDataset(pipeline_setup["cache_dir"], seed=4)
+        baseline_threads = threading.active_count()
+        for round_index in range(100):
+            batches = dataset.iter_batches(
+                batch_size=16, epoch=round_index, release=True
+            )
+            if round_index % 2 == 0:
+                # Raw generator, abandoned after one batch.
+                next(batches)
+                batches.close()
+            else:
+                # Through the prefetcher, abandoned after one batch.
+                prefetcher = BatchPrefetcher(batches, depth=2)
+                next(prefetcher)
+                prefetcher.close()
+                assert not prefetcher._thread.is_alive()
+            assert dataset.open_shard_count() == 0, (
+                f"round {round_index}: abandoned iteration left a shard open"
+            )
+        assert threading.active_count() == baseline_threads
+
 
 class TestTrainingParity:
     def _network(self, feature_dim, label_dim):

@@ -270,6 +270,101 @@ def test_watcher_poll_once_swaps_and_records(trained_store):
     assert records[-1]["full_rebuild"] is False
 
 
+def test_watcher_quarantines_persistently_bad_version(trained_store, tiny_dataset):
+    from repro.faults import tear_checkpoint
+
+    v1, v2 = trained_store.versions()
+    network = load_checkpoint(v1, load_optimizer=False).network
+    engine = SparseInferenceEngine(network, active_budget=32)
+    metrics = ServingMetrics()
+    tear_checkpoint(v2)
+    watcher = CheckpointWatcher(
+        trained_store,
+        engine,
+        metrics=metrics,
+        current_version=v1.name,
+        max_load_attempts=2,
+        retry_backoff_s=0.0,
+    )
+    # Two failed attempts (counted by cause), then the version is
+    # quarantined: further polls stop retrying it entirely.
+    assert watcher.poll_once() is None
+    assert watcher.poll_once() is None
+    assert watcher.poll_once() is None
+    assert metrics.reload_failures == 2
+    assert metrics.reload_failures_by_cause == {"corrupt": 2}
+    assert v2.name in watcher.quarantined_versions
+    assert watcher.current_version == v1.name
+    assert metrics.snapshot()["reload_failures_by_cause"] == {"corrupt": 2.0}
+
+    # A bad publish never wedges the watcher: the next good version still
+    # swaps in even though the previous one is quarantined.
+    v3 = trained_store.save(load_checkpoint(v1, load_optimizer=False).network)
+    report = watcher.poll_once()
+    assert report is not None and report.version == v3.name
+    assert watcher.current_version == v3.name
+    assert metrics.reloads == 1
+
+
+def test_watcher_backoff_spaces_out_retries(trained_store):
+    from repro.faults import tear_checkpoint
+
+    v1, v2 = trained_store.versions()
+    engine = SparseInferenceEngine(
+        load_checkpoint(v1, load_optimizer=False).network, active_budget=32
+    )
+    metrics = ServingMetrics()
+    tear_checkpoint(v2)
+    watcher = CheckpointWatcher(
+        trained_store,
+        engine,
+        metrics=metrics,
+        current_version=v1.name,
+        max_load_attempts=3,
+        retry_backoff_s=30.0,
+    )
+    assert watcher.poll_once() is None
+    # The immediate re-poll lands inside the backoff window: the torn
+    # payload is NOT re-read (and re-hashed) on every poll.
+    assert watcher.poll_once() is None
+    assert metrics.reload_failures == 1
+    assert v2.name not in watcher.quarantined_versions
+
+
+def test_watcher_counts_shape_mismatch_by_cause(trained_store, tiny_dataset):
+    v1, _ = trained_store.versions()
+    engine = SparseInferenceEngine(
+        load_checkpoint(v1, load_optimizer=False).network, active_budget=32
+    )
+    metrics = ServingMetrics()
+    other = SlideNetwork(
+        SlideNetworkConfig(
+            input_dim=tiny_dataset.config.feature_dim,
+            layers=(
+                LayerConfig(size=16, activation="relu", lsh=None),
+                LayerConfig(
+                    size=tiny_dataset.config.label_dim,
+                    activation="softmax",
+                    lsh=None,
+                ),
+            ),
+            seed=1,
+        )
+    )
+    bad = trained_store.save(other)  # intact checkpoint, wrong architecture
+    watcher = CheckpointWatcher(
+        trained_store,
+        engine,
+        metrics=metrics,
+        current_version=v1.name,
+        max_load_attempts=1,
+        retry_backoff_s=0.0,
+    )
+    assert watcher.poll_once() is None
+    assert metrics.reload_failures_by_cause == {"shape_mismatch": 1}
+    assert bad.name in watcher.quarantined_versions
+
+
 # ----------------------------------------------------------------------
 # Checkpoint retention
 # ----------------------------------------------------------------------
