@@ -35,6 +35,7 @@ __all__ = [
     "OptimizerConfig",
     "TrainingConfig",
     "ServingConfig",
+    "RouterConfig",
     "FaultToleranceConfig",
     "fault_tolerance_config_to_dict",
     "fault_tolerance_config_from_dict",
@@ -45,6 +46,8 @@ __all__ = [
     "serving_config_to_dict",
     "serving_config_from_dict",
     "load_serving_config",
+    "router_config_to_dict",
+    "router_config_from_dict",
 ]
 
 HashFamilyName = Literal["simhash", "wta", "dwta", "doph", "minhash"]
@@ -381,6 +384,11 @@ class ServingConfig:
     host / port:
         Bind address of the HTTP front-end (:mod:`repro.serving.server`);
         port 0 binds an OS-assigned free port.
+    max_body_bytes:
+        Largest request body the HTTP front-end accepts.  A declared
+        ``Content-Length`` beyond it is refused with HTTP 413 before any
+        byte of the body is read, so one oversized client cannot tie a
+        connection thread to an unbounded read.
     """
 
     engine: Literal["sparse", "dense"] = "sparse"
@@ -404,6 +412,7 @@ class ServingConfig:
     autoscale_cooldown_s: float = 1.0
     host: str = "127.0.0.1"
     port: int = 8080
+    max_body_bytes: int = 1_048_576
 
     def __post_init__(self) -> None:
         if self.engine not in ("sparse", "dense"):
@@ -451,6 +460,160 @@ class ServingConfig:
             raise ValueError("autoscale_cooldown_s must be non-negative")
         if not 0 <= self.port < 65536:
             raise ValueError("port must lie in [0, 65536)")
+        if self.max_body_bytes <= 0:
+            raise ValueError("max_body_bytes must be positive")
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Parameters of the :class:`repro.serving.router.ReplicaRouter`.
+
+    Attributes
+    ----------
+    num_replicas:
+        How many in-process :class:`~repro.serving.runtime.OnlineRuntime`
+        replicas the router builds over one shared checkpoint store.
+    health_interval_s:
+        Period of the active health-check loop.  Failover detection is
+        bounded by twice this interval (one check may already be in
+        flight when a replica dies).
+    probe_timeout_s:
+        Budget for the active liveness probe (a real 1-example predict):
+        a replica that does not answer within it is marked not live.
+    readiness_max_staleness:
+        How many checkpoint versions a replica may lag behind the store's
+        latest before readiness fails (its watcher is stuck or
+        quarantining everything new).
+    retry_max_attempts:
+        Total tries per predict request (first attempt included), each on
+        a different replica when one is available.
+    retry_backoff_base_s / retry_backoff_max_s:
+        Capped exponential backoff between attempts:
+        ``min(base * 2**(attempt-1), max)``.
+    request_deadline_s:
+        Total time budget per routed request across all attempts and
+        backoff waits; once spent, the last failure is surfaced.
+    attempt_timeout_s:
+        Per-attempt bound: an attempt that has not resolved within it is
+        abandoned (counted as a replica failure — how hung replicas are
+        detected mid-request) and the request retries elsewhere.
+    breaker_failure_threshold:
+        Consecutive failures that trip a replica's circuit breaker open.
+    breaker_p99_ms:
+        Optional latency trip: with at least ``breaker_window`` recent
+        samples, a windowed p99 above this opens the breaker even without
+        hard failures.  ``None`` disables the latency trip.
+    breaker_window:
+        Per-replica rolling latency samples retained for the p99 trip.
+    breaker_recovery_s:
+        How long an open breaker waits before letting probe requests
+        through (half-open state).
+    breaker_half_open_probes:
+        Successful half-open probes required to close the breaker; any
+        probe failure re-opens it.
+    degradation_budget_steps:
+        Multiplicative LSH ``active_budget`` steps for degradation levels
+        ``1..len(steps)`` (level 0 is full quality).  The level after the
+        last step additionally disables exact rerank; the final level
+        sheds at the router when queues exceed ``degradation_shed_depth``.
+    degradation_interval_s:
+        Period of the degradation controller loop.
+    degradation_queue_high:
+        Per-replica queue depth above which a tick votes to degrade.
+    degradation_up_patience / degradation_down_patience:
+        Consecutive overloaded/idle ticks before stepping the ladder up or
+        down (recovery is deliberately slower than degradation).
+    degradation_shed_depth:
+        At the deepest degradation level, requests arriving while the
+        chosen replica's queue is at least this deep are shed at the
+        router with a typed 429.
+    seed:
+        Seed of the router's power-of-two-choices sampler.
+    """
+
+    num_replicas: int = 2
+    health_interval_s: float = 0.25
+    probe_timeout_s: float = 1.0
+    readiness_max_staleness: int = 2
+    retry_max_attempts: int = 3
+    retry_backoff_base_s: float = 0.01
+    retry_backoff_max_s: float = 0.25
+    request_deadline_s: float = 2.0
+    attempt_timeout_s: float = 1.0
+    breaker_failure_threshold: int = 5
+    breaker_p99_ms: float | None = None
+    breaker_window: int = 64
+    breaker_recovery_s: float = 1.0
+    breaker_half_open_probes: int = 2
+    degradation_budget_steps: tuple[float, ...] = (0.5, 0.25)
+    degradation_interval_s: float = 0.5
+    degradation_queue_high: float = 8.0
+    degradation_up_patience: int = 2
+    degradation_down_patience: int = 4
+    degradation_shed_depth: int = 32
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_replicas <= 0:
+            raise ValueError("num_replicas must be positive")
+        if self.health_interval_s <= 0:
+            raise ValueError("health_interval_s must be positive")
+        if self.probe_timeout_s <= 0:
+            raise ValueError("probe_timeout_s must be positive")
+        if self.readiness_max_staleness < 0:
+            raise ValueError("readiness_max_staleness must be non-negative")
+        if self.retry_max_attempts <= 0:
+            raise ValueError("retry_max_attempts must be positive")
+        if self.retry_backoff_base_s < 0:
+            raise ValueError("retry_backoff_base_s must be non-negative")
+        if self.retry_backoff_max_s < self.retry_backoff_base_s:
+            raise ValueError("retry_backoff_max_s must be >= retry_backoff_base_s")
+        if self.request_deadline_s <= 0:
+            raise ValueError("request_deadline_s must be positive")
+        if self.attempt_timeout_s <= 0:
+            raise ValueError("attempt_timeout_s must be positive")
+        if self.breaker_failure_threshold <= 0:
+            raise ValueError("breaker_failure_threshold must be positive")
+        if self.breaker_p99_ms is not None and self.breaker_p99_ms <= 0:
+            raise ValueError("breaker_p99_ms must be positive when provided")
+        if self.breaker_window <= 0:
+            raise ValueError("breaker_window must be positive")
+        if self.breaker_recovery_s < 0:
+            raise ValueError("breaker_recovery_s must be non-negative")
+        if self.breaker_half_open_probes <= 0:
+            raise ValueError("breaker_half_open_probes must be positive")
+        # A non-tuple (a JSON list, say) would break dataclass equality and
+        # hashing downstream; coerce rather than reject.
+        object.__setattr__(
+            self,
+            "degradation_budget_steps",
+            tuple(float(step) for step in self.degradation_budget_steps),
+        )
+        for step in self.degradation_budget_steps:
+            if not 0.0 < step < 1.0:
+                raise ValueError("degradation_budget_steps must lie in (0, 1)")
+        if any(
+            later >= earlier
+            for earlier, later in zip(
+                self.degradation_budget_steps, self.degradation_budget_steps[1:]
+            )
+        ):
+            raise ValueError("degradation_budget_steps must be strictly decreasing")
+        if self.degradation_interval_s <= 0:
+            raise ValueError("degradation_interval_s must be positive")
+        if self.degradation_queue_high <= 0:
+            raise ValueError("degradation_queue_high must be positive")
+        if self.degradation_up_patience <= 0:
+            raise ValueError("degradation_up_patience must be positive")
+        if self.degradation_down_patience <= 0:
+            raise ValueError("degradation_down_patience must be positive")
+        if self.degradation_shed_depth <= 0:
+            raise ValueError("degradation_shed_depth must be positive")
+
+    @property
+    def max_degradation_level(self) -> int:
+        """Deepest ladder level: budget steps, then no-rerank, then shed."""
+        return len(self.degradation_budget_steps) + 2
 
 
 # ----------------------------------------------------------------------
@@ -576,6 +739,42 @@ def load_serving_config(path: str | Path) -> ServingConfig:
     return serving_config_from_dict(data)
 
 
+def router_config_to_dict(config: RouterConfig) -> dict[str, Any]:
+    """A plain-dict (JSON-serialisable) view of a router config."""
+    data = asdict(config)
+    data["degradation_budget_steps"] = list(data["degradation_budget_steps"])
+    return data
+
+
+def router_config_from_dict(data: Mapping[str, Any]) -> RouterConfig:
+    """Rebuild a :class:`RouterConfig` from its dict form (strict).
+
+    Mirrors :func:`serving_config_from_dict`: unknown keys and wrongly
+    typed values raise ``ValueError`` messages naming the offending field.
+    """
+    valid = {f.name for f in fields(RouterConfig)}
+    unknown = sorted(set(data) - valid)
+    if unknown:
+        names = ", ".join(repr(name) for name in unknown)
+        raise ValueError(
+            f"unknown router config field{'s' if len(unknown) > 1 else ''} "
+            f"{names}; valid fields: {', '.join(sorted(valid))}"
+        )
+    coerced: dict[str, Any] = {}
+    for name, value in data.items():
+        checker = _ROUTER_FIELD_CHECKS[name]
+        try:
+            coerced[name] = checker(value)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"router config field {name!r}: invalid value {value!r}"
+            ) from None
+    try:
+        return RouterConfig(**coerced)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"invalid router config: {exc}") from exc
+
+
 def _check_str(value: Any) -> str:
     if not isinstance(value, str):
         raise TypeError
@@ -630,4 +829,36 @@ _SERVING_FIELD_CHECKS: dict[str, Any] = {
     "autoscale_cooldown_s": _check_float,
     "host": _check_str,
     "port": _check_int,
+    "max_body_bytes": _check_int,
+}
+
+
+def _check_float_list(value: Any) -> tuple[float, ...]:
+    if isinstance(value, (str, bytes)) or not hasattr(value, "__iter__"):
+        raise TypeError
+    return tuple(_check_float(item) for item in value)
+
+
+_ROUTER_FIELD_CHECKS: dict[str, Any] = {
+    "num_replicas": _check_int,
+    "health_interval_s": _check_float,
+    "probe_timeout_s": _check_float,
+    "readiness_max_staleness": _check_int,
+    "retry_max_attempts": _check_int,
+    "retry_backoff_base_s": _check_float,
+    "retry_backoff_max_s": _check_float,
+    "request_deadline_s": _check_float,
+    "attempt_timeout_s": _check_float,
+    "breaker_failure_threshold": _check_int,
+    "breaker_p99_ms": _check_optional(_check_float),
+    "breaker_window": _check_int,
+    "breaker_recovery_s": _check_float,
+    "breaker_half_open_probes": _check_int,
+    "degradation_budget_steps": _check_float_list,
+    "degradation_interval_s": _check_float,
+    "degradation_queue_high": _check_float,
+    "degradation_up_patience": _check_int,
+    "degradation_down_patience": _check_int,
+    "degradation_shed_depth": _check_int,
+    "seed": _check_int,
 }

@@ -29,12 +29,32 @@ Two storage-level helpers round out the failure surface used by tests and
   checkpoint's array payload (the SHA-256 check must refuse it);
 * :func:`corrupt_shared_array` scribbles NaNs over a shared parameter
   block (the workers' non-finite loss guard must surface it).
+
+The serving side gets the same determinism through
+:class:`ServingFaultPlan` / :class:`ServingFaultInjector`: an injector is
+attached to one replica's inference engine
+(``engine.fault_injector = plan.injector_for(replica)``) and fires at exact
+*request* coordinates — the engine advances the counter by the batch size on
+every guarded batch, and a fault whose ``[at_request, at_request + count)``
+window overlaps the batch triggers:
+
+* ``predict_hang`` — the worker thread sleeps ``duration_s`` mid-request
+  without failing, the replica stops answering (what the router's attempt
+  timeout and health probe must catch);
+* ``predict_slow`` — adds ``duration_s`` latency to each affected batch
+  (degraded, not dead: must *not* trip liveness, may trip a p99 breaker);
+* ``predict_crash`` — raises :class:`InjectedFault` from the engine, failing
+  every request in the batch (the retry path's bread and butter);
+* ``checkpoint_load_fail`` — the next ``count`` checkpoint loads on this
+  replica raise (a bad publish: the watcher must count it, back off, and
+  keep serving the resident weights).
 """
 
 from __future__ import annotations
 
 import os
 import signal
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -44,15 +64,25 @@ import numpy as np
 
 __all__ = [
     "FAULT_KINDS",
+    "SERVING_FAULT_KINDS",
     "InjectedFault",
     "FaultSpec",
     "FaultPlan",
     "FaultInjector",
+    "ServingFaultSpec",
+    "ServingFaultPlan",
+    "ServingFaultInjector",
     "tear_checkpoint",
     "corrupt_shared_array",
 ]
 
 FAULT_KINDS = ("kill", "crash", "hang", "slow")
+SERVING_FAULT_KINDS = (
+    "predict_hang",
+    "predict_slow",
+    "predict_crash",
+    "checkpoint_load_fail",
+)
 
 
 class InjectedFault(RuntimeError):
@@ -194,6 +224,158 @@ class FaultInjector:
                 time.sleep(0.01)
         elif spec.kind == "slow":
             time.sleep(spec.duration_s)
+
+
+# ----------------------------------------------------------------------
+# Serving-side faults (replica chaos for the router bench/tests)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ServingFaultSpec:
+    """One planned serving fault on one replica.
+
+    ``at_request`` is the 0-based index of the first affected request in
+    the replica's guarded-predict stream (batches advance the counter by
+    their size); ``count`` is how many consecutive requests the window
+    covers.  For ``checkpoint_load_fail`` the coordinate counts checkpoint
+    *load attempts* instead of requests.  ``duration_s`` applies to
+    ``predict_hang`` / ``predict_slow``.
+    """
+
+    kind: str
+    replica: str
+    at_request: int = 0
+    count: int = 1
+    duration_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in SERVING_FAULT_KINDS:
+            raise ValueError(
+                f"unknown serving fault kind {self.kind!r}; "
+                f"expected one of {SERVING_FAULT_KINDS}"
+            )
+        if self.at_request < 0:
+            raise ValueError("at_request must be non-negative")
+        if self.count <= 0:
+            raise ValueError("count must be positive")
+        if self.duration_s < 0:
+            raise ValueError("duration_s must be non-negative")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "replica": self.replica,
+            "at_request": self.at_request,
+            "count": self.count,
+            "duration_s": self.duration_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ServingFaultSpec":
+        return cls(
+            kind=str(data["kind"]),
+            replica=str(data["replica"]),
+            at_request=int(data.get("at_request", 0)),
+            count=int(data.get("count", 1)),
+            duration_s=float(data.get("duration_s", 0.0)),
+        )
+
+
+@dataclass(frozen=True)
+class ServingFaultPlan:
+    """An immutable collection of planned serving faults."""
+
+    specs: tuple[ServingFaultSpec, ...] = ()
+
+    @classmethod
+    def of(cls, *specs: ServingFaultSpec) -> "ServingFaultPlan":
+        return cls(specs=tuple(specs))
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def for_replica(self, replica: str) -> tuple[ServingFaultSpec, ...]:
+        return tuple(s for s in self.specs if s.replica == replica)
+
+    def injector_for(self, replica: str) -> "ServingFaultInjector":
+        """The per-replica injector to attach as ``engine.fault_injector``."""
+        return ServingFaultInjector(specs=self.for_replica(replica))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"specs": [spec.to_dict() for spec in self.specs]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ServingFaultPlan":
+        specs: Iterable[Mapping[str, Any]] = data.get("specs", ())
+        return cls(specs=tuple(ServingFaultSpec.from_dict(s) for s in specs))
+
+
+class ServingFaultInjector:
+    """Replica-side trigger: fires planned faults at request coordinates.
+
+    Attached to an inference engine as ``engine.fault_injector``; the
+    engine calls :meth:`on_predict` once per guarded batch (advancing the
+    request counter by the batch size) and the checkpoint watcher calls
+    :meth:`on_checkpoint_load` once per load attempt.  Thread-safe — pool
+    workers predict concurrently.
+    """
+
+    def __init__(self, specs: Iterable[ServingFaultSpec] = ()) -> None:
+        self.specs = tuple(specs)
+        self.requests_seen = 0
+        self.loads_seen = 0
+        self.fired: list[str] = []
+        self._lock = threading.Lock()
+
+    def _window_hits(self, kind: str, start: int, size: int) -> "ServingFaultSpec | None":
+        for spec in self.specs:
+            if spec.kind != kind:
+                continue
+            if start < spec.at_request + spec.count and spec.at_request < start + size:
+                return spec
+        return None
+
+    def on_predict(self, batch_size: int) -> None:
+        """Fire any predict fault overlapping the next ``batch_size`` requests."""
+        with self._lock:
+            start = self.requests_seen
+            self.requests_seen += max(int(batch_size), 1)
+        hit = self._window_hits("predict_slow", start, max(int(batch_size), 1))
+        if hit is not None:
+            self._note(hit, start)
+            time.sleep(hit.duration_s)
+        hit = self._window_hits("predict_hang", start, max(int(batch_size), 1))
+        if hit is not None:
+            self._note(hit, start)
+            # Stay alive but unresponsive: the worker thread serving this
+            # batch sleeps through the hang window; only attempt timeouts
+            # or health probes can notice.
+            deadline = time.monotonic() + hit.duration_s
+            while time.monotonic() < deadline:
+                time.sleep(0.01)
+        hit = self._window_hits("predict_crash", start, max(int(batch_size), 1))
+        if hit is not None:
+            self._note(hit, start)
+            raise InjectedFault(
+                f"injected predict crash on replica {hit.replica} "
+                f"at request {start}"
+            )
+
+    def on_checkpoint_load(self, version: str) -> None:
+        """Fire any planned checkpoint-load failure for this attempt."""
+        with self._lock:
+            attempt = self.loads_seen
+            self.loads_seen += 1
+        hit = self._window_hits("checkpoint_load_fail", attempt, 1)
+        if hit is not None:
+            self._note(hit, attempt)
+            raise InjectedFault(
+                f"injected checkpoint load failure on replica {hit.replica} "
+                f"for version {version} (attempt {attempt})"
+            )
+
+    def _note(self, spec: ServingFaultSpec, coordinate: int) -> None:
+        with self._lock:
+            self.fired.append(f"{spec.kind}@{coordinate}")
 
 
 # ----------------------------------------------------------------------

@@ -23,6 +23,11 @@ this package carries that idea from the training loop to the serving path:
   :class:`CheckpointWatcher` (zero-downtime hot reload),
   :class:`ElasticEnginePool` + :class:`AutoscaleController` (worker
   autoscaling with hysteresis), wired together by :class:`OnlineRuntime`;
+* :mod:`~repro.serving.router` — resilient multi-replica serving:
+  :class:`ReplicaRouter` fronts N :class:`OnlineRuntime` replicas with
+  active health checks, power-of-two-choices routing, cross-replica
+  retries, per-replica :class:`CircuitBreaker`\\ s, and a graceful
+  degradation ladder (:class:`DegradationController`);
 * :mod:`~repro.serving.loadgen` — open-loop sustained-QPS load generation
   for the serving benchmarks;
 * :mod:`~repro.serving.server` — a stdlib HTTP/JSON front-end, with a CLI
@@ -59,12 +64,22 @@ from repro.serving.engine import (
 )
 from repro.serving.errors import (
     DeadlineExceededError,
+    PayloadTooLargeError,
     RejectedError,
+    ReplicaUnavailableError,
+    RetriesExhaustedError,
     ServingError,
 )
 from repro.serving.loadgen import LoadReport, run_open_loop
-from repro.serving.metrics import ServingMetrics
+from repro.serving.metrics import RouterMetrics, ServingMetrics
 from repro.serving.pool import EnginePool, ServingRuntime, build_engine
+from repro.serving.router import (
+    CircuitBreaker,
+    DegradationController,
+    Replica,
+    ReplicaHealth,
+    ReplicaRouter,
+)
 from repro.serving.runtime import (
     AutoscaleController,
     CheckpointWatcher,
@@ -93,10 +108,19 @@ __all__ = [
     "ServingError",
     "RejectedError",
     "DeadlineExceededError",
+    "PayloadTooLargeError",
+    "ReplicaUnavailableError",
+    "RetriesExhaustedError",
     "ServingMetrics",
+    "RouterMetrics",
     "EnginePool",
     "ServingRuntime",
     "build_engine",
+    "CircuitBreaker",
+    "DegradationController",
+    "Replica",
+    "ReplicaHealth",
+    "ReplicaRouter",
     "AutoscaleController",
     "CheckpointWatcher",
     "ElasticEnginePool",

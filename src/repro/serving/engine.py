@@ -61,11 +61,17 @@ class Prediction:
 
     ``class_ids``/``scores`` are sorted by descending score.  ``mode`` is
     ``sparse`` when the LSH path produced the answer, ``dense`` for the
-    dense engine, and ``dense_fallback`` when a sparse request fell back.
-    ``candidates_scored`` counts the output neurons actually scored — the
-    quantity the active budget bounds.  ``generation`` identifies the weight
-    generation that produced the answer (``-1`` when the request bypassed
-    the generation-stamping guarded path).
+    dense engine, ``dense_fallback`` when a sparse request fell back, and
+    ``sparse_norerank`` when exact rerank was disabled by degradation (the
+    candidates are ranked by raw collision counts).  ``candidates_scored``
+    counts the output neurons actually scored — the quantity the active
+    budget bounds.  ``generation`` identifies the weight generation that
+    produced the answer (``-1`` when the request bypassed the
+    generation-stamping guarded path).  ``degradation`` is the router's
+    quality-for-availability ladder level the answer was served under
+    (0 = full quality), and ``replica`` names the serving replica when the
+    answer was routed (``None`` for direct engine/runtime calls) — both
+    stamped by :class:`repro.serving.router.ReplicaRouter`.
     """
 
     class_ids: IntArray
@@ -73,6 +79,8 @@ class Prediction:
     mode: str
     candidates_scored: int
     generation: int = -1
+    degradation: int = 0
+    replica: str | None = None
 
 
 @dataclass(frozen=True)
@@ -109,6 +117,10 @@ class InferenceEngine:
         # see an odd value and know a swap is mid-flight.
         self.generation = 0
         self._swap_lock = ReadWriteLock()
+        # Optional deterministic chaos hook (repro.faults.ServingFaultInjector):
+        # consulted once per guarded batch and once per checkpoint load, so
+        # serving-side faults fire at exact request coordinates.
+        self.fault_injector = None
 
     @property
     def output_dim(self) -> int:
@@ -132,6 +144,10 @@ class InferenceEngine:
         weights they started with (the writer waits for them), and every
         answer records the generation that produced it.
         """
+        injector = self.fault_injector
+        if injector is not None:
+            # Outside the read lock: a "hang" fault must not block hot_swap.
+            injector.on_predict(len(examples))
         with self._swap_lock.read_locked():
             generation = self.generation
             predictions = self.predict_batch(examples, k=k)
@@ -257,7 +273,10 @@ class SparseInferenceEngine(InferenceEngine):
         Maximum number of output-layer candidates scored per request
         (``None`` scores every neuron the hash tables return).  Smaller
         budgets are faster and less accurate — this is the serving-side
-        analogue of the paper's ``beta``.
+        analogue of the paper's ``beta``.  The effective budget is floored
+        at the dense-fallback threshold (``min_candidate_factor * k``): a
+        degraded budget below it would route every request to the *full*
+        dense scorer, making the cheap quality level the most expensive.
     min_candidate_factor:
         A request falls back to the dense scorer when the tables return
         fewer than ``min_candidate_factor * k`` candidates, so sparsity
@@ -268,6 +287,14 @@ class SparseInferenceEngine(InferenceEngine):
         directly costs serving accuracy.  By default the engine re-hashes
         any pending dirty neurons once at construction so it serves from
         fresh tables; pass ``False`` to snapshot the index as-is.
+    rerank:
+        With the default ``True``, surviving candidates are scored exactly
+        against the weight matrix (step 3 of the module docstring).  With
+        ``False`` the exact rerank is skipped entirely and the top-k is
+        taken over raw collision counts — cheaper and less accurate, the
+        deepest pre-shed step of the router's degradation ladder.  Both
+        ``active_budget`` and ``rerank`` are plain attributes so the
+        degradation controller can retune a live engine between batches.
     """
 
     name = "sparse"
@@ -278,6 +305,7 @@ class SparseInferenceEngine(InferenceEngine):
         active_budget: int | None = None,
         min_candidate_factor: int = 2,
         refresh_index: bool = True,
+        rerank: bool = True,
     ) -> None:
         super().__init__(network)
         if network.output_layer.lsh_index is None:
@@ -293,6 +321,7 @@ class SparseInferenceEngine(InferenceEngine):
             network.output_layer.rebuild()
         self.active_budget = active_budget
         self.min_candidate_factor = int(min_candidate_factor)
+        self.rerank = bool(rerank)
         # Fallback / work counters (diagnostics surfaced by the stats API);
         # locked because pool workers call predict_batch concurrently.
         self._counter_lock = threading.Lock()
@@ -314,15 +343,27 @@ class SparseInferenceEngine(InferenceEngine):
 
     def _select_from_counts(self, ids: IntArray, counts: IntArray) -> IntArray:
         """Budgeted candidate set from aggregated collision counts."""
-        if ids.size == 0:
-            return ids
+        return ids[self._budget_positions(ids, counts)]
+
+    def _budget_positions(
+        self, ids: IntArray, counts: IntArray, floor: int = 0
+    ) -> IntArray:
+        """Positions (sorted by id) of the candidates surviving the budget.
+
+        ``floor`` raises the effective budget so a deliberately degraded
+        ``active_budget`` never drops below the dense-fallback threshold —
+        falling back to the full dense layer would make a *cheaper* quality
+        level strictly more expensive, inverting the degradation ladder.
+        """
         budget = self.active_budget
+        if budget is not None:
+            budget = max(budget, floor)
         if budget is None or ids.size <= budget:
-            return ids
+            return np.arange(ids.size)
         # Keep the most-collided candidates; break count ties by id so the
         # selection is deterministic for a given table state.
         order = np.lexsort((ids, -counts))[:budget]
-        return np.sort(ids[order])
+        return np.sort(order)
 
     # ------------------------------------------------------------------
     # Prediction
@@ -347,12 +388,32 @@ class SparseInferenceEngine(InferenceEngine):
         min_candidates = max(k, self.min_candidate_factor * k)
         predictions: list[Prediction] = []
         dense_rows: list[int] = []
+        rerank = self.rerank
         for row in range(features.shape[0]):
             hidden = features[row]
-            candidates = self._select_from_counts(*flat.frequencies(row))
+            ids, counts = flat.frequencies(row)
+            positions = self._budget_positions(ids, counts, floor=min_candidates)
+            candidates = ids[positions]
             if candidates.size < min_candidates:
                 dense_rows.append(row)
                 predictions.append(None)  # type: ignore[arg-type]
+                continue
+            if not rerank:
+                # Degraded path: rank by raw collision counts, no weight
+                # access at all.  Scores are normalised count fractions —
+                # sorted descending like every other mode, comparable only
+                # within the request.
+                cand_counts = counts[positions]
+                keep = np.lexsort((candidates, -cand_counts))[:k]
+                fractions = cand_counts[keep] / max(int(cand_counts.sum()), 1)
+                predictions.append(
+                    Prediction(
+                        class_ids=candidates[keep],
+                        scores=fractions.astype(np.float64),
+                        mode="sparse_norerank",
+                        candidates_scored=0,
+                    )
+                )
                 continue
             # Exact rerank on the candidate set: logits are exact, the
             # softmax is normalised over the candidates only (ranking is

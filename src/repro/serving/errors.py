@@ -12,7 +12,14 @@ the HTTP front-end maps it to).
 
 from __future__ import annotations
 
-__all__ = ["ServingError", "RejectedError", "DeadlineExceededError"]
+__all__ = [
+    "ServingError",
+    "RejectedError",
+    "DeadlineExceededError",
+    "PayloadTooLargeError",
+    "ReplicaUnavailableError",
+    "RetriesExhaustedError",
+]
 
 
 class ServingError(RuntimeError):
@@ -61,3 +68,58 @@ class DeadlineExceededError(ServingError):
             f"deadline exceeded: waited {waited_s * 1e3:.1f}ms "
             f"of a {deadline_s * 1e3:.1f}ms budget before reaching a worker"
         )
+
+
+class PayloadTooLargeError(ServingError):
+    """HTTP request body larger than the configured ``max_body_bytes``.
+
+    Raised by the front-end *before* reading any body byte — the declared
+    ``Content-Length`` alone is grounds for refusal, so an abusive client
+    cannot tie a connection thread to an arbitrarily long read.
+    """
+
+    cause = "body_too_large"
+    http_status = 413
+
+    def __init__(self, declared_bytes: int, limit_bytes: int) -> None:
+        self.declared_bytes = int(declared_bytes)
+        self.limit_bytes = int(limit_bytes)
+        super().__init__(
+            f"request body of {declared_bytes} bytes exceeds the "
+            f"{limit_bytes}-byte limit"
+        )
+
+
+class ReplicaUnavailableError(ServingError):
+    """The router found no replica able to take the request.
+
+    Every replica is either failing health checks or sitting behind an
+    open circuit breaker; the client should treat this like a 503 and
+    retry against the service later.
+    """
+
+    cause = "no_replica"
+    http_status = 503
+
+    def __init__(self, detail: str = "") -> None:
+        message = "no healthy replica available"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
+class RetriesExhaustedError(ServingError):
+    """A routed request failed on every attempt within its budget.
+
+    Carries how many attempts were made and the final per-attempt error so
+    clients (and the failover bench) can attribute the loss.
+    """
+
+    cause = "retries_exhausted"
+    http_status = 502
+
+    def __init__(self, attempts: int, last_error: BaseException | None) -> None:
+        self.attempts = int(attempts)
+        self.last_error = last_error
+        detail = f": last error: {last_error}" if last_error is not None else ""
+        super().__init__(f"request failed after {attempts} attempt(s){detail}")

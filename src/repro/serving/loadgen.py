@@ -11,8 +11,13 @@ every serious serving benchmark.
 Shed requests are *expected* output under overload, not failures: the
 report separates completed requests (with client-observed latency
 percentiles from a raw-sample reservoir), sheds by cause (``queue_full``
-at admission, ``deadline`` in queue), and genuine errors.  Per-generation
-completion counts show hot reloads landing mid-run.
+at admission, ``deadline`` in queue), and genuine errors.  Every failure
+is additionally bucketed into a four-way taxonomy — ``rejected`` (load
+shed), ``deadline`` (expired in queue), ``transport`` (the serving side
+went away: cancelled futures, exhausted retries, no replica), ``other`` —
+and every success is attributed to the replica and weight generation that
+served it plus the degradation level it was served under, which is what
+lets the failover bench say *which* replica's death cost *which* requests.
 """
 
 from __future__ import annotations
@@ -24,13 +29,40 @@ from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 from repro.perf.latency import LatencyHistogram
-from repro.serving.errors import RejectedError, ServingError
+from repro.serving.errors import (
+    DeadlineExceededError,
+    RejectedError,
+    ReplicaUnavailableError,
+    RetriesExhaustedError,
+    ServingError,
+)
 from repro.serving.pool import ServingRuntime
 from repro.types import SparseExample
 
-__all__ = ["LoadReport", "run_open_loop"]
+__all__ = ["LoadReport", "run_open_loop", "classify_failure"]
 
 _REPORT_RESERVOIR = 8192
+
+
+def classify_failure(exc: BaseException) -> str:
+    """Four-way failure taxonomy: rejected / deadline / transport / other."""
+    if isinstance(exc, RejectedError):
+        return "rejected"
+    if isinstance(exc, DeadlineExceededError):
+        return "deadline"
+    if isinstance(
+        exc,
+        (
+            ReplicaUnavailableError,
+            RetriesExhaustedError,
+            CancelledError,
+            TimeoutError,
+            ConnectionError,
+            RuntimeError,
+        ),
+    ):
+        return "transport"
+    return "other"
 
 
 @dataclass
@@ -43,7 +75,10 @@ class LoadReport:
     completed: int = 0
     errors: int = 0
     sheds: dict[str, int] = field(default_factory=dict)
+    failure_causes: dict[str, int] = field(default_factory=dict)
     generations: dict[int, int] = field(default_factory=dict)
+    replicas: dict[str, int] = field(default_factory=dict)
+    degradations: dict[int, int] = field(default_factory=dict)
     latency: dict[str, float] = field(default_factory=dict)
     max_schedule_lag_s: float = 0.0
 
@@ -75,7 +110,12 @@ class LoadReport:
             "errors": self.errors,
             "sheds": dict(self.sheds),
             "shed_rate": self.shed_rate,
+            "failure_causes": dict(self.failure_causes),
             "generations": {str(gen): n for gen, n in sorted(self.generations.items())},
+            "replicas": {name: n for name, n in sorted(self.replicas.items())},
+            "degradations": {
+                str(level): n for level, n in sorted(self.degradations.items())
+            },
             "latency_ms": {
                 "p50": self.latency.get("p50_s", 0.0) * 1e3,
                 "p99": self.latency.get("p99_s", 0.0) * 1e3,
@@ -119,15 +159,23 @@ def run_open_loop(
         observed = time.monotonic() - submitted_at
         try:
             prediction = future.result()
-        except ServingError as exc:
-            # Deadline expiry surfaces through the future (the request was
-            # admitted, then dropped in queue).
+        except (RejectedError, DeadlineExceededError) as exc:
+            # Overload outcomes (shed at admission or in a router retry
+            # chain, dropped in queue) are sheds, not failures.
             with lock:
                 report.sheds[exc.cause] = report.sheds.get(exc.cause, 0) + 1
+                cause = classify_failure(exc)
+                report.failure_causes[cause] = (
+                    report.failure_causes.get(cause, 0) + 1
+                )
             return
-        except (CancelledError, Exception):  # noqa: BLE001 - bench counts, not raises
+        except (CancelledError, Exception) as exc:  # noqa: BLE001 - bench counts, not raises
             with lock:
                 report.errors += 1
+                cause = classify_failure(exc)
+                report.failure_causes[cause] = (
+                    report.failure_causes.get(cause, 0) + 1
+                )
             return
         histogram.record(observed)
         with lock:
@@ -136,6 +184,12 @@ def run_open_loop(
             report.generations[generation] = (
                 report.generations.get(generation, 0) + 1
             )
+            # Routed answers carry the serving replica and the degradation
+            # ladder level; direct runtime answers attribute to "local".
+            replica = prediction.replica or "local"
+            report.replicas[replica] = report.replicas.get(replica, 0) + 1
+            level = prediction.degradation
+            report.degradations[level] = report.degradations.get(level, 0) + 1
 
     total = max(int(duration_s * qps), 1)
     start = time.monotonic()
@@ -155,6 +209,20 @@ def run_open_loop(
         except RejectedError as exc:
             with lock:
                 report.sheds[exc.cause] = report.sheds.get(exc.cause, 0) + 1
+                report.failure_causes["rejected"] = (
+                    report.failure_causes.get("rejected", 0) + 1
+                )
+            continue
+        except ServingError as exc:
+            # Typed serving failures at admission (e.g. the router finding
+            # no replica) count against the taxonomy but keep the loop
+            # going — the scenario may recover mid-run.
+            with lock:
+                report.errors += 1
+                cause = classify_failure(exc)
+                report.failure_causes[cause] = (
+                    report.failure_causes.get(cause, 0) + 1
+                )
             continue
         except RuntimeError:
             # Runtime shut down mid-run (e.g. a bench tearing down early).

@@ -33,7 +33,7 @@ from typing import Any
 
 from repro.perf.latency import LatencyHistogram, ThroughputMeter
 
-__all__ = ["ServingMetrics"]
+__all__ = ["ServingMetrics", "RouterMetrics"]
 
 # Raw samples retained per histogram.  4096 keeps p999 exact for the bench's
 # per-step request counts while bounding memory to a few tens of KiB.
@@ -41,6 +41,7 @@ _GLOBAL_RESERVOIR = 4096
 _WORKER_RESERVOIR = 1024
 _WINDOW_RESERVOIR = 512
 _MAX_RELOAD_RECORDS = 64
+_MAX_TRANSITIONS = 512
 
 
 class ServingMetrics:
@@ -243,5 +244,131 @@ class ServingMetrics:
             "reload_failures": float(reload_failures),
             "reload_failures_by_cause": {
                 name: float(count) for name, count in failures_by_cause.items()
+            },
+        }
+
+class RouterMetrics:
+    """Aggregated counters for one :class:`~repro.serving.router.ReplicaRouter`.
+
+    Router-level latency is *end-to-end across retries* — what a client of
+    the router observes, including backoff sleeps and failed attempts —
+    which is deliberately a different number from any single replica's
+    queue-to-completion histogram.
+
+    Besides counters, the router records every state **transition** it
+    observes (replica liveness/readiness flips, circuit-breaker moves,
+    degradation level changes) with a monotonic timestamp.  The failover
+    bench reads these to measure detection latency: the gap between a
+    replica being killed and its first ``live: True → False`` record.
+    """
+
+    def __init__(self) -> None:
+        self.request_latency = LatencyHistogram(reservoir_size=_GLOBAL_RESERVOIR)
+        self._lock = threading.Lock()
+        self._attempts: dict[str, int] = {}
+        self._attempt_failures: dict[str, dict[str, int]] = {}
+        self._retries = 0
+        self._failovers = 0
+        self._outcomes: dict[str, int] = {}
+        self._transitions: deque[dict[str, Any]] = deque(maxlen=_MAX_TRANSITIONS)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_attempt(self, replica: str) -> None:
+        with self._lock:
+            self._attempts[replica] = self._attempts.get(replica, 0) + 1
+
+    def record_attempt_failure(self, replica: str, cause: str) -> None:
+        with self._lock:
+            per_replica = self._attempt_failures.setdefault(replica, {})
+            per_replica[cause] = per_replica.get(cause, 0) + 1
+
+    def record_retry(self, failover: bool) -> None:
+        """One extra attempt after a failure; ``failover`` = new replica."""
+        with self._lock:
+            self._retries += 1
+            if failover:
+                self._failovers += 1
+
+    def record_outcome(self, outcome: str, latency_s: float | None = None) -> None:
+        """Terminal result of one routed request (``ok``, an error cause...)."""
+        with self._lock:
+            self._outcomes[outcome] = self._outcomes.get(outcome, 0) + 1
+        if latency_s is not None:
+            self.request_latency.record(latency_s)
+
+    def record_transition(
+        self, kind: str, replica: str, old: Any, new: Any, at: float
+    ) -> None:
+        """Log one observed state flip (``live``/``ready``/``breaker``/
+        ``degradation``) at monotonic time ``at``."""
+        with self._lock:
+            self._transitions.append(
+                {
+                    "kind": kind,
+                    "replica": replica,
+                    "old": old,
+                    "new": new,
+                    "at": float(at),
+                }
+            )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def transitions(
+        self, kind: str | None = None, replica: str | None = None
+    ) -> list[dict[str, Any]]:
+        """Recorded transitions, oldest first, optionally filtered."""
+        with self._lock:
+            records = list(self._transitions)
+        if kind is not None:
+            records = [r for r in records if r["kind"] == kind]
+        if replica is not None:
+            records = [r for r in records if r["replica"] == replica]
+        return records
+
+    @property
+    def outcomes(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._outcomes)
+
+    @property
+    def retries(self) -> int:
+        with self._lock:
+            return self._retries
+
+    @property
+    def failovers(self) -> int:
+        with self._lock:
+            return self._failovers
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-serialisable view for the router stats endpoint."""
+        latency = self.request_latency.summary()
+        with self._lock:
+            attempts = dict(self._attempts)
+            failures = {
+                replica: dict(causes)
+                for replica, causes in self._attempt_failures.items()
+            }
+            outcomes = dict(self._outcomes)
+            retries = self._retries
+            failovers = self._failovers
+        return {
+            "requests": float(sum(outcomes.values())),
+            "outcomes": {name: float(count) for name, count in outcomes.items()},
+            "retries": float(retries),
+            "failovers": float(failovers),
+            "attempts": {name: float(count) for name, count in attempts.items()},
+            "attempt_failures": {
+                replica: {name: float(count) for name, count in causes.items()}
+                for replica, causes in failures.items()
+            },
+            "latency_ms": {
+                "p50": latency["p50_s"] * 1e3,
+                "p99": latency["p99_s"] * 1e3,
+                "mean": latency["mean_s"] * 1e3,
             },
         }

@@ -312,6 +312,32 @@ class ServingRuntime:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    @property
+    def input_dim(self) -> int:
+        return self.engine.network.input_dim
+
+    def alive_workers(self) -> int:
+        """Worker threads currently alive (0 before start / after stop)."""
+        if not self._started:
+            return 0
+        return self.pool.alive_workers()
+
+    def readiness(self) -> tuple[bool, str]:
+        """Can this runtime answer a predict right now?
+
+        Liveness (the process responding) and readiness (able to serve)
+        are different questions: a started runtime whose workers all died
+        — or were resized away — is alive but must not receive traffic.
+        Returns ``(ready, detail)`` so front-ends can surface the cause.
+        """
+        if self._stopped:
+            return False, "stopped"
+        if not self._started:
+            return False, "not started"
+        if self.pool.alive_workers() == 0:
+            return False, "no alive workers"
+        return True, "ok"
+
     def stats(self) -> dict[str, object]:
         snapshot = self.metrics.snapshot()
         snapshot["engine"] = self.engine.name

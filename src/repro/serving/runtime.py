@@ -34,6 +34,7 @@ import time
 from pathlib import Path
 
 from repro.config import ServingConfig
+from repro.faults import InjectedFault
 from repro.serving.checkpoint import (
     CheckpointError,
     CheckpointStore,
@@ -114,8 +115,13 @@ class ElasticEnginePool(EnginePool):
                 self._spawn_locked()
 
     def resize(self, target: int) -> int:
-        """Grow or shrink to ``target`` workers; returns the new count."""
-        target = max(1, int(target))
+        """Grow or shrink to ``target`` workers; returns the new count.
+
+        ``target=0`` is allowed — a deliberately drained pool is how tests
+        (and operators) force the not-ready state without killing the
+        process; requests queue until a later ``resize`` restores workers.
+        """
+        target = max(0, int(target))
         with self._resize_lock:
             if not self._elastic_started or self._stopping:
                 return len(self._threads)
@@ -377,6 +383,8 @@ class CheckpointWatcher:
         # CheckpointError subclasses OSError-adjacent causes are checked
         # most-specific first; the cause keys feed the per-cause reload
         # failure counters in ServingMetrics.
+        if isinstance(exc, InjectedFault):
+            return "injected"
         if isinstance(exc, CheckpointError):
             return "corrupt"
         if isinstance(exc, ValueError):
@@ -421,10 +429,13 @@ class CheckpointWatcher:
         if retry_at is not None and time.monotonic() < retry_at:
             return None
         try:
+            injector = getattr(self.engine, "fault_injector", None)
+            if injector is not None:
+                injector.on_checkpoint_load(latest.name)
             with self.store.pin(latest):
                 loaded = load_checkpoint(latest, load_optimizer=False)
                 report = self.engine.hot_swap(loaded.network, version=latest.name)
-        except (CheckpointError, ValueError, OSError) as exc:
+        except (InjectedFault, CheckpointError, ValueError, OSError) as exc:
             self._record_failure(latest.name, exc)
             return None
         self._load_attempts.pop(latest.name, None)
@@ -529,8 +540,61 @@ class OnlineRuntime(ServingRuntime):
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    @staticmethod
+    def _version_number(name: str | None) -> int | None:
+        if name is None:
+            return None
+        match = CheckpointStore._VERSION_RE.match(name)
+        return int(match.group(1)) if match else None
+
+    def checkpoint_lag(self) -> int:
+        """How many versions the resident weights trail the store's latest.
+
+        0 means current (or the store is empty / unparsable — absence of a
+        newer checkpoint is not staleness).  A positive lag means the
+        watcher has seen-but-not-loaded newer publishes: quarantined bad
+        versions or loads still backing off.
+        """
+        try:
+            latest = self.store.latest().name
+        except CheckpointError:
+            return 0
+        current = self._version_number(self.watcher.current_version)
+        newest = self._version_number(latest)
+        if current is None or newest is None:
+            return 0
+        return max(0, newest - current)
+
+    def readiness(self, max_staleness: int | None = None) -> tuple[bool, str]:
+        """Readiness with checkpoint-freshness on top of the worker check.
+
+        ``max_staleness`` bounds :meth:`checkpoint_lag`; beyond it the
+        replica keeps serving (stale answers beat no answers) but reports
+        not-ready so a router can drain it while the watcher recovers.
+        """
+        ready, detail = super().readiness()
+        if not ready:
+            return ready, detail
+        quarantined = self.watcher.quarantined_versions
+        if quarantined:
+            versions = [path.name for path in self.store.versions()]
+            if versions and all(name in quarantined for name in versions):
+                # Every checkpoint the store still holds failed to load:
+                # the resident weights are an orphan a restart could not
+                # reproduce, so report unready and let the router drain us.
+                return False, "all store checkpoints quarantined"
+        if max_staleness is not None:
+            lag = self.checkpoint_lag()
+            if lag > max_staleness:
+                return False, (
+                    f"checkpoint {lag} versions stale "
+                    f"(bound {max_staleness})"
+                )
+        return True, "ok"
+
     def stats(self) -> dict[str, object]:
         snapshot = super().stats()
         snapshot["checkpoint_version"] = self.watcher.current_version
+        snapshot["checkpoint_lag"] = float(self.checkpoint_lag())
         snapshot["autoscale"] = self.autoscaler is not None
         return snapshot

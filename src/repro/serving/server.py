@@ -9,9 +9,20 @@ future.  Endpoints:
 ``POST /v1/predict``
     Body ``{"indices": [...], "values": [...], "k": 5}`` → top-k ids/scores.
 ``GET /healthz``
-    Liveness: 200 with worker counts while the pool is up.
+    Liveness only: 200 whenever the HTTP loop answers.  A live process
+    with a broken runtime should be *drained*, not restarted — that
+    distinction is the readiness endpoint's job.
+``GET /healthz/ready``
+    Readiness: 200 when the runtime can actually serve, 503 (with a
+    ``detail``) when it cannot — no alive pool workers, runtime stopped,
+    or (online runtime) every checkpoint in the store quarantined.  This
+    is what the replica router and external load balancers gate on.
 ``GET /v1/stats``
     The runtime's metrics snapshot (latency quantiles, throughput, modes).
+
+Request bodies are bounded by ``ServingConfig.max_body_bytes``: a declared
+``Content-Length`` over the limit is refused with HTTP 413 before reading a
+single body byte, and a missing/non-integer/negative length is a 400.
 """
 
 from __future__ import annotations
@@ -22,7 +33,11 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
 
-from repro.serving.errors import RejectedError, ServingError
+from repro.serving.errors import (
+    PayloadTooLargeError,
+    RejectedError,
+    ServingError,
+)
 from repro.serving.pool import ServingRuntime
 from repro.types import SparseExample, SparseVector
 
@@ -51,9 +66,20 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def _read_json(self) -> dict:
-        length = int(self.headers.get("Content-Length", "0"))
-        if length <= 0:
+        declared = self.headers.get("Content-Length", "0")
+        try:
+            length = int(declared)
+        except (TypeError, ValueError):
+            raise ValueError(f"invalid Content-Length: {declared!r}") from None
+        if length < 0:
+            # A negative length would make rfile.read() block until the
+            # client hangs up — refuse it before touching the body.
+            raise ValueError(f"invalid Content-Length: {declared!r}")
+        if length == 0:
             raise ValueError("empty request body")
+        limit = self.runtime.config.max_body_bytes
+        if length > limit:
+            raise PayloadTooLargeError(declared_bytes=length, limit_bytes=limit)
         payload = json.loads(self.rfile.read(length))
         if not isinstance(payload, dict):
             raise ValueError("request body must be a JSON object")
@@ -64,9 +90,20 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         if self.path == "/healthz":
-            alive = self.runtime.pool.alive_workers()
-            status = 200 if alive > 0 else 503
-            self._send_json(status, {"status": "ok" if alive else "down", "workers": alive})
+            # Pure liveness: answering at all is the proof.
+            self._send_json(
+                200, {"status": "ok", "workers": self.runtime.alive_workers()}
+            )
+        elif self.path == "/healthz/ready":
+            ready, detail = self.runtime.readiness()
+            self._send_json(
+                200 if ready else 503,
+                {
+                    "status": "ready" if ready else "unready",
+                    "detail": detail,
+                    "workers": self.runtime.alive_workers(),
+                },
+            )
         elif self.path == "/v1/stats":
             self._send_json(200, self.runtime.stats())
         else:
@@ -154,7 +191,10 @@ class ModelServer:
             (_Handler,),
             {
                 "runtime": runtime,
-                "input_dim": runtime.engine.network.input_dim,
+                # ServingRuntime and ReplicaRouter both expose input_dim —
+                # the handler must not reach for runtime.engine, which a
+                # multi-replica router does not have.
+                "input_dim": runtime.input_dim,
                 "quiet": quiet,
             },
         )

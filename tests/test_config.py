@@ -134,3 +134,79 @@ class TestTrainingConfig:
     def test_invalid_parameters_raise(self, kwargs):
         with pytest.raises(ValueError):
             TrainingConfig(**kwargs)
+
+
+class TestRouterConfig:
+    def test_defaults(self):
+        from repro.config import RouterConfig
+
+        config = RouterConfig()
+        assert config.num_replicas == 2
+        assert config.retry_max_attempts == 3
+        assert config.degradation_budget_steps == (0.5, 0.25)
+        # Ladder: level 0 full, one level per budget step, then
+        # rerank-off, then router-side shed.
+        assert config.max_degradation_level == 4
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_replicas": 0},
+            {"health_interval_s": 0.0},
+            {"probe_timeout_s": -1.0},
+            {"readiness_max_staleness": -1},
+            {"retry_max_attempts": 0},
+            {"retry_backoff_base_s": -0.01},
+            {"retry_backoff_base_s": 0.5, "retry_backoff_max_s": 0.1},
+            {"request_deadline_s": 0.0},
+            {"attempt_timeout_s": 0.0},
+            {"breaker_failure_threshold": 0},
+            {"breaker_p99_ms": 0.0},
+            {"breaker_window": 0},
+            {"breaker_recovery_s": -1.0},
+            {"breaker_half_open_probes": 0},
+            {"degradation_budget_steps": (0.5, 1.5)},
+            {"degradation_budget_steps": (0.25, 0.5)},
+            {"degradation_interval_s": 0.0},
+            {"degradation_queue_high": 0.0},
+            {"degradation_up_patience": 0},
+            {"degradation_down_patience": 0},
+            {"degradation_shed_depth": 0},
+        ],
+    )
+    def test_invalid_parameters_raise(self, kwargs):
+        from repro.config import RouterConfig
+
+        with pytest.raises(ValueError):
+            RouterConfig(**kwargs)
+
+    def test_budget_steps_coerced_to_tuple(self):
+        from repro.config import RouterConfig
+
+        config = RouterConfig(degradation_budget_steps=[0.6, 0.3])
+        assert config.degradation_budget_steps == (0.6, 0.3)
+
+    def test_dict_round_trip(self):
+        import json as _json
+
+        from repro.config import (
+            RouterConfig,
+            router_config_from_dict,
+            router_config_to_dict,
+        )
+
+        config = RouterConfig(
+            num_replicas=3,
+            breaker_p99_ms=50.0,
+            degradation_budget_steps=(0.75, 0.5, 0.125),
+        )
+        data = _json.loads(_json.dumps(router_config_to_dict(config)))
+        assert router_config_from_dict(data) == config
+
+    def test_from_dict_rejects_unknown_and_bad_fields(self):
+        from repro.config import router_config_from_dict
+
+        with pytest.raises(ValueError, match="unknown router config field"):
+            router_config_from_dict({"replicas": 3})
+        with pytest.raises(ValueError, match="num_replicas"):
+            router_config_from_dict({"num_replicas": "many"})

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -147,3 +148,177 @@ def test_unknown_path_404(http_server):
     with pytest.raises(urllib.error.HTTPError) as excinfo:
         _get(base + "/nope")
     assert excinfo.value.code == 404
+
+
+# ----------------------------------------------------------------------
+# Error paths: body limits, bad framing, concurrency with hot swaps
+# ----------------------------------------------------------------------
+def _raw_post(base: str, content_length: str, body: bytes = b""):
+    """POST with full control over the Content-Length header."""
+    import http.client
+
+    host, port = base.removeprefix("http://").split(":")
+    conn = http.client.HTTPConnection(host, int(port), timeout=10)
+    try:
+        conn.putrequest("POST", "/v1/predict")
+        conn.putheader("Content-Type", "application/json")
+        conn.putheader("Content-Length", content_length)
+        conn.endheaders()
+        if body:
+            conn.send(body)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def test_predict_rejects_invalid_json_body(http_server):
+    base, _ = http_server
+    body = b"{definitely not json"
+    status, payload = _raw_post(base, str(len(body)), body)
+    assert status == 400
+    assert "error" in payload
+
+
+def test_predict_rejects_non_integer_content_length(http_server):
+    base, _ = http_server
+    status, payload = _raw_post(base, "banana")
+    assert status == 400
+    assert "Content-Length" in payload["error"]
+
+
+def test_predict_rejects_negative_content_length(http_server):
+    base, _ = http_server
+    status, payload = _raw_post(base, "-5")
+    assert status == 400
+    assert "Content-Length" in payload["error"]
+
+
+def test_predict_rejects_oversized_body_without_reading_it(http_server):
+    base, _ = http_server
+    # Declare 100 MiB; the server must answer 413 from the header alone —
+    # no body is ever sent, so a hang here would mean it tried to read.
+    status, payload = _raw_post(base, str(100 * 1024 * 1024))
+    assert status == 413
+    assert payload["cause"] == "body_too_large"
+
+
+def test_max_body_bytes_is_configurable(tiny_dataset):
+    from repro.serving import ServingRuntime as _Runtime
+
+    network = _tiny_server_network(tiny_dataset)
+    config = ServingConfig(num_workers=1, max_body_bytes=64)
+    runtime = _Runtime.from_network(network, config).start()
+    server = build_server(runtime, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        host, port = server.address
+        base = f"http://{host}:{port}"
+        status, payload = _raw_post(base, "65")
+        assert status == 413
+        body = b'{"indices": [1], "values": [1.0]}'
+        assert len(body) <= 64
+        status, _ = _raw_post(base, str(len(body)), body)
+        assert status == 200
+    finally:
+        server.shutdown()
+        thread.join(timeout=5.0)
+
+
+def _tiny_server_network(tiny_dataset, seed: int = 3) -> SlideNetwork:
+    from repro.config import LayerConfig, LSHConfig, SlideNetworkConfig
+
+    lsh = LSHConfig(hash_family="simhash", k=3, l=8, bucket_size=64)
+    layers = (
+        LayerConfig(size=16, activation="relu", lsh=None),
+        LayerConfig(size=tiny_dataset.config.label_dim, activation="softmax", lsh=lsh),
+    )
+    return SlideNetwork(
+        SlideNetworkConfig(
+            input_dim=tiny_dataset.config.feature_dim, layers=layers, seed=seed
+        )
+    )
+
+
+def test_predict_succeeds_during_hot_swap(tiny_dataset):
+    from repro.serving import ServingRuntime as _Runtime
+
+    network = _tiny_server_network(tiny_dataset)
+    runtime = _Runtime.from_network(network, ServingConfig(num_workers=2)).start()
+    server = build_server(runtime, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        host, port = server.address
+        base = f"http://{host}:{port}"
+        example = tiny_dataset.test[0]
+        payload = {
+            "indices": [int(i) for i in example.features.indices],
+            "values": [float(v) for v in example.features.values],
+        }
+        stop = threading.Event()
+
+        def swap_loop():
+            seed = 100
+            while not stop.is_set():
+                runtime.engine.hot_swap(
+                    _tiny_server_network(tiny_dataset, seed=seed)
+                )
+                seed += 1
+
+        swapper = threading.Thread(target=swap_loop, daemon=True)
+        swapper.start()
+        try:
+            for _ in range(20):
+                status, answer = _post(base + "/v1/predict", payload)
+                assert status == 200
+                assert answer["generation"] >= 0
+        finally:
+            stop.set()
+            swapper.join(timeout=5.0)
+    finally:
+        server.shutdown()
+        thread.join(timeout=5.0)
+
+
+def test_readiness_endpoint_tracks_worker_pool(tiny_dataset, tmp_path):
+    from repro.serving import CheckpointStore, OnlineRuntime
+
+    store = CheckpointStore(tmp_path / "store")
+    store.save(_tiny_server_network(tiny_dataset))
+    runtime = OnlineRuntime(store, ServingConfig(num_workers=2)).start()
+    server = build_server(runtime, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        host, port = server.address
+        base = f"http://{host}:{port}"
+        status, payload = _get(base + "/healthz/ready")
+        assert status == 200
+        assert payload["status"] == "ready"
+
+        runtime.pool.resize(0)
+        deadline = _wait_deadline()
+        while runtime.alive_workers() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        # Liveness stays green — the process answers — while readiness
+        # flips to 503 so a router or LB can drain this replica.
+        status, payload = _get(base + "/healthz")
+        assert status == 200
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(base + "/healthz/ready")
+        assert excinfo.value.code == 503
+        detail = json.loads(excinfo.value.read())
+        assert detail["detail"] == "no alive workers"
+
+        runtime.pool.resize(2)
+        status, payload = _get(base + "/healthz/ready")
+        assert status == 200
+    finally:
+        server.shutdown()
+        thread.join(timeout=5.0)
+
+
+def _wait_deadline(seconds: float = 5.0) -> float:
+    return time.monotonic() + seconds
