@@ -39,15 +39,27 @@ __all__ = [
     "FaultToleranceConfig",
     "fault_tolerance_config_to_dict",
     "fault_tolerance_config_from_dict",
+    "lsh_config_to_dict",
+    "lsh_config_from_dict",
+    "rebuild_schedule_config_to_dict",
+    "rebuild_schedule_config_from_dict",
+    "sampling_config_to_dict",
+    "sampling_config_from_dict",
+    "layer_config_to_dict",
+    "layer_config_from_dict",
     "network_config_to_dict",
     "network_config_from_dict",
     "optimizer_config_to_dict",
     "optimizer_config_from_dict",
+    "training_config_to_dict",
+    "training_config_from_dict",
     "serving_config_to_dict",
     "serving_config_from_dict",
     "load_serving_config",
     "router_config_to_dict",
     "router_config_from_dict",
+    "CONFIG_CODECS",
+    "config_examples",
 ]
 
 HashFamilyName = Literal["simhash", "wta", "dwta", "doph", "minhash"]
@@ -619,6 +631,82 @@ class RouterConfig:
 # ----------------------------------------------------------------------
 # JSON-friendly (de)serialisation used by the checkpoint format
 # ----------------------------------------------------------------------
+def _reject_unknown(cls: type, data: Mapping[str, Any], label: str) -> None:
+    """Raise ``ValueError`` naming any key of ``data`` that is not a field.
+
+    Every ``*_from_dict`` below is strict through this helper: a typo in a
+    config file (or a field removed from the schema) must surface with the
+    offending name, never be silently dropped.
+    """
+    valid = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - valid)
+    if unknown:
+        names = ", ".join(repr(name) for name in unknown)
+        raise ValueError(
+            f"unknown {label} field{'s' if len(unknown) > 1 else ''} {names}; "
+            f"valid fields: {', '.join(sorted(valid))}"
+        )
+
+
+def lsh_config_to_dict(config: LSHConfig) -> dict[str, Any]:
+    """A plain-dict (JSON-serialisable) view of an LSH config."""
+    return asdict(config)
+
+
+def lsh_config_from_dict(data: Mapping[str, Any]) -> LSHConfig:
+    """Rebuild an :class:`LSHConfig` from its dict form (strict)."""
+    _reject_unknown(LSHConfig, data, "lsh config")
+    return LSHConfig(**data)
+
+
+def rebuild_schedule_config_to_dict(config: RebuildScheduleConfig) -> dict[str, Any]:
+    """A plain-dict (JSON-serialisable) view of a rebuild schedule."""
+    return asdict(config)
+
+
+def rebuild_schedule_config_from_dict(data: Mapping[str, Any]) -> RebuildScheduleConfig:
+    """Rebuild a :class:`RebuildScheduleConfig` from its dict form (strict)."""
+    _reject_unknown(RebuildScheduleConfig, data, "rebuild schedule config")
+    return RebuildScheduleConfig(**data)
+
+
+def sampling_config_to_dict(config: SamplingConfig) -> dict[str, Any]:
+    """A plain-dict (JSON-serialisable) view of a sampling config."""
+    return asdict(config)
+
+
+def sampling_config_from_dict(data: Mapping[str, Any]) -> SamplingConfig:
+    """Rebuild a :class:`SamplingConfig` from its dict form (strict)."""
+    _reject_unknown(SamplingConfig, data, "sampling config")
+    return SamplingConfig(**data)
+
+
+def layer_config_to_dict(config: LayerConfig) -> dict[str, Any]:
+    """A plain-dict (JSON-serialisable) view of a layer config."""
+    return asdict(config)
+
+
+def layer_config_from_dict(data: Mapping[str, Any]) -> LayerConfig:
+    """Rebuild a :class:`LayerConfig` from its dict form (strict, recursive)."""
+    _reject_unknown(LayerConfig, data, "layer config")
+    lsh = data.get("lsh")
+    return LayerConfig(
+        size=int(data["size"]),
+        activation=data.get("activation", "relu"),
+        lsh=lsh_config_from_dict(lsh) if lsh is not None else None,
+        sampling=(
+            sampling_config_from_dict(data["sampling"])
+            if "sampling" in data
+            else SamplingConfig()
+        ),
+        rebuild=(
+            rebuild_schedule_config_from_dict(data["rebuild"])
+            if "rebuild" in data
+            else RebuildScheduleConfig()
+        ),
+    )
+
+
 def network_config_to_dict(config: SlideNetworkConfig) -> dict[str, Any]:
     """A plain-dict (JSON-serialisable) view of a network config."""
     data = asdict(config)
@@ -627,22 +715,11 @@ def network_config_to_dict(config: SlideNetworkConfig) -> dict[str, Any]:
 
 
 def network_config_from_dict(data: Mapping[str, Any]) -> SlideNetworkConfig:
-    """Rebuild a :class:`SlideNetworkConfig` from its dict form."""
-    layers = []
-    for layer in data["layers"]:
-        lsh = layer.get("lsh")
-        layers.append(
-            LayerConfig(
-                size=int(layer["size"]),
-                activation=layer["activation"],
-                lsh=LSHConfig(**lsh) if lsh is not None else None,
-                sampling=SamplingConfig(**layer["sampling"]),
-                rebuild=RebuildScheduleConfig(**layer["rebuild"]),
-            )
-        )
+    """Rebuild a :class:`SlideNetworkConfig` from its dict form (strict)."""
+    _reject_unknown(SlideNetworkConfig, data, "network config")
     return SlideNetworkConfig(
         input_dim=int(data["input_dim"]),
-        layers=tuple(layers),
+        layers=tuple(layer_config_from_dict(layer) for layer in data["layers"]),
         seed=int(data["seed"]),
     )
 
@@ -653,8 +730,23 @@ def optimizer_config_to_dict(config: OptimizerConfig) -> dict[str, Any]:
 
 
 def optimizer_config_from_dict(data: Mapping[str, Any]) -> OptimizerConfig:
-    """Rebuild an :class:`OptimizerConfig` from its dict form."""
+    """Rebuild an :class:`OptimizerConfig` from its dict form (strict)."""
+    _reject_unknown(OptimizerConfig, data, "optimizer config")
     return OptimizerConfig(**data)
+
+
+def training_config_to_dict(config: TrainingConfig) -> dict[str, Any]:
+    """A plain-dict (JSON-serialisable) view of a training config."""
+    return asdict(config)
+
+
+def training_config_from_dict(data: Mapping[str, Any]) -> TrainingConfig:
+    """Rebuild a :class:`TrainingConfig` from its dict form (strict)."""
+    _reject_unknown(TrainingConfig, data, "training config")
+    kwargs = dict(data)
+    if "optimizer" in kwargs:
+        kwargs["optimizer"] = optimizer_config_from_dict(kwargs["optimizer"])
+    return TrainingConfig(**kwargs)
 
 
 def fault_tolerance_config_to_dict(config: FaultToleranceConfig) -> dict[str, Any]:
@@ -862,3 +954,147 @@ _ROUTER_FIELD_CHECKS: dict[str, Any] = {
     "degradation_shed_depth": _check_int,
     "seed": _check_int,
 }
+
+
+# ----------------------------------------------------------------------
+# Codec registry — the machine-readable map from every *Config dataclass
+# to its (to_dict, from_dict) pair.  CFG001 (tools/lint) checks this
+# registry for completeness and round-trips the config_examples()
+# instances, so a knob added to a dataclass without a codec update fails
+# lint rather than silently vanishing from checkpoints.
+# ----------------------------------------------------------------------
+CONFIG_CODECS: dict[type, tuple[Any, Any]] = {
+    LSHConfig: (lsh_config_to_dict, lsh_config_from_dict),
+    RebuildScheduleConfig: (
+        rebuild_schedule_config_to_dict,
+        rebuild_schedule_config_from_dict,
+    ),
+    SamplingConfig: (sampling_config_to_dict, sampling_config_from_dict),
+    LayerConfig: (layer_config_to_dict, layer_config_from_dict),
+    SlideNetworkConfig: (network_config_to_dict, network_config_from_dict),
+    OptimizerConfig: (optimizer_config_to_dict, optimizer_config_from_dict),
+    TrainingConfig: (training_config_to_dict, training_config_from_dict),
+    ServingConfig: (serving_config_to_dict, serving_config_from_dict),
+    RouterConfig: (router_config_to_dict, router_config_from_dict),
+    FaultToleranceConfig: (
+        fault_tolerance_config_to_dict,
+        fault_tolerance_config_from_dict,
+    ),
+}
+
+
+def config_examples() -> dict[type, Any]:
+    """One representative instance per registered config class.
+
+    Used by CFG001 and the round-trip tests.  Values deliberately differ
+    from every field default — a codec that drops a field and lets the
+    default leak back in would still pass a default-valued round-trip.
+    """
+    lsh = LSHConfig(
+        hash_family="dwta",
+        k=4,
+        l=8,
+        bucket_size=64,
+        insertion_policy="reservoir",
+        simhash_sparsity=0.5,
+        wta_bin_size=4,
+        doph_top_k=16,
+    )
+    rebuild = RebuildScheduleConfig(initial_period=10, decay=0.05, max_period=500)
+    sampling = SamplingConfig(
+        strategy="topk",
+        target_active=32,
+        hard_threshold=3,
+        include_labels=False,
+        min_active=8,
+    )
+    layer = LayerConfig(
+        size=64, activation="softmax", lsh=lsh, sampling=sampling, rebuild=rebuild
+    )
+    optimizer = OptimizerConfig(
+        name="sgd",
+        learning_rate=5e-4,
+        beta1=0.8,
+        beta2=0.99,
+        epsilon=1e-7,
+        momentum=0.5,
+        update_clip=2.0,
+    )
+    return {
+        LSHConfig: lsh,
+        RebuildScheduleConfig: rebuild,
+        SamplingConfig: sampling,
+        LayerConfig: layer,
+        SlideNetworkConfig: SlideNetworkConfig(
+            input_dim=16,
+            layers=(LayerConfig(size=32, activation="relu"), layer),
+            seed=7,
+        ),
+        OptimizerConfig: optimizer,
+        TrainingConfig: TrainingConfig(
+            batch_size=64,
+            epochs=2,
+            optimizer=optimizer,
+            shuffle=False,
+            seed=3,
+            eval_every=10,
+            eval_samples=128,
+        ),
+        ServingConfig: ServingConfig(
+            engine="dense",
+            active_budget=128,
+            top_k=3,
+            max_batch_size=16,
+            max_wait_ms=1.0,
+            num_workers=3,
+            queue_capacity=256,
+            admission_policy="block",
+            deadline_ms=100.0,
+            reload_poll_s=0.5,
+            autoscale=True,
+            min_workers=1,
+            max_workers=4,
+            autoscale_interval_s=0.5,
+            target_p99_ms=25.0,
+            autoscale_queue_per_worker=2.0,
+            autoscale_up_patience=3,
+            autoscale_down_patience=5,
+            autoscale_cooldown_s=2.0,
+            host="0.0.0.0",
+            port=9090,
+            max_body_bytes=65536,
+        ),
+        RouterConfig: RouterConfig(
+            num_replicas=3,
+            health_interval_s=0.5,
+            probe_timeout_s=0.5,
+            readiness_max_staleness=1,
+            retry_max_attempts=2,
+            retry_backoff_base_s=0.02,
+            retry_backoff_max_s=0.5,
+            request_deadline_s=1.0,
+            attempt_timeout_s=0.5,
+            breaker_failure_threshold=3,
+            breaker_p99_ms=25.0,
+            breaker_window=32,
+            breaker_recovery_s=0.5,
+            breaker_half_open_probes=1,
+            degradation_budget_steps=(0.6, 0.3),
+            degradation_interval_s=0.25,
+            degradation_queue_high=4.0,
+            degradation_up_patience=1,
+            degradation_down_patience=2,
+            degradation_shed_depth=16,
+            seed=11,
+        ),
+        FaultToleranceConfig: FaultToleranceConfig(
+            heartbeat_timeout_s=15.0,
+            poll_interval_s=0.1,
+            max_restarts=1,
+            backoff_base_s=0.05,
+            backoff_max_s=2.0,
+            checkpoint_every_s=1.0,
+            checkpoint_every_batches=5,
+            checkpoint_keep_last=2,
+        ),
+    }

@@ -85,7 +85,8 @@ class BatchPrefetcher(Generic[T]):
             if close is not None:
                 try:
                     close()
-                except Exception:  # pragma: no cover - best-effort cleanup
+                # A close() failure must not mask an error already relayed.
+                except Exception:  # repro: allow[exc] best-effort cleanup
                     pass
 
     # ------------------------------------------------------------------
@@ -97,7 +98,17 @@ class BatchPrefetcher(Generic[T]):
     def __next__(self) -> T:
         if self._finished:
             raise StopIteration
-        kind, payload = self._queue.get()
+        # A stop-aware timed get, not a bare blocking one: if close() runs
+        # while we are parked on an empty queue, the producer exits without
+        # queueing a sentinel and close()'s drain may consume anything it
+        # did queue — an un-timed get() would then block forever.
+        while True:
+            try:
+                kind, payload = self._queue.get(timeout=0.05)
+                break
+            except queue.Empty:
+                if self._stop.is_set():
+                    raise StopIteration from None
         if kind == _ITEM:
             self.consumed += 1
             return payload  # type: ignore[return-value]

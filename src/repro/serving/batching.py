@@ -18,14 +18,14 @@ the bounded queue.
 from __future__ import annotations
 
 import queue
-import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.serving.errors import RejectedError
+from repro.serving.errors import NotServingError, RejectedError
 from repro.types import SparseExample
+from repro.utils import sanitize
 
 __all__ = ["InferenceRequest", "MicroBatchQueue"]
 
@@ -92,7 +92,7 @@ class MicroBatchQueue:
         # Makes submit's closed-check-and-put atomic with close(): once
         # close() returns, no in-flight submit can still slip a request past
         # the workers' final drain (which would leave its future unresolved).
-        self._submit_lock = threading.Lock()
+        self._submit_lock = sanitize.lock("serving.batching.submit")
 
     # ------------------------------------------------------------------
     # Producer side
@@ -120,13 +120,14 @@ class MicroBatchQueue:
             # producers blocked on capacity also notice close() this way.
             with self._submit_lock:
                 if self._closed:
-                    raise RuntimeError("queue is closed")
+                    raise NotServingError("queue is closed")
                 try:
                     self._queue.put_nowait(request)
                     return request.future
                 except queue.Full:
                     if self.policy == "shed":
                         raise self._rejection()
+            sanitize.note_blocking("MicroBatchQueue.submit capacity backoff")
             time.sleep(0.001)
 
     def _rejection(self) -> RejectedError:

@@ -175,7 +175,7 @@ def save_checkpoint(
     manifest = {
         "format_version": CHECKPOINT_FORMAT_VERSION,
         "repro_version": __version__,
-        "saved_unix_time": time.time(),
+        "saved_unix_time": time.time(),  # repro: allow[clock] metadata, not replayed
         "network_config": network_config_to_dict(network.config),
         "lsh_layers": lsh_layers,
         "optimizer": optimizer_entry,

@@ -34,7 +34,6 @@ settled) lets every prediction report which weight generation produced it.
 
 from __future__ import annotations
 
-import threading
 import time
 from dataclasses import dataclass, replace
 
@@ -43,6 +42,7 @@ import numpy as np
 from repro.core.activations import sparse_softmax
 from repro.core.network import SlideNetwork
 from repro.types import FloatArray, IntArray, SparseExample, dense_features
+from repro.utils import sanitize
 from repro.utils.rwlock import ReadWriteLock
 from repro.utils.topk import top_k_indices
 
@@ -116,7 +116,7 @@ class InferenceEngine:
         # hold the read lock, but external observers (stats endpoint) can
         # see an odd value and know a swap is mid-flight.
         self.generation = 0
-        self._swap_lock = ReadWriteLock()
+        self._swap_lock = ReadWriteLock(name="engine.swap")
         # Optional deterministic chaos hook (repro.faults.ServingFaultInjector):
         # consulted once per guarded batch and once per checkpoint load, so
         # serving-side faults fire at exact request coordinates.
@@ -324,7 +324,7 @@ class SparseInferenceEngine(InferenceEngine):
         self.rerank = bool(rerank)
         # Fallback / work counters (diagnostics surfaced by the stats API);
         # locked because pool workers call predict_batch concurrently.
-        self._counter_lock = threading.Lock()
+        self._counter_lock = sanitize.lock("engine.counters")
         self.num_requests = 0
         self.num_fallbacks = 0
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 __all__ = [
     "ServingError",
+    "NotServingError",
     "RejectedError",
     "DeadlineExceededError",
     "PayloadTooLargeError",
@@ -27,6 +28,24 @@ class ServingError(RuntimeError):
 
     cause = "error"
     http_status = 500
+
+
+class NotServingError(ServingError):
+    """Request arrived while the runtime cannot serve: stopped, stopping,
+    or never started.
+
+    Distinct from overload (``RejectedError``): there is no backlog to
+    drain — the serving loop simply is not running.  Mapped to HTTP 503 so
+    a request racing a shutdown reads as "service unavailable, try another
+    replica" rather than an opaque 500, and so the router's availability
+    accounting can tell shutdowns from engine crashes.
+    """
+
+    cause = "not_serving"
+    http_status = 503
+
+    def __init__(self, detail: str) -> None:
+        super().__init__(f"not serving: {detail}")
 
 
 class RejectedError(ServingError):

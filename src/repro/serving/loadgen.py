@@ -240,7 +240,7 @@ def run_open_loop(
             break
         try:
             future.result(timeout=remaining)
-        except Exception:  # noqa: BLE001 - already counted in on_done
+        except Exception:  # repro: allow[exc] outcome already counted in on_done
             pass
 
     report.latency = histogram.summary()

@@ -32,9 +32,14 @@ from repro.serving.engine import (
     Prediction,
     SparseInferenceEngine,
 )
-from repro.serving.errors import DeadlineExceededError, RejectedError
+from repro.serving.errors import (
+    DeadlineExceededError,
+    NotServingError,
+    RejectedError,
+)
 from repro.serving.metrics import ServingMetrics
 from repro.types import SparseExample
+from repro.utils import sanitize
 
 __all__ = ["EnginePool", "ServingRuntime", "build_engine"]
 
@@ -90,6 +95,7 @@ class EnginePool:
         if drain:
             deadline = time.monotonic() + timeout
             while self.queue.pending() and time.monotonic() < deadline:
+                sanitize.note_blocking("EnginePool.stop drain wait")
                 time.sleep(self.poll_timeout / 2)
         self._stopping = True
         try:
@@ -230,10 +236,14 @@ class ServingRuntime:
         if self._stopped:
             # The queue is closed and the worker threads have exited; both
             # are single-use, so a stopped runtime cannot come back.
+            # Lifecycle misuse by the embedding program, not a request-path
+            # failure — a typed 5xx here would be misleading.
+            # repro: allow[exc] lifecycle misuse, never reaches a client
             raise RuntimeError(
                 "runtime cannot be restarted after stop(); build a new one"
             )
         if self._started:
+            # repro: allow[exc] lifecycle misuse, never reaches a client
             raise RuntimeError("runtime already started")
         self._started = True
         self.pool.start()
@@ -265,7 +275,7 @@ class ServingRuntime:
         if not self._started:
             # Without workers the future would never resolve; fail fast
             # instead of letting predict() block until its timeout.
-            raise RuntimeError("runtime is not started")
+            raise NotServingError("runtime is not started")
         # Validate k fully at submission time: inside a worker, an invalid k
         # would only surface from the engine's batch call and fail every
         # request co-batched with the bad one.  ("k or default" is also the

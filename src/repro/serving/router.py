@@ -64,6 +64,7 @@ from repro.serving.checkpoint import CheckpointStore
 from repro.serving.engine import Prediction, SparseInferenceEngine
 from repro.serving.errors import (
     DeadlineExceededError,
+    NotServingError,
     RejectedError,
     ReplicaUnavailableError,
     RetriesExhaustedError,
@@ -71,6 +72,7 @@ from repro.serving.errors import (
 from repro.serving.metrics import RouterMetrics
 from repro.serving.runtime import OnlineRuntime
 from repro.types import SparseExample, SparseVector
+from repro.utils import sanitize
 
 __all__ = [
     "BREAKER_CLOSED",
@@ -120,7 +122,7 @@ class CircuitBreaker:
         self.config = config
         self._now = now
         self._on_transition = on_transition
-        self._lock = threading.Lock()
+        self._lock = sanitize.lock("router.breaker")
         self._state = BREAKER_CLOSED
         self._consecutive_failures = 0
         self._opened_at = 0.0
@@ -282,7 +284,7 @@ class DegradationController:
         self.config = config
         self.metrics = metrics
         self._now = now
-        self._lock = threading.Lock()
+        self._lock = sanitize.lock("router.degradation")
         self.level = 0
         self._up_votes = 0
         self._down_votes = 0
@@ -402,7 +404,7 @@ class ReplicaRouter:
         self.router_config = router_config or RouterConfig()
         self.metrics = RouterMetrics()
         self._rng = random.Random(self.router_config.seed)
-        self._rng_lock = threading.Lock()
+        self._rng_lock = sanitize.lock("router.rng")
         self.replicas: list[Replica] = []
         plan = fault_plan or ServingFaultPlan()
         for index in range(self.router_config.num_replicas):
@@ -505,10 +507,14 @@ class ReplicaRouter:
     # ------------------------------------------------------------------
     def start(self) -> "ReplicaRouter":
         if self._stopped:
+            # Lifecycle misuse by the embedding program, not a request-path
+            # failure — a typed 5xx here would be misleading.
+            # repro: allow[exc] lifecycle misuse, never reaches a client
             raise RuntimeError(
                 "router cannot be restarted after stop(); build a new one"
             )
         if self._started:
+            # repro: allow[exc] lifecycle misuse, never reaches a client
             raise RuntimeError("router already started")
         for replica in self.replicas:
             replica.runtime.start()
@@ -600,7 +606,9 @@ class ReplicaRouter:
             return False, False, "probe timed out"
         except CancelledError:
             return False, False, "probe cancelled"
-        except Exception:  # noqa: BLE001 - an error response is still a response
+        # An error *response* still proves liveness; a crash-looping engine
+        # is the circuit breaker's jurisdiction, not the health checker's.
+        except Exception:  # repro: allow[exc] error response proves liveness
             pass
         return True, ready, detail if not ready else "ok"
 
@@ -660,7 +668,7 @@ class ReplicaRouter:
     def submit(self, example: SparseExample, k: int | None = None) -> Future:
         """Async surface for open-loop clients; resolves to a Prediction."""
         if not self._started or self._stopped or self._executor is None:
-            raise RuntimeError("router is not started")
+            raise NotServingError("router is not started")
         return self._executor.submit(self.predict, example, k)
 
     def predict_many(
@@ -687,7 +695,7 @@ class ReplicaRouter:
         out on real failures.
         """
         if not self._started or self._stopped:
-            raise RuntimeError("router is not started")
+            raise NotServingError("router is not started")
         config = self.router_config
         start = time.monotonic()
         deadline = start + (

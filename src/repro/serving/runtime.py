@@ -44,6 +44,7 @@ from repro.serving.engine import InferenceEngine, SwapReport
 from repro.serving.metrics import ServingMetrics
 from repro.serving.pool import EnginePool, ServingRuntime, build_engine
 from repro.serving.batching import MicroBatchQueue
+from repro.utils import sanitize
 
 __all__ = [
     "ElasticEnginePool",
@@ -87,7 +88,7 @@ class ElasticEnginePool(EnginePool):
         self._threads: dict[int, tuple[threading.Thread, threading.Event]] = {}
         self._retired: list[threading.Thread] = []
         self._next_index = 0
-        self._resize_lock = threading.Lock()
+        self._resize_lock = sanitize.lock("serving.pool.resize")
         self._elastic_started = False
 
     # ------------------------------------------------------------------
@@ -143,6 +144,7 @@ class ElasticEnginePool(EnginePool):
         if drain:
             deadline = time.monotonic() + timeout
             while self.queue.pending() and time.monotonic() < deadline:
+                sanitize.note_blocking("ElasticEnginePool.stop drain wait")
                 time.sleep(self.poll_timeout / 2)
         self._stopping = True
         with self._resize_lock:
@@ -306,6 +308,7 @@ class AutoscaleController:
     # ------------------------------------------------------------------
     def start(self) -> None:
         if self._thread is not None:
+            # repro: allow[exc] lifecycle misuse, never reaches a client
             raise RuntimeError("autoscaler already started")
         self._thread = threading.Thread(
             target=self._run, name="serving-autoscaler", daemon=True
@@ -457,6 +460,7 @@ class CheckpointWatcher:
     # ------------------------------------------------------------------
     def start(self) -> None:
         if self._thread is not None:
+            # repro: allow[exc] lifecycle misuse, never reaches a client
             raise RuntimeError("watcher already started")
         self._thread = threading.Thread(
             target=self._run, name="serving-ckpt-watcher", daemon=True

@@ -10,6 +10,11 @@ reader active, so a reader-preferring lock would starve the swap forever and
 hot reload would never complete.  Once a writer is waiting, new readers
 queue behind it; the writer gets in as soon as the in-flight readers drain —
 that drain time is exactly the "reload blip" the serving benchmarks measure.
+
+When the lock sanitizer is enabled (``REPRO_SANITIZE=1`` or
+``repro.utils.sanitize.get_sanitizer().enable()``) every acquisition is
+reported under the lock's ``name`` so lock-order inversions against other
+instrumented locks show up in CI; see :mod:`repro.utils.sanitize`.
 """
 
 from __future__ import annotations
@@ -18,34 +23,48 @@ import threading
 from contextlib import contextmanager
 from typing import Iterator
 
+from repro.utils import sanitize
+
 __all__ = ["ReadWriteLock"]
 
 
 class ReadWriteLock:
-    """Many concurrent readers, one exclusive writer, writer-preferring."""
+    """Many concurrent readers, one exclusive writer, writer-preferring.
 
-    def __init__(self) -> None:
+    ``name`` identifies the lock's *role* to the sanitizer (e.g.
+    ``"engine.swap"``); instances sharing a role share ordering
+    constraints.  Read and write sides report as ``<name>:r`` and
+    ``<name>:w`` — a reader and a writer of the same lock interleaving
+    with a third lock are distinct ordering facts.
+    """
+
+    def __init__(self, name: str = "rwlock") -> None:
+        self.name = name
         self._cond = threading.Condition()
         self._readers = 0
         self._writer_active = False
         self._writers_waiting = 0
+        self._sanitizer = sanitize.get_sanitizer()
 
     # ------------------------------------------------------------------
     # Reader side
     # ------------------------------------------------------------------
     def acquire_read(self) -> None:
+        self._sanitizer.on_attempt(f"{self.name}:r")
         with self._cond:
             # New readers wait while a writer holds the lock *or* is queued,
             # so a continuous stream of readers cannot starve the writer.
             while self._writer_active or self._writers_waiting:
                 self._cond.wait()
             self._readers += 1
+        self._sanitizer.on_acquired(f"{self.name}:r")
 
     def release_read(self) -> None:
         with self._cond:
             self._readers -= 1
             if self._readers == 0:
                 self._cond.notify_all()
+        self._sanitizer.on_release(f"{self.name}:r")
 
     @contextmanager
     def read_locked(self) -> Iterator[None]:
@@ -59,6 +78,7 @@ class ReadWriteLock:
     # Writer side
     # ------------------------------------------------------------------
     def acquire_write(self) -> None:
+        self._sanitizer.on_attempt(f"{self.name}:w")
         with self._cond:
             self._writers_waiting += 1
             try:
@@ -67,11 +87,13 @@ class ReadWriteLock:
                 self._writer_active = True
             finally:
                 self._writers_waiting -= 1
+        self._sanitizer.on_acquired(f"{self.name}:w")
 
     def release_write(self) -> None:
         with self._cond:
             self._writer_active = False
             self._cond.notify_all()
+        self._sanitizer.on_release(f"{self.name}:w")
 
     @contextmanager
     def write_locked(self) -> Iterator[None]:

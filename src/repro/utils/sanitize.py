@@ -1,0 +1,277 @@
+"""Runtime lock sanitizer: lock-order and held-while-blocking detection.
+
+The static rules in ``tools/lint`` catch what is visible in the source;
+this module catches what only shows up in *execution order*.  When enabled
+(``REPRO_SANITIZE=1`` in the environment, or :func:`enable` from a test)
+every instrumented lock — :class:`repro.utils.rwlock.ReadWriteLock` and
+any mutex built via :func:`lock` — reports its acquisitions to a global
+:class:`LockSanitizer`, which maintains:
+
+* a per-thread stack of currently held locks, and
+* a global directed graph of observed acquisition orders, keyed by lock
+  *name* (role), not instance — lock ordering is a protocol between roles.
+
+Two violation classes are recorded (never raised — detection must not
+perturb the schedule being observed; tests call :meth:`assert_clean`):
+
+* **lock-order inversion** — lock B acquired while holding A after the
+  edge A→B's reverse (B→A) was already observed anywhere in the process.
+  Two threads running those two orders concurrently are a textbook
+  deadlock; observing both orders at all is the contract violation.
+* **held-while-blocking** — a known blocking operation (instrumented via
+  :func:`note_blocking` at the repo's deliberate sleep/backoff sites)
+  executed while *any* sanitized lock is held.
+
+Overhead when disabled is one boolean check per acquisition, so the
+instrumentation stays on permanently in the production classes; CI runs a
+tier-1 shard with ``REPRO_SANITIZE=1`` over the hot-swap and router suites
+and fails the run if any report was collected (see
+``tests/conftest.py``).
+
+Usage::
+
+    from repro.utils import sanitize
+
+    sanitize.get_sanitizer().enable()
+    ... exercise concurrent code ...
+    sanitize.get_sanitizer().assert_clean()
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = [
+    "SanitizerReport",
+    "LockSanitizer",
+    "SanitizedLock",
+    "get_sanitizer",
+    "lock",
+    "note_blocking",
+    "enabled_from_env",
+]
+
+
+@dataclass(frozen=True)
+class SanitizerReport:
+    """One recorded violation."""
+
+    kind: str  # "lock_order_inversion" | "held_while_blocking"
+    thread: str
+    detail: str
+
+    def format(self) -> str:
+        return f"[{self.kind}] {self.thread}: {self.detail}"
+
+
+class LockSanitizer:
+    """Process-global acquisition-order recorder.
+
+    Thread-safe; its internal mutex is a leaf lock (never held while
+    acquiring an instrumented lock), so the sanitizer itself cannot
+    introduce an inversion.
+    """
+
+    def __init__(self) -> None:
+        self._enabled = False
+        self._mutex = threading.Lock()
+        self._local = threading.local()
+        # (held_name, acquired_name) -> thread that first observed the edge
+        self._edges: dict[tuple[str, str], str] = {}
+        self._reports: list[SanitizerReport] = []
+
+    # ------------------------------------------------------------------
+    # Switch
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    # ------------------------------------------------------------------
+    # Hooks called by instrumented locks
+    # ------------------------------------------------------------------
+    def _held(self) -> list[str]:
+        held = getattr(self._local, "held", None)
+        if held is None:
+            held = []
+            self._local.held = held
+        return held
+
+    def on_attempt(self, name: str) -> None:
+        """Record order edges at *attempt* time (before possibly blocking).
+
+        Waiting for ``name`` while holding the rest of the stack is exactly
+        the state a deadlock freezes in, so the edge must be recorded even
+        if the acquisition never completes.
+        """
+        if not self._enabled:
+            return
+        held = self._held()
+        if not held:
+            return
+        thread = threading.current_thread().name
+        with self._mutex:
+            for holder in dict.fromkeys(held):  # de-dup, preserve order
+                if holder == name:
+                    continue
+                edge = (holder, name)
+                reverse = (name, holder)
+                if reverse in self._edges and edge not in self._edges:
+                    self._reports.append(
+                        SanitizerReport(
+                            kind="lock_order_inversion",
+                            thread=thread,
+                            detail=(
+                                f"acquiring '{name}' while holding '{holder}', "
+                                f"but the opposite order ('{name}' before "
+                                f"'{holder}') was already observed on thread "
+                                f"'{self._edges[reverse]}'"
+                            ),
+                        )
+                    )
+                self._edges.setdefault(edge, thread)
+
+    def on_acquired(self, name: str) -> None:
+        if not self._enabled:
+            return
+        self._held().append(name)
+
+    def on_release(self, name: str) -> None:
+        if not self._enabled:
+            return
+        held = self._held()
+        # Remove the most recent occurrence (read locks may nest).
+        for index in range(len(held) - 1, -1, -1):
+            if held[index] == name:
+                del held[index]
+                return
+
+    def note_blocking(self, operation: str) -> None:
+        """Record that a known blocking operation is about to run."""
+        if not self._enabled:
+            return
+        held = self._held()
+        if not held:
+            return
+        with self._mutex:
+            self._reports.append(
+                SanitizerReport(
+                    kind="held_while_blocking",
+                    thread=threading.current_thread().name,
+                    detail=(
+                        f"blocking operation '{operation}' while holding "
+                        f"{', '.join(repr(name) for name in held)}"
+                    ),
+                )
+            )
+
+    @contextmanager
+    def blocking(self, operation: str) -> Iterator[None]:
+        self.note_blocking(operation)
+        yield
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def reports(self) -> list[SanitizerReport]:
+        with self._mutex:
+            return list(self._reports)
+
+    def clear(self) -> None:
+        """Drop recorded reports and order edges (held stacks are live state
+        owned by their threads and are left alone)."""
+        with self._mutex:
+            self._reports.clear()
+            self._edges.clear()
+
+    def assert_clean(self) -> None:
+        reports = self.reports()
+        if reports:
+            rendered = "\n".join(f"  {report.format()}" for report in reports)
+            raise AssertionError(
+                f"lock sanitizer recorded {len(reports)} violation(s):\n{rendered}"
+            )
+
+
+_SANITIZER = LockSanitizer()
+
+
+def get_sanitizer() -> LockSanitizer:
+    """The process-global sanitizer instance."""
+    return _SANITIZER
+
+
+def enabled_from_env(env: "os._Environ[str] | dict[str, str] | None" = None) -> bool:
+    """Does the environment ask for sanitization (``REPRO_SANITIZE=1``)?"""
+    source = os.environ if env is None else env
+    return source.get("REPRO_SANITIZE", "") == "1"
+
+
+def note_blocking(operation: str) -> None:
+    """Module-level convenience for :meth:`LockSanitizer.note_blocking`."""
+    _SANITIZER.note_blocking(operation)
+
+
+class SanitizedLock:
+    """A ``threading.Lock`` reporting to the sanitizer under a role name.
+
+    Drop-in for the subset of the ``Lock`` API this repo uses (``with``,
+    ``acquire``/``release``, ``locked``).  Overhead when the sanitizer is
+    disabled: one attribute load and boolean check per call.
+    """
+
+    __slots__ = ("name", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        _SANITIZER.on_attempt(self.name)
+        acquired = self._lock.acquire(blocking, timeout)
+        if acquired:
+            _SANITIZER.on_acquired(self.name)
+        return acquired
+
+    def release(self) -> None:
+        self._lock.release()
+        _SANITIZER.on_release(self.name)
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "locked" if self._lock.locked() else "unlocked"
+        return f"<SanitizedLock {self.name!r} {state}>"
+
+
+def lock(name: str) -> SanitizedLock:
+    """Build a named mutex wired to the sanitizer.
+
+    Always returns the instrumented wrapper: enabling the sanitizer
+    mid-process (a test's ``enable()``) must cover locks created earlier.
+    """
+    return SanitizedLock(name)
+
+
+# Honour the environment at import time so every process in a
+# REPRO_SANITIZE=1 run (including multiprocessing children, which inherit
+# the environment) is born instrumented.
+if enabled_from_env():  # pragma: no cover - exercised by the CI sanitize shard
+    _SANITIZER.enable()

@@ -22,6 +22,23 @@ from repro.datasets.synthetic import SyntheticXCConfig, generate_synthetic_xc
 from repro.types import SparseExample, SparseVector
 
 
+def pytest_sessionfinish(session, exitstatus):
+    """Fail the ``REPRO_SANITIZE=1`` CI shard if the lock sanitizer saw
+    an inversion or a held-while-blocking anywhere in the run."""
+    from repro.utils import sanitize
+
+    if not sanitize.enabled_from_env():
+        return
+    reports = sanitize.get_sanitizer().reports()
+    if reports:
+        lines = "\n".join(f"  {report.format()}" for report in reports)
+        session.config.pluginmanager.get_plugin("terminalreporter").write_line(
+            f"lock sanitizer collected {len(reports)} report(s):\n{lines}",
+            red=True,
+        )
+        session.exitstatus = 1
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)

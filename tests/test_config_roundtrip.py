@@ -1,0 +1,104 @@
+"""Auto round-trip of every *Config dataclass via the CONFIG_CODECS registry.
+
+This is the test-suite twin of lint rule CFG001: the classes are found by
+*introspection* of :mod:`repro.config`, so a newly added config dataclass
+fails here (no codec / no example) before anyone wires it to a file format.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+import repro.config as config_module
+from repro.config import CONFIG_CODECS, config_examples
+
+
+def _all_config_classes() -> list[type]:
+    return sorted(
+        (
+            obj
+            for name, obj in vars(config_module).items()
+            if isinstance(obj, type)
+            and name.endswith("Config")
+            and dataclasses.is_dataclass(obj)
+        ),
+        key=lambda cls: cls.__name__,
+    )
+
+
+CONFIG_CLASSES = _all_config_classes()
+
+
+def test_every_config_class_is_registered():
+    missing = [cls.__name__ for cls in CONFIG_CLASSES if cls not in CONFIG_CODECS]
+    assert not missing, f"unregistered config classes: {missing}"
+
+
+def test_every_registered_class_has_an_example():
+    examples = config_examples()
+    missing = [cls.__name__ for cls in CONFIG_CODECS if cls not in examples]
+    assert not missing, f"example-less config classes: {missing}"
+
+
+@pytest.mark.parametrize("cls", CONFIG_CLASSES, ids=lambda cls: cls.__name__)
+def test_round_trip(cls):
+    to_dict, from_dict = CONFIG_CODECS[cls]
+    example = config_examples()[cls]
+    data = to_dict(example)
+
+    # Coverage: exactly the dataclass's fields, nothing more or less.
+    assert set(data) == {f.name for f in dataclasses.fields(cls)}
+    # The dict form is JSON-serialisable (the whole point of the codecs).
+    rebuilt = from_dict(json.loads(json.dumps(data)))
+    assert rebuilt == example
+
+
+@pytest.mark.parametrize("cls", CONFIG_CLASSES, ids=lambda cls: cls.__name__)
+def test_unknown_key_is_rejected_by_name(cls):
+    to_dict, from_dict = CONFIG_CODECS[cls]
+    data = to_dict(config_examples()[cls])
+    data["definitely_not_a_field"] = 1
+    with pytest.raises(ValueError, match="definitely_not_a_field"):
+        from_dict(data)
+
+
+def test_examples_differ_from_defaults():
+    """A default-valued example could hide a codec that drops fields and
+    lets defaults leak back in; keep the examples deliberately non-default."""
+    examples = config_examples()
+    for cls, example in examples.items():
+        if cls.__name__ == "SlideNetworkConfig":
+            continue  # has required fields, no full-default instance exists
+        if cls.__name__ == "LayerConfig":
+            continue
+        assert example != cls(), f"{cls.__name__} example is all-defaults"
+
+
+def test_nested_training_codec_rebuilds_optimizer():
+    to_dict, from_dict = CONFIG_CODECS[config_module.TrainingConfig]
+    example = config_examples()[config_module.TrainingConfig]
+    rebuilt = from_dict(to_dict(example))
+    assert isinstance(rebuilt.optimizer, config_module.OptimizerConfig)
+    assert rebuilt.optimizer == example.optimizer
+
+
+def test_nested_layer_codec_rebuilds_lsh():
+    to_dict, from_dict = CONFIG_CODECS[config_module.LayerConfig]
+    example = config_examples()[config_module.LayerConfig]
+    rebuilt = from_dict(to_dict(example))
+    assert isinstance(rebuilt.lsh, config_module.LSHConfig)
+    assert rebuilt == example
+    # lsh=None survives too.
+    bare = config_module.LayerConfig(size=8)
+    assert from_dict(to_dict(bare)) == bare
+
+
+def test_network_codec_rejects_unknown_nested_layer_key():
+    to_dict, from_dict = CONFIG_CODECS[config_module.SlideNetworkConfig]
+    data = to_dict(config_examples()[config_module.SlideNetworkConfig])
+    data["layers"][0]["workerz"] = 3
+    with pytest.raises(ValueError, match="workerz"):
+        from_dict(data)

@@ -334,6 +334,42 @@ class TestBatchPrefetcher:
         with pytest.raises(ValueError):
             BatchPrefetcher(iter([]), depth=0)
 
+    def test_close_unblocks_a_waiting_consumer(self):
+        """Regression: close() racing a consumer parked on an empty queue.
+
+        The producer below never yields, so the consumer blocks inside
+        ``__next__``.  ``close()`` stops the producer without a sentinel and
+        drains the queue — with the old un-timed ``queue.get()`` the
+        consumer slept forever; the stop-aware timed get must surface
+        ``StopIteration`` promptly instead.
+        """
+        import threading
+        import time
+
+        release = threading.Event()
+
+        def stalled():
+            release.wait(5.0)
+            yield 0  # pragma: no cover - close() wins the race
+
+        prefetcher = BatchPrefetcher(stalled(), depth=2)
+        outcome: list[object] = []
+
+        def consume():
+            try:
+                outcome.append(next(prefetcher))
+            except StopIteration:
+                outcome.append("stopped")
+
+        consumer = threading.Thread(target=consume)
+        consumer.start()
+        time.sleep(0.05)  # let the consumer reach the blocking get
+        prefetcher.close()
+        consumer.join(timeout=2.0)
+        release.set()
+        assert not consumer.is_alive(), "consumer stayed blocked after close()"
+        assert outcome == ["stopped"]
+
     def test_abandoned_iterations_leak_no_threads_or_shards(self, pipeline_setup):
         """Regression: a consumer abandoning the stream mid-epoch must not
         leave prefetcher threads alive or shard mmaps resident.

@@ -1,0 +1,187 @@
+"""Runtime lock sanitizer (:mod:`repro.utils.sanitize`).
+
+Covers the detector itself (a deliberately injected lock-order inversion
+must be caught; consistent orders must not) and the real serving paths the
+CI ``REPRO_SANITIZE=1`` shard exercises: concurrent predict + hot-swap, and
+a full router predict cycle, both of which must leave the sanitizer clean.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.config import ServingConfig
+from repro.core.network import SlideNetwork
+from repro.serving.engine import DenseInferenceEngine
+from repro.serving.pool import ServingRuntime
+from repro.utils import sanitize
+from repro.utils.rwlock import ReadWriteLock
+
+
+@pytest.fixture
+def sanitizer():
+    instance = sanitize.get_sanitizer()
+    instance.clear()
+    instance.enable()
+    yield instance
+    # Restore the env-derived state: in the REPRO_SANITIZE=1 CI shard the
+    # sanitizer must stay on for the rest of the session.
+    if not sanitize.enabled_from_env():
+        instance.disable()
+    instance.clear()
+
+
+# ----------------------------------------------------------------------
+# Detector mechanics
+# ----------------------------------------------------------------------
+class TestDetector:
+    def test_injected_lock_order_inversion_is_detected(self, sanitizer):
+        alpha = sanitize.lock("alpha")
+        beta = sanitize.lock("beta")
+        with alpha:
+            with beta:
+                pass
+        with beta:
+            with alpha:  # the reverse order: textbook deadlock ingredient
+                pass
+        kinds = [report.kind for report in sanitizer.reports()]
+        assert "lock_order_inversion" in kinds
+        with pytest.raises(AssertionError, match="lock_order_inversion"):
+            sanitizer.assert_clean()
+
+    def test_consistent_order_stays_clean(self, sanitizer):
+        alpha = sanitize.lock("alpha")
+        beta = sanitize.lock("beta")
+        for _ in range(3):
+            with alpha:
+                with beta:
+                    pass
+        sanitizer.assert_clean()
+
+    def test_inversion_across_threads_is_detected(self, sanitizer):
+        alpha = sanitize.lock("alpha")
+        beta = sanitize.lock("beta")
+
+        def forward():
+            with alpha:
+                with beta:
+                    pass
+
+        def backward():
+            with beta:
+                with alpha:
+                    pass
+
+        first = threading.Thread(target=forward)
+        first.start()
+        first.join()
+        second = threading.Thread(target=backward)
+        second.start()
+        second.join()
+        assert any(
+            report.kind == "lock_order_inversion" for report in sanitizer.reports()
+        )
+
+    def test_held_while_blocking_is_detected(self, sanitizer):
+        mutex = sanitize.lock("serving.fixture")
+        with mutex:
+            sanitize.note_blocking("test sleep")
+        (report,) = sanitizer.reports()
+        assert report.kind == "held_while_blocking"
+        assert "serving.fixture" in report.detail
+
+    def test_blocking_with_nothing_held_is_fine(self, sanitizer):
+        sanitize.note_blocking("drain wait")
+        sanitizer.assert_clean()
+
+    def test_disabled_sanitizer_records_nothing(self):
+        instance = sanitize.get_sanitizer()
+        instance.disable()
+        instance.clear()
+        try:
+            mutex = sanitize.lock("ignored")
+            with mutex:
+                sanitize.note_blocking("anything")
+            assert instance.reports() == []
+        finally:
+            if sanitize.enabled_from_env():
+                instance.enable()
+
+    def test_reentrant_same_name_is_not_an_inversion(self, sanitizer):
+        outer = ReadWriteLock(name="nest")
+        with outer.read_locked():
+            with outer.read_locked():  # read locks may nest
+                pass
+        sanitizer.assert_clean()
+
+    def test_rwlock_sides_report_under_distinct_names(self, sanitizer):
+        gate = ReadWriteLock(name="gate")
+        mutex = sanitize.lock("mutex")
+        with gate.write_locked():
+            with mutex:
+                pass
+        with mutex:
+            gate.acquire_write()
+            gate.release_write()
+        assert any(
+            report.kind == "lock_order_inversion"
+            and "gate:w" in report.detail
+            and "mutex" in report.detail
+            for report in sanitizer.reports()
+        )
+
+    def test_enabled_from_env(self):
+        assert sanitize.enabled_from_env({"REPRO_SANITIZE": "1"})
+        assert not sanitize.enabled_from_env({"REPRO_SANITIZE": "0"})
+        assert not sanitize.enabled_from_env({})
+
+
+# ----------------------------------------------------------------------
+# Real serving paths must stay clean under the sanitizer
+# ----------------------------------------------------------------------
+class TestServingPathsClean:
+    def test_concurrent_predict_and_hot_swap_are_clean(
+        self, sanitizer, tiny_dataset, tiny_network_config
+    ):
+        from dataclasses import replace as dc_replace
+
+        engine = DenseInferenceEngine(SlideNetwork(tiny_network_config))
+        incoming = SlideNetwork(dc_replace(tiny_network_config, seed=41))
+        examples = list(tiny_dataset.test[:8])
+
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    engine.predict_batch_guarded(examples, k=3)
+                except BaseException as exc:  # pragma: no cover - surfaced below
+                    errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for _ in range(3):
+            engine.hot_swap(incoming)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert not errors
+        sanitizer.assert_clean()
+
+    def test_serving_runtime_cycle_is_clean(
+        self, sanitizer, tiny_dataset, tiny_network_config
+    ):
+        config = ServingConfig(
+            engine="dense", num_workers=2, max_batch_size=8, max_wait_ms=1.0
+        )
+        runtime = ServingRuntime.from_network(SlideNetwork(tiny_network_config), config)
+        examples = list(tiny_dataset.test[:16])
+        with runtime:
+            predictions = runtime.predict_many(examples, k=3)
+        assert len(predictions) == len(examples)
+        sanitizer.assert_clean()

@@ -1,0 +1,5 @@
+"""Repository tooling: contract checkers run by CI and the tier-1 suite.
+
+``tools.lint`` is the static-analysis framework (``python -m tools.lint``);
+``tools.check_docs`` is the documentation checker it registers as DOC001.
+"""

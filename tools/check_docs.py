@@ -31,7 +31,12 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-DEFAULT_FILES = ("README.md", "docs/architecture.md", "docs/paper_map.md")
+DEFAULT_FILES = (
+    "README.md",
+    "docs/architecture.md",
+    "docs/paper_map.md",
+    "docs/static_analysis.md",
+)
 
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*$", re.MULTILINE)

@@ -1,0 +1,32 @@
+"""Repo-native static analysis (``repro-lint``).
+
+An AST-visitor rule framework plus repository-specific rules encoding the
+contracts this codebase otherwise enforces only by convention: lock
+discipline (LCK001), determinism of seeded paths (DET001),
+multiprocessing hygiene (MPX001), exception discipline and the serving
+error taxonomy (EXC001), config-schema sync (CFG001), thread hygiene
+(THR001), and the docs contracts (DOC001, folded in from
+``tools/check_docs.py``).
+
+Run with ``python -m tools.lint`` — see :mod:`tools.lint.cli` for flags,
+:mod:`tools.lint.baseline` for the only-new-violations CI workflow and
+``docs/static_analysis.md`` for the rule catalogue and pragma syntax.
+"""
+
+from tools.lint.baseline import Baseline, BaselineEntry, split_by_baseline
+from tools.lint.core import ModuleSource, Rule, Violation, collect_sources, run_rules
+from tools.lint.rules import ALL_RULES, default_rules, select_rules
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "BaselineEntry",
+    "ModuleSource",
+    "Rule",
+    "Violation",
+    "collect_sources",
+    "default_rules",
+    "run_rules",
+    "select_rules",
+    "split_by_baseline",
+]

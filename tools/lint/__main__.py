@@ -1,0 +1,5 @@
+"""Entry point: ``python -m tools.lint``."""
+
+from tools.lint.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,68 @@
+"""Small AST helpers shared by the lint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+__all__ = [
+    "dotted",
+    "call_func_dotted",
+    "keyword_arg",
+    "iter_blocks",
+    "walk_without_functions",
+]
+
+
+def dotted(node: ast.AST) -> str:
+    """Best-effort dotted-source rendering of an expression.
+
+    ``self._swap_lock`` -> ``"self._swap_lock"``; anything unrenderable
+    (subscripts, calls, literals) falls back to :func:`ast.unparse`.
+    """
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return f"{dotted(node.value)}.{node.attr}"
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - defensive
+        return "<expr>"
+
+
+def call_func_dotted(call: ast.Call) -> str:
+    """Dotted name of a call's callee (``np.random.rand`` for that call)."""
+    return dotted(call.func)
+
+
+def keyword_arg(call: ast.Call, name: str) -> ast.expr | None:
+    for keyword in call.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    return None
+
+
+def iter_blocks(tree: ast.AST) -> Iterator[list[ast.stmt]]:
+    """Yield every statement list in the tree (bodies, orelse, finalbody)."""
+    for node in ast.walk(tree):
+        for attr in ("body", "orelse", "finalbody"):
+            block = getattr(node, attr, None)
+            if isinstance(block, list) and block and isinstance(block[0], ast.stmt):
+                yield block
+
+
+def walk_without_functions(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a subtree but do not descend into nested function/class defs.
+
+    Used for "inside this block" questions (e.g. calls made while a lock is
+    held): a nested ``def`` merely *defines* code, it does not run it here.
+    """
+    stack: list[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            continue
+        yield child
+        stack.extend(ast.iter_child_nodes(child))

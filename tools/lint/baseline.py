@@ -1,0 +1,135 @@
+"""Baseline workflow: CI fails only on *new* violations.
+
+The committed baseline (``tools/lint/baseline.json``) records accepted
+pre-existing violations by fingerprint — ``(rule, file, source-line
+content)`` — so line-number drift does not invalidate entries but any
+edit to a baselined line re-surfaces it.  Entries may carry a
+``justification`` string; ``--update-baseline`` preserves justifications
+for fingerprints that survive and drops entries whose violation no longer
+fires (expiry), so the baseline only ever shrinks on its own.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from tools.lint.core import Violation
+
+__all__ = ["Baseline", "BaselineEntry", "split_by_baseline", "DEFAULT_BASELINE_PATH"]
+
+DEFAULT_BASELINE_PATH = Path(__file__).resolve().parent / "baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    snippet: str
+    fingerprint: str
+    justification: str = ""
+
+    def to_json(self) -> dict[str, str]:
+        data = {
+            "rule": self.rule,
+            "path": self.path,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+        }
+        if self.justification:
+            data["justification"] = self.justification
+        return data
+
+
+class Baseline:
+    """The set of accepted violations, keyed by fingerprint."""
+
+    def __init__(self, entries: Sequence[BaselineEntry] = ()) -> None:
+        self.entries = list(entries)
+        self._by_fingerprint = {entry.fingerprint: entry for entry in self.entries}
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"baseline {path} is not valid JSON: {exc}") from exc
+        if not isinstance(data, dict) or "entries" not in data:
+            raise ValueError(f"baseline {path} must be an object with 'entries'")
+        entries = [
+            BaselineEntry(
+                rule=str(entry["rule"]),
+                path=str(entry["path"]),
+                snippet=str(entry.get("snippet", "")),
+                fingerprint=str(entry["fingerprint"]),
+                justification=str(entry.get("justification", "")),
+            )
+            for entry in data["entries"]
+        ]
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": _FORMAT_VERSION,
+            "entries": [
+                entry.to_json()
+                for entry in sorted(
+                    self.entries, key=lambda e: (e.path, e.rule, e.snippet)
+                )
+            ],
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def __contains__(self, violation: Violation) -> bool:
+        return violation.fingerprint in self._by_fingerprint
+
+    def justification_for(self, fingerprint: str) -> str:
+        entry = self._by_fingerprint.get(fingerprint)
+        return entry.justification if entry is not None else ""
+
+    def stale_entries(self, violations: Sequence[Violation]) -> list[BaselineEntry]:
+        """Entries whose violation no longer fires (candidates for expiry)."""
+        firing = {violation.fingerprint for violation in violations}
+        return [
+            entry for entry in self.entries if entry.fingerprint not in firing
+        ]
+
+    @classmethod
+    def from_violations(
+        cls,
+        violations: Sequence[Violation],
+        previous: "Baseline | None" = None,
+    ) -> "Baseline":
+        """Rebuild the baseline from a run, keeping surviving justifications."""
+        entries = []
+        for violation in violations:
+            justification = (
+                previous.justification_for(violation.fingerprint) if previous else ""
+            )
+            entries.append(
+                BaselineEntry(
+                    rule=violation.rule,
+                    path=violation.path,
+                    snippet=violation.snippet,
+                    fingerprint=violation.fingerprint,
+                    justification=justification,
+                )
+            )
+        return cls(entries)
+
+
+def split_by_baseline(
+    violations: Sequence[Violation], baseline: Baseline
+) -> tuple[list[Violation], list[Violation]]:
+    """``(new, baselined)`` partition of a run's violations."""
+    new: list[Violation] = []
+    accepted: list[Violation] = []
+    for violation in violations:
+        (accepted if violation in baseline else new).append(violation)
+    return new, accepted

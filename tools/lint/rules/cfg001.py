@@ -1,0 +1,138 @@
+"""CFG001 — config-schema sync.
+
+Every ``*Config`` dataclass in :mod:`repro.config` feeds a persisted
+format (checkpoint manifests, ``--config`` JSON files), so every one needs
+a registered ``to_dict``/``from_dict`` codec that (a) covers **all**
+fields — a knob added without serialization silently vanishes from
+checkpoints — and (b) is **strict**: an unknown key must raise
+``ValueError`` naming the field rather than being dropped (the PR 6
+``workerz`` typo contract).
+
+The rule imports ``repro.config`` and checks its ``CONFIG_CODECS``
+registry against the module's dataclasses, then round-trips the
+``config_examples()`` instances:
+
+* every ``*Config`` dataclass appears in ``CONFIG_CODECS``;
+* ``to_dict(example)`` emits exactly the dataclass's field names;
+* ``from_dict(to_dict(example)) == example``;
+* ``from_dict`` rejects an injected unknown key with ``ValueError``.
+
+This is a project-level rule (it needs live imports, like the doctest
+side of the docs checker); findings anchor to ``src/repro/config.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Iterator
+
+from tools.lint.core import Rule, Violation
+
+__all__ = ["ConfigSchemaSyncRule"]
+
+_CONFIG_REL = "src/repro/config.py"
+
+
+class ConfigSchemaSyncRule(Rule):
+    code = "CFG001"
+    name = "config-schema-sync"
+    description = (
+        "every *Config dataclass in repro.config has a strict, "
+        "all-field to_dict/from_dict codec registered in CONFIG_CODECS"
+    )
+    tags = ("cfg",)
+
+    def check_project(self, root: Path) -> Iterator[Violation]:
+        try:
+            import repro.config as config_module
+        except Exception as exc:  # pragma: no cover - import environment broken
+            yield self._finding(f"cannot import repro.config: {exc}")
+            return
+
+        config_classes = {
+            name: obj
+            for name, obj in vars(config_module).items()
+            if isinstance(obj, type)
+            and name.endswith("Config")
+            and dataclasses.is_dataclass(obj)
+        }
+        codecs = getattr(config_module, "CONFIG_CODECS", None)
+        if not isinstance(codecs, dict):
+            yield self._finding(
+                "repro.config.CONFIG_CODECS registry is missing; every "
+                "*Config dataclass needs a registered to_dict/from_dict pair"
+            )
+            return
+        examples_fn = getattr(config_module, "config_examples", None)
+        examples = examples_fn() if callable(examples_fn) else {}
+
+        for name, cls in sorted(config_classes.items()):
+            if cls not in codecs:
+                yield self._finding(
+                    f"{name} has no to_dict/from_dict codec registered in "
+                    "CONFIG_CODECS; its fields cannot round-trip through "
+                    "checkpoints/config files"
+                )
+                continue
+            to_dict, from_dict = codecs[cls]
+            example = examples.get(cls)
+            if example is None:
+                yield self._finding(
+                    f"{name} has no example instance in config_examples(); "
+                    "the codec cannot be round-trip checked"
+                )
+                continue
+            yield from self._check_codec(name, cls, to_dict, from_dict, example)
+
+    def _check_codec(self, name, cls, to_dict, from_dict, example) -> Iterator[Violation]:
+        try:
+            data = to_dict(example)
+        except Exception as exc:
+            yield self._finding(f"{name} to_dict raised on the example: {exc!r}")
+            return
+        field_names = {f.name for f in dataclasses.fields(cls)}
+        emitted = set(data)
+        if emitted != field_names:
+            missing = sorted(field_names - emitted)
+            extra = sorted(emitted - field_names)
+            detail = "; ".join(
+                part
+                for part in (
+                    f"missing fields: {', '.join(missing)}" if missing else "",
+                    f"unknown keys: {', '.join(extra)}" if extra else "",
+                )
+                if part
+            )
+            yield self._finding(f"{name} to_dict does not cover the schema ({detail})")
+            return
+        try:
+            rebuilt = from_dict(data)
+        except Exception as exc:
+            yield self._finding(f"{name} from_dict(to_dict(x)) raised: {exc!r}")
+            return
+        if rebuilt != example:
+            yield self._finding(
+                f"{name} does not round-trip: from_dict(to_dict(x)) != x"
+            )
+        poisoned = dict(data)
+        poisoned["__repro_lint_unknown__"] = 1
+        try:
+            from_dict(poisoned)
+        except ValueError:
+            pass  # strict, as required
+        except Exception as exc:
+            yield self._finding(
+                f"{name} from_dict raises {type(exc).__name__} on an unknown "
+                "key; it must raise ValueError naming the field"
+            )
+        else:
+            yield self._finding(
+                f"{name} from_dict silently accepts unknown keys; it must "
+                "reject them with ValueError"
+            )
+
+    def _finding(self, message: str) -> Violation:
+        return Violation(
+            rule=self.code, path=_CONFIG_REL, line=1, col=0, message=message
+        )

@@ -1,0 +1,65 @@
+"""DOC001 — documentation contracts, folded into the lint CLI.
+
+Wraps :mod:`tools.check_docs` (internal links, heading anchors, embedded
+doctests) as a registered checker so ``python -m tools.lint --all`` runs
+docs and code contracts under one CLI and one exit-code convention.
+``tools/check_docs.py`` keeps its standalone CLI for the existing CI job
+and ``tests/test_docs.py``; this rule reuses its functions directly.
+
+Not part of the default (code-only) run: docs doctests import and execute
+the package, which is a heavier pass than AST analysis.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterator
+
+from tools.lint.core import REPO_ROOT, Rule, Violation
+
+__all__ = ["DocsContractRule"]
+
+
+class DocsContractRule(Rule):
+    code = "DOC001"
+    name = "docs-contracts"
+    description = (
+        "README/docs internal links and anchors resolve; embedded "
+        "doctests pass (tools.check_docs under the lint CLI)"
+    )
+    tags = ("docs",)
+    default_enabled = False
+
+    def check_project(self, root: Path) -> Iterator[Violation]:
+        from tools import check_docs
+
+        src = root / "src"
+        if str(src) not in sys.path:  # doctests import the package
+            sys.path.insert(0, str(src))
+
+        for name in check_docs.DEFAULT_FILES:
+            path = root / name
+            if not path.exists():
+                yield self._finding(name, f"checked file {name} does not exist")
+                continue
+            for failure in check_docs.check_links(path):
+                yield self._finding(name, self._strip_path(failure, path))
+            for failure in check_docs.run_doctests(path):
+                yield self._finding(name, self._strip_path(failure, path))
+
+    def _finding(self, rel: str, message: str) -> Violation:
+        return Violation(
+            rule=self.code,
+            path=Path(rel).as_posix(),
+            line=1,
+            col=0,
+            message=message,
+        )
+
+    @staticmethod
+    def _strip_path(failure: str, path: Path) -> str:
+        # check_docs prefixes failures with the (absolute) path; the
+        # Violation already carries it.
+        return re.sub(r"^" + re.escape(str(path)) + r":\s*", "", failure)

@@ -1,0 +1,119 @@
+"""EXC001 — exception discipline.
+
+Three contracts:
+
+1. **No bare ``except:``** anywhere — it swallows ``KeyboardInterrupt`` and
+   ``SystemExit`` and turns a Ctrl-C into a hung worker.
+
+2. **No silent swallows.**  An ``except``/``except Exception``/``except
+   BaseException`` whose body is only ``pass``/``continue`` hides failures
+   exactly where this repo can least afford it: worker loops and
+   supervisor paths keep "running" while doing nothing.  Swallows that are
+   genuinely best-effort (cleanup on teardown, an error response that
+   still proves liveness) carry ``# repro: allow[exc] <why>``.
+
+3. **Serving raises only its error taxonomy.**  The HTTP front-end maps
+   :class:`repro.serving.errors.ServingError` subclasses to statuses by
+   ``exc.http_status``; a ``raise RuntimeError(...)`` on a request path is
+   a hole in that mapping (it surfaces as an opaque 500 with no cause
+   counter).  Inside ``src/repro/serving/`` every ``raise RuntimeError``
+   must either be replaced by a taxonomy error or carry
+   ``# repro: allow[exc]`` with a justification (start()/stop() lifecycle
+   misuse that can never reach a request).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.lint.core import ModuleSource, Rule, Violation
+
+__all__ = ["ExceptionDisciplineRule"]
+
+_SERVING_PREFIX = "src/repro/serving/"
+_SERVING_EXEMPT = ("src/repro/serving/errors.py",)
+
+_BROAD_NAMES = {"Exception", "BaseException"}
+
+
+class ExceptionDisciplineRule(Rule):
+    code = "EXC001"
+    name = "exception-discipline"
+    description = (
+        "no bare excepts; no silent except-pass swallows; serving raises "
+        "only the repro.serving.errors taxonomy"
+    )
+    tags = ("exc",)
+
+    def check_module(self, module: ModuleSource) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler):
+                yield from self._check_handler(module, node)
+            elif isinstance(node, ast.Raise):
+                yield from self._check_raise(module, node)
+
+    def _check_handler(
+        self, module: ModuleSource, handler: ast.ExceptHandler
+    ) -> Iterator[Violation]:
+        if handler.type is None:
+            yield self.violation(
+                module,
+                handler,
+                "bare 'except:' swallows KeyboardInterrupt/SystemExit; "
+                "catch a concrete exception type",
+            )
+            return
+        if self._is_broad(handler.type) and self._is_silent(handler.body):
+            yield self.violation(
+                module,
+                handler,
+                "silent broad except (body is only pass/continue) hides "
+                "failures; handle, log, or justify with "
+                "'# repro: allow[exc] <why>'",
+            )
+
+    def _check_raise(self, module: ModuleSource, node: ast.Raise) -> Iterator[Violation]:
+        if not module.rel.startswith(_SERVING_PREFIX):
+            return
+        if module.rel in _SERVING_EXEMPT:
+            return
+        exc = node.exc
+        if (
+            isinstance(exc, ast.Call)
+            and isinstance(exc.func, ast.Name)
+            and exc.func.id == "RuntimeError"
+        ):
+            yield self.violation(
+                module,
+                node,
+                "raise RuntimeError in serving code: use the typed "
+                "repro.serving.errors taxonomy so the HTTP status mapping "
+                "stays total",
+            )
+
+    @staticmethod
+    def _is_broad(annotation: ast.expr) -> bool:
+        if isinstance(annotation, ast.Name):
+            return annotation.id in _BROAD_NAMES
+        if isinstance(annotation, ast.Tuple):
+            return any(
+                isinstance(item, ast.Name) and item.id in _BROAD_NAMES
+                for item in annotation.elts
+            )
+        return False
+
+    @staticmethod
+    def _is_silent(body: list[ast.stmt]) -> bool:
+        meaningful = [
+            stmt
+            for stmt in body
+            # A docstring-style bare string constant explains nothing at
+            # runtime; it does not rescue a swallow.
+            if not (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and isinstance(stmt.value.value, str)
+            )
+        ]
+        return all(isinstance(stmt, (ast.Pass, ast.Continue)) for stmt in meaningful)

@@ -1,0 +1,218 @@
+"""LCK001 — lock discipline.
+
+Two contracts the serving/trainer code enforces only by convention:
+
+1. **Release is guarded.**  A bare ``lock.acquire()`` /
+   ``rwlock.acquire_read()`` / ``rwlock.acquire_write()`` statement must be
+   release-guarded: either the very next statement is a ``try`` whose
+   ``finally`` calls the matching release on the same object, or the
+   acquire already sits inside a ``try`` body whose ``finally`` releases
+   it.  (Context managers — ``with lock:``, ``with rw.read_locked():`` —
+   are the preferred spelling and always pass.)  An unguarded acquire
+   leaks the lock on the first exception and deadlocks every later
+   acquirer: for the hot-swap ``ReadWriteLock`` that means readers block
+   forever and serving stops.
+
+2. **No blocking while holding a lock.**  Inside a ``with`` block whose
+   context is lock-like, the following are flagged: ``time.sleep``,
+   un-timed ``queue.get()``, file/socket I/O (``open``, ``socket.*``,
+   ``.recv``/``.send``/``.connect``/``.accept``), and un-timed
+   ``Future.result()``.  ``predict*`` calls are additionally flagged under
+   an *exclusive* lock (a plain ``threading.Lock`` or the write side of the
+   rw-lock) — under the *read* side they are the design (many concurrent
+   readers), but under the write side one request would stall every other
+   reader for its full inference latency, which is exactly the reload-blip
+   regression PR 6 measured.
+
+Suppress a legitimate case with ``# repro: allow[lock] <why>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.lint.astutil import dotted, keyword_arg, walk_without_functions
+from tools.lint.core import ModuleSource, Rule, Violation
+
+__all__ = ["LockDisciplineRule"]
+
+_ACQUIRE_TO_RELEASE = {
+    "acquire": "release",
+    "acquire_read": "release_read",
+    "acquire_write": "release_write",
+}
+
+# Context-manager expressions that mean "a lock is held inside this block".
+_READ_LOCK_MARKERS = ("read_locked",)
+_EXCLUSIVE_LOCK_MARKERS = ("write_locked", "lock", "mutex", "_cond")
+
+_BLOCKING_SOCKET_METHODS = {"recv", "send", "sendall", "connect", "accept"}
+
+
+def _lock_kind(context_expr: ast.expr) -> str | None:
+    """Classify a ``with`` context: 'read', 'exclusive', or None (not a lock)."""
+    source = dotted(
+        context_expr.func if isinstance(context_expr, ast.Call) else context_expr
+    ).lower()
+    tail = source.rsplit(".", 1)[-1]
+    if any(marker in tail for marker in _READ_LOCK_MARKERS):
+        return "read"
+    # "locked"/"unlock" style helper names and open()-ish things are not
+    # locks; require the marker to appear in the final attribute.
+    if tail in ("open",):
+        return None
+    if any(marker in tail for marker in _EXCLUSIVE_LOCK_MARKERS):
+        return "exclusive"
+    return None
+
+
+class LockDisciplineRule(Rule):
+    code = "LCK001"
+    name = "lock-discipline"
+    description = (
+        "acquire() must be release-guarded by a finally (or use a context "
+        "manager); no blocking calls while holding a lock"
+    )
+    tags = ("lock",)
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def check_module(self, module: ModuleSource) -> Iterator[Violation]:
+        yield from self._check_unguarded_acquires(module)
+        yield from self._check_blocking_under_lock(module)
+
+    # ------------------------------------------------------------------
+    # Part 1: acquire/release pairing
+    # ------------------------------------------------------------------
+    def _check_unguarded_acquires(self, module: ModuleSource) -> Iterator[Violation]:
+        yield from self._scan_block(module, list(ast.iter_child_nodes(module.tree)), frozenset())
+
+    def _scan_block(
+        self,
+        module: ModuleSource,
+        block: list[ast.AST],
+        guarded: frozenset[tuple[str, str]],
+    ) -> Iterator[Violation]:
+        """Walk statements tracking which (target, release) pairs an
+        enclosing ``finally`` already guarantees."""
+        statements = [node for node in block if isinstance(node, ast.stmt)]
+        for index, stmt in enumerate(statements):
+            acquire = self._acquire_call(stmt)
+            if acquire is not None:
+                target, method = acquire
+                release = _ACQUIRE_TO_RELEASE[method]
+                follower = statements[index + 1] if index + 1 < len(statements) else None
+                if (target, release) not in guarded and not (
+                    isinstance(follower, ast.Try)
+                    and self._releases(follower.finalbody, target, release)
+                ):
+                    yield self.violation(
+                        module,
+                        stmt,
+                        f"{target}.{method}() is not release-guarded: follow it "
+                        f"with try/finally calling {target}.{release}(), or use "
+                        "the context-manager form",
+                    )
+            # Recurse with the right guard context per child block.
+            if isinstance(stmt, ast.Try):
+                extra = frozenset(
+                    (target, release)
+                    for target, release in self._release_calls(stmt.finalbody)
+                )
+                yield from self._scan_block(module, stmt.body, guarded | extra)
+                for handler in stmt.handlers:
+                    yield from self._scan_block(module, handler.body, guarded | extra)
+                yield from self._scan_block(module, stmt.orelse, guarded | extra)
+                yield from self._scan_block(module, stmt.finalbody, guarded)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # A new frame: the outer finally does not guard code that
+                # merely gets *defined* here.
+                yield from self._scan_block(module, stmt.body, frozenset())
+            elif isinstance(stmt, ast.ClassDef):
+                yield from self._scan_block(module, stmt.body, frozenset())
+            else:
+                for attr in ("body", "orelse", "finalbody"):
+                    child = getattr(stmt, attr, None)
+                    if isinstance(child, list):
+                        yield from self._scan_block(module, child, guarded)
+
+    @staticmethod
+    def _acquire_call(stmt: ast.stmt) -> tuple[str, str] | None:
+        """``(target_source, method)`` when stmt is a bare ``x.acquire*()``."""
+        if not (isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call)):
+            return None
+        func = stmt.value.func
+        if isinstance(func, ast.Attribute) and func.attr in _ACQUIRE_TO_RELEASE:
+            return dotted(func.value), func.attr
+        return None
+
+    @classmethod
+    def _release_calls(cls, block: list[ast.stmt]) -> list[tuple[str, str]]:
+        calls: list[tuple[str, str]] = []
+        for stmt in block:
+            for node in ast.walk(stmt):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _ACQUIRE_TO_RELEASE.values()
+                ):
+                    calls.append((dotted(node.func.value), node.func.attr))
+        return calls
+
+    @classmethod
+    def _releases(cls, block: list[ast.stmt], target: str, release: str) -> bool:
+        return (target, release) in cls._release_calls(block)
+
+    # ------------------------------------------------------------------
+    # Part 2: blocking calls while a lock is held
+    # ------------------------------------------------------------------
+    def _check_blocking_under_lock(self, module: ModuleSource) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.With):
+                continue
+            kinds = [
+                (item, _lock_kind(item.context_expr)) for item in node.items
+            ]
+            held = [(item, kind) for item, kind in kinds if kind is not None]
+            if not held:
+                continue
+            exclusive = any(kind == "exclusive" for _, kind in held)
+            lock_desc = ", ".join(dotted(item.context_expr) for item, _ in held)
+            for child in walk_without_functions(node):
+                if not isinstance(child, ast.Call):
+                    continue
+                reason = self._blocking_reason(child, exclusive=exclusive)
+                if reason is not None:
+                    yield self.violation(
+                        module,
+                        child,
+                        f"{reason} while holding {lock_desc}; blocking under a "
+                        "lock stalls every other acquirer",
+                    )
+
+    @staticmethod
+    def _blocking_reason(call: ast.Call, exclusive: bool) -> str | None:
+        func = call.func
+        source = dotted(func)
+        tail = source.rsplit(".", 1)[-1]
+        if source in ("time.sleep", "sleep"):
+            return "time.sleep()"
+        if tail == "open" and "." not in source:
+            return "file I/O (open())"
+        if source.startswith("socket.") or tail in _BLOCKING_SOCKET_METHODS:
+            return f"socket I/O ({tail}())"
+        if tail == "get" and isinstance(func, ast.Attribute):
+            owner = dotted(func.value).lower()
+            if "queue" in owner and keyword_arg(call, "timeout") is None and not call.args:
+                return f"un-timed {dotted(func.value)}.get()"
+        if tail == "result" and isinstance(func, ast.Attribute):
+            owner = dotted(func.value).lower()
+            if ("future" in owner or "fut" == owner) and keyword_arg(
+                call, "timeout"
+            ) is None and not call.args:
+                return f"un-timed {dotted(func.value)}.result()"
+        if exclusive and tail.startswith("predict"):
+            return f"inference call {tail}() under an exclusive lock"
+        return None

@@ -1,0 +1,117 @@
+"""THR001 — thread hygiene.
+
+Every ``threading.Thread(...)`` must be either daemonized
+(``daemon=True``) or provably joined: a non-daemon thread that nobody
+joins keeps the interpreter alive after ``main`` returns — the classic
+"pytest hangs at the end of the suite" failure — and a thread that is
+neither daemonized nor joined has no owner responsible for its shutdown.
+
+The check is static and module-local: for a ``Thread(...)`` call without
+``daemon=True``, the rule looks at what the thread object is assigned to
+(``self._thread = threading.Thread(...)`` / ``thread = ...``) and searches
+the same module for a ``<that name>.join(`` call.  Unassigned
+fire-and-forget constructions (``threading.Thread(...).start()``) are
+always flagged.
+
+Suppress with ``# repro: allow[thread] <why>``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from tools.lint.astutil import dotted, keyword_arg
+from tools.lint.core import ModuleSource, Rule, Violation
+
+__all__ = ["ThreadHygieneRule"]
+
+
+class ThreadHygieneRule(Rule):
+    code = "THR001"
+    name = "thread-hygiene"
+    description = "threads must be daemonized or joined in the same module"
+    tags = ("thread",)
+
+    def check_module(self, module: ModuleSource) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            targets = self._thread_assignment(node)
+            if targets is None:
+                continue
+            call, assigned_to = targets
+            daemon = keyword_arg(call, "daemon")
+            if isinstance(daemon, ast.Constant) and daemon.value is True:
+                continue
+            if assigned_to and any(
+                self._joined_in_module(module, name) for name in assigned_to
+            ):
+                continue
+            if assigned_to:
+                names = ", ".join(assigned_to)
+                yield self.violation(
+                    module,
+                    call,
+                    f"thread assigned to {names} is neither daemon=True nor "
+                    "joined anywhere in this module; daemonize it or own its "
+                    "shutdown with .join()",
+                )
+            else:
+                yield self.violation(
+                    module,
+                    call,
+                    "fire-and-forget Thread(...) is neither daemon=True nor "
+                    "joinable (never assigned); daemonize it or keep a "
+                    "reference and join it",
+                )
+
+    @staticmethod
+    def _thread_assignment(node: ast.AST) -> tuple[ast.Call, list[str]] | None:
+        """``(call, assignment_targets)`` when node creates a Thread.
+
+        Detects both ``x = threading.Thread(...)`` (targets from the
+        assignment) and a bare ``threading.Thread(...)`` expression
+        (empty target list).  Tuple-valued assignments like
+        ``self._threads[i] = (thread, event)`` fall back to matching the
+        subscripted container name.
+        """
+        call: ast.Call | None = None
+        targets: list[str] = []
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            maybe = node.value
+            if ThreadHygieneRule._is_thread_call(maybe):
+                call = maybe
+                for target in node.targets:
+                    targets.append(dotted(target))
+        elif isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+            inner = node.value
+            # threading.Thread(...).start() — the Call of interest is the
+            # receiver of .start().
+            if (
+                isinstance(inner.func, ast.Attribute)
+                and isinstance(inner.func.value, ast.Call)
+                and ThreadHygieneRule._is_thread_call(inner.func.value)
+            ):
+                call = inner.func.value
+            elif ThreadHygieneRule._is_thread_call(inner):
+                call = inner
+        if call is None:
+            return None
+        return call, targets
+
+    @staticmethod
+    def _is_thread_call(call: ast.Call) -> bool:
+        return dotted(call.func).rsplit(".", 1)[-1] == "Thread"
+
+    @staticmethod
+    def _joined_in_module(module: ModuleSource, assigned_to: str) -> bool:
+        # `self._thread = Thread(...)` is joined by `self._thread.join(...)`
+        # but also commonly via a local alias (`thread, _ = self._threads[i]`);
+        # accept a join on the final attribute name as well.
+        tail = assigned_to.rsplit(".", 1)[-1]
+        patterns = [
+            re.escape(assigned_to) + r"\.join\(",
+            r"\b" + re.escape(tail.lstrip("_")) + r"\.join\(",
+            r"\b" + re.escape(tail) + r"\.join\(",
+        ]
+        return any(re.search(pattern, module.text) for pattern in patterns)
