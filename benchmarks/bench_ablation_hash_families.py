@@ -39,3 +39,62 @@ def test_ablation_hash_families(run_once, delicious_config):
         # output layer sparse.
         assert row["final_accuracy"] > 5 * random_baseline, row["hash_family"]
         assert row["active_fraction"] < 0.9, row["hash_family"]
+
+
+# ----------------------------------------------------------------------
+# Registry generator (see repro.reports): bench id "ablation_hash_families"
+# ----------------------------------------------------------------------
+def run(params: dict | None = None) -> dict:
+    """Pure payload generator for the report registry."""
+    from repro.harness.experiment import small_experiment_config
+
+    p = dict(params or {})
+    families = tuple(str(f) for f in p.get("families", FAMILIES))
+    config = small_experiment_config(
+        dataset="delicious",
+        scale=float(p.get("scale", 1.0 / 1024.0)),
+        epochs=int(p.get("epochs", 2)),
+        seed=int(p.get("seed", 0)),
+    )
+    rows = []
+    for family in families:
+        experiment = HeadToHeadExperiment(config)
+        run_result = experiment.run_slide(hash_family=family)
+        rows.append(
+            {
+                "hash_family": family,
+                "final_accuracy": run_result.final_accuracy,
+                "avg_active_output": run_result.avg_active_output,
+                "active_fraction": run_result.avg_active_output / config.dataset.label_dim,
+            }
+        )
+    return {
+        "config": {"families": list(families), "label_dim": config.dataset.label_dim},
+        "rows": rows,
+    }
+
+
+def check(payload: dict, smoke: bool) -> list[str]:
+    """Every family learns well above random while keeping the output sparse."""
+    random_baseline = 1.0 / int(payload["config"]["label_dim"])
+    problems = []
+    for row in payload["rows"]:
+        if row["final_accuracy"] <= 5 * random_baseline:
+            problems.append(f"{row['hash_family']}: accuracy no better than random")
+        if row["active_fraction"] >= 0.9:
+            problems.append(f"{row['hash_family']}: output layer not kept sparse")
+    return problems
+
+
+def print_report(payload: dict) -> None:
+    print(format_table(payload["rows"], title="Ablation: hash family choice"))
+
+
+def main() -> None:
+    from repro.reports.cli import bench_main
+
+    raise SystemExit(bench_main("ablation_hash_families"))
+
+
+if __name__ == "__main__":
+    main()

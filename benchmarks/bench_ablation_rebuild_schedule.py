@@ -42,3 +42,64 @@ def test_ablation_rebuild_schedule(run_once, delicious_config):
     # keeping accuracy in the same range.
     assert decayed["rebuilds"] <= fixed["rebuilds"]
     assert decayed["final_accuracy"] >= fixed["final_accuracy"] - 0.1
+
+
+# ----------------------------------------------------------------------
+# Registry generator (see repro.reports): bench id "ablation_rebuild_schedule"
+# ----------------------------------------------------------------------
+def run(params: dict | None = None) -> dict:
+    """Pure payload generator for the report registry."""
+    from repro.core.trainer import SlideTrainer
+    from repro.harness.experiment import small_experiment_config
+
+    p = dict(params or {})
+    config = small_experiment_config(
+        dataset="delicious",
+        scale=float(p.get("scale", 1.0 / 1024.0)),
+        epochs=int(p.get("epochs", 2)),
+        seed=int(p.get("seed", 0)),
+    )
+    rows = []
+    for decay, label in ((0.5, "exponential_decay"), (0.0, "fixed_period")):
+        experiment = HeadToHeadExperiment(config)
+        network = experiment.build_slide_network(rebuild_decay=decay)
+        trainer = SlideTrainer(network, experiment.training_config())
+        trainer.train(experiment.dataset.train, experiment.dataset.test)
+        rows.append(
+            {
+                "schedule": label,
+                "final_accuracy": trainer.evaluate(experiment.dataset.test[:128]),
+                "rebuilds": network.output_layer.num_rebuilds,
+                "iterations": network.iteration,
+            }
+        )
+    return {"config": {"decay": 0.5, "epochs": config.epochs}, "rows": rows}
+
+
+def check(payload: dict, smoke: bool) -> list[str]:
+    """Decayed schedule does no more rebuilds without giving up accuracy."""
+    by_schedule = {row["schedule"]: row for row in payload["rows"]}
+    decayed, fixed = by_schedule["exponential_decay"], by_schedule["fixed_period"]
+    problems = []
+    if decayed["rebuilds"] > fixed["rebuilds"]:
+        problems.append(
+            f"exponential decay performed {decayed['rebuilds']} rebuilds, more "
+            f"than fixed period's {fixed['rebuilds']}"
+        )
+    if decayed["final_accuracy"] < fixed["final_accuracy"] - 0.1:
+        problems.append("decayed schedule lost more than 0.1 precision@1 vs fixed period")
+    return problems
+
+
+def print_report(payload: dict) -> None:
+    print(format_table(payload["rows"], title="Ablation: hash-table rebuild schedule"))
+
+
+def main() -> None:
+    from repro.reports.cli import bench_main
+
+    raise SystemExit(bench_main("ablation_rebuild_schedule"))
+
+
+if __name__ == "__main__":
+    main()

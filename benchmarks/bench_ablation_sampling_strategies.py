@@ -37,3 +37,63 @@ def test_ablation_sampling_strategies(run_once, delicious_config):
     assert accuracies["vanilla"] >= accuracies["topk"] - 0.1
     for strategy, accuracy in accuracies.items():
         assert accuracy > 5.0 / delicious_config.dataset.label_dim, strategy
+
+
+# ----------------------------------------------------------------------
+# Registry generator (see repro.reports): bench id "ablation_sampling_strategies"
+# ----------------------------------------------------------------------
+def run(params: dict | None = None) -> dict:
+    """Pure payload generator for the report registry."""
+    from repro.harness.experiment import small_experiment_config
+
+    p = dict(params or {})
+    strategies = tuple(str(s) for s in p.get("strategies", STRATEGIES))
+    config = small_experiment_config(
+        dataset="delicious",
+        scale=float(p.get("scale", 1.0 / 1024.0)),
+        epochs=int(p.get("epochs", 2)),
+        seed=int(p.get("seed", 0)),
+    )
+    rows = []
+    for strategy in strategies:
+        experiment = HeadToHeadExperiment(config)
+        run_result = experiment.run_slide(sampling_strategy=strategy)
+        rows.append(
+            {
+                "strategy": strategy,
+                "final_accuracy": run_result.final_accuracy,
+                "avg_active_output": run_result.avg_active_output,
+            }
+        )
+    return {
+        "config": {"strategies": list(strategies), "label_dim": config.dataset.label_dim},
+        "rows": rows,
+    }
+
+
+def check(payload: dict, smoke: bool) -> list[str]:
+    """Vanilla converges within a small margin of the expensive TopK."""
+    accuracies = {row["strategy"]: row["final_accuracy"] for row in payload["rows"]}
+    problems = []
+    if "vanilla" in accuracies and "topk" in accuracies:
+        if accuracies["vanilla"] < accuracies["topk"] - 0.1:
+            problems.append("vanilla sampling lost more than 0.1 precision@1 vs topk")
+    random_baseline = 5.0 / int(payload["config"]["label_dim"])
+    for strategy, accuracy in accuracies.items():
+        if accuracy <= random_baseline:
+            problems.append(f"{strategy}: accuracy no better than random")
+    return problems
+
+
+def print_report(payload: dict) -> None:
+    print(format_table(payload["rows"], title="Ablation: sampling strategy"))
+
+
+def main() -> None:
+    from repro.reports.cli import bench_main
+
+    raise SystemExit(bench_main("ablation_sampling_strategies"))
+
+
+if __name__ == "__main__":
+    main()

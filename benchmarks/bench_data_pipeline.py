@@ -16,7 +16,8 @@ written out in the real XC text format:
 
 The streamed path must beat the eager path (it replaces text parsing with
 mmap reads), and shard-cache training must match eager-loader training loss
-bit-for-bit under the same seed.  Results land in
+bit-for-bit under the same seed.  The registry
+(``python -m repro.reports --run data_pipeline``) writes
 ``BENCH_data_pipeline.json`` at the repository root.
 
 Runs under the pytest bench harness or standalone::
@@ -26,8 +27,6 @@ Runs under the pytest bench harness or standalone::
 
 from __future__ import annotations
 
-import argparse
-import json
 import shutil
 import tempfile
 import time
@@ -52,10 +51,6 @@ from repro.datasets.synthetic import delicious_like_config, generate_synthetic_x
 from repro.harness.report import format_table
 from repro.types import SparseBatch
 from repro.utils.rng import derive_rng
-
-_REPO_ROOT = Path(__file__).parent.parent
-DEFAULT_OUTPUT = _REPO_ROOT / "BENCH_data_pipeline.json"
-
 
 def _slide_network(feature_dim: int, label_dim: int, seed: int) -> SlideNetwork:
     layers = (
@@ -217,10 +212,6 @@ def measure_data_pipeline(
     }
 
 
-def write_report(report: dict[str, object], output: Path = DEFAULT_OUTPUT) -> None:
-    output.write_text(json.dumps(report, indent=2) + "\n")
-
-
 def test_data_pipeline_table(run_once):
     report = run_once(measure_data_pipeline)
     print()
@@ -230,7 +221,6 @@ def test_data_pipeline_table(run_once):
             title="Data pipeline: ingest, eager epoch, sharded+prefetched epoch",
         )
     )
-    write_report(report)
     # Streaming the shard cache must beat re-parsing the text file.
     assert report["speedup_sharded_vs_eager"] >= 1.0
     # One shard resident at a time (plus nothing lingering afterwards).
@@ -240,42 +230,56 @@ def test_data_pipeline_table(run_once):
     assert report["training_loss_parity_bitwise"]
 
 
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="tiny config for CI: ingest, stream an epoch, assert parity",
+# ----------------------------------------------------------------------
+# Registry generator (see repro.reports): bench id "data_pipeline"
+# ----------------------------------------------------------------------
+def run(params: dict | None = None) -> dict:
+    """Pure payload generator for the report registry."""
+    p = dict(params or {})
+    scale = float(p.get("scale", 1.0 / 512.0))
+    shard_size = int(p.get("shard_size", 128 if scale <= 1.0 / 1024.0 else 256))
+    return measure_data_pipeline(
+        scale=scale,
+        batch_size=int(p.get("batch_size", 64)),
+        shard_size=shard_size,
+        prefetch_depth=int(p.get("prefetch_depth", 4)),
+        seed=int(p.get("seed", 0)),
     )
-    parser.add_argument("--scale", type=float, default=None)
-    parser.add_argument("--out", type=Path, default=DEFAULT_OUTPUT)
-    args = parser.parse_args()
 
-    scale = args.scale
-    if scale is None:
-        scale = 1.0 / 2048.0 if args.smoke else 1.0 / 512.0
-    shard_size = 128 if args.smoke else 256
 
-    report = measure_data_pipeline(scale=scale, shard_size=shard_size)
+def check(payload: dict, smoke: bool) -> list[str]:
+    """Streaming must beat re-parsing and must not change training at all."""
+    problems = []
+    if not payload["training_loss_parity_bitwise"]:
+        problems.append("shard-cache training diverged from the eager loader")
+    if payload["speedup_sharded_vs_eager"] < 1.0:
+        problems.append(
+            "sharded+prefetched epoch is slower than the eager loader "
+            f"({payload['speedup_sharded_vs_eager']}x)"
+        )
+    if payload["max_open_shards_during_stream"] > 2:
+        problems.append(
+            f"{payload['max_open_shards_during_stream']} shards were resident at "
+            "once; streaming should hold at most 2"
+        )
+    return problems
+
+
+def print_report(payload: dict) -> None:
     print(
         format_table(
-            report["rows"],
+            payload["rows"],
             title="Data pipeline: ingest, eager epoch, sharded+prefetched epoch",
         )
     )
-    print(f"sharded / eager epoch speedup: {report['speedup_sharded_vs_eager']}x")
-    print(f"max open shards during stream: {report['max_open_shards_during_stream']}")
-    print(f"training loss parity (bitwise): {report['training_loss_parity_bitwise']}")
-    write_report(report, args.out)
-    print(f"wrote {args.out}")
+    print(f"sharded / eager epoch speedup: {payload['speedup_sharded_vs_eager']}x")
+    print(f"training loss parity (bitwise): {payload['training_loss_parity_bitwise']}")
 
-    if not report["training_loss_parity_bitwise"]:
-        raise SystemExit("shard-cache training diverged from the eager loader")
-    if report["speedup_sharded_vs_eager"] < 1.0:
-        raise SystemExit(
-            "sharded+prefetched epoch is slower than the eager loader "
-            f"({report['speedup_sharded_vs_eager']}x)"
-        )
+
+def main() -> None:
+    from repro.reports.cli import bench_main
+
+    raise SystemExit(bench_main("data_pipeline"))
 
 
 if __name__ == "__main__":

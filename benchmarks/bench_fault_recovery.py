@@ -19,15 +19,15 @@ and records what recovery actually cost:
   onward — the strongest statement that nothing about the crash leaked into
   the resumed model.
 
-Results land in ``BENCH_fault_recovery.json``.  Runs under the pytest bench
-harness or standalone::
+The registry (``python -m repro.reports --run fault_recovery``) writes
+``BENCH_fault_recovery.json``.  Runs under the pytest bench harness or
+standalone::
 
     PYTHONPATH=src python benchmarks/bench_fault_recovery.py [--smoke]
 """
 
 from __future__ import annotations
 
-import argparse
 import json
 import multiprocessing as mp
 import os
@@ -50,9 +50,6 @@ from repro.harness.report import format_table
 from repro.harness.scaling import build_scaling_network_config
 from repro.parallel.sharedmem import ProcessHogwildTrainer
 from repro.serving import CheckpointStore
-
-_REPO_ROOT = Path(__file__).parent.parent
-DEFAULT_OUTPUT = _REPO_ROOT / "BENCH_fault_recovery.json"
 
 # The killed run loses at most a couple of batches of telemetry and retrains
 # them after the restart; its converged precision must stay within a point of
@@ -316,10 +313,6 @@ def build_report(
     }
 
 
-def write_report(report: dict[str, object], output: Path = DEFAULT_OUTPUT) -> None:
-    output.write_text(json.dumps(report, indent=2) + "\n")
-
-
 def check_report(
     report: dict[str, object],
     precision_tolerance: float = PRECISION_TOLERANCE,
@@ -390,52 +383,49 @@ def test_fault_recovery_chaos(run_once):
 
 
 # ----------------------------------------------------------------------
-# Standalone CLI
+# Registry generator (see repro.reports): bench id "fault_recovery"
 # ----------------------------------------------------------------------
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="tiny config for CI: smaller workload, looser precision bar",
-    )
-    parser.add_argument("--scale", type=float, default=None)
-    parser.add_argument("--epochs", type=int, default=None)
-    parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--out", type=Path, default=DEFAULT_OUTPUT)
-    args = parser.parse_args()
-
-    if args.smoke:
-        scale = args.scale if args.scale is not None else 1.0 / 2048.0
-        epochs = args.epochs if args.epochs is not None else 2
-        tolerance = SMOKE_PRECISION_TOLERANCE
+def run(params: dict | None = None) -> dict:
+    """Pure payload generator for the report registry."""
+    p = dict(params or {})
+    if p.get("smoke", False):
+        scale, epochs = 1.0 / 2048.0, 2
     else:
-        scale = args.scale if args.scale is not None else 1.0 / 512.0
-        epochs = args.epochs if args.epochs is not None else 3
-        tolerance = PRECISION_TOLERANCE
+        scale, epochs = 1.0 / 512.0, 3
+    return build_report(
+        scale=float(p.get("scale", scale)),
+        epochs=int(p.get("epochs", epochs)),
+        batch_size=int(p.get("batch_size", 32)),
+        seed=int(p.get("seed", 0)),
+    )
 
-    report = build_report(scale=scale, epochs=epochs, seed=args.seed)
-    print(format_table(_summary_rows(report), title="Fault recovery"))
-    kill = report["worker_kill"]
+
+def check(payload: dict, smoke: bool) -> list[str]:
+    """Both chaos scenarios recovered within the precision/parity bars."""
+    tolerance = SMOKE_PRECISION_TOLERANCE if smoke else PRECISION_TOLERANCE
+    return check_report(payload, precision_tolerance=tolerance)
+
+
+def print_report(payload: dict) -> None:
+    print(format_table(_summary_rows(payload), title="Fault recovery"))
+    kill = payload["worker_kill"]
     print(
-        f"worker kill: {kill['killed']['restarts']} restart(s), "
-        f"{kill['killed']['lost_batches']} lost batch(es), mean recovery "
+        f"worker kill: {kill['killed']['restarts']} restart(s), mean recovery "
         f"{kill['killed']['mean_recovery_latency_s']}s, precision gap "
         f"{kill['precision_gap']}"
     )
-    resume = report["parent_kill_resume"]
+    resume = payload["parent_kill_resume"]
     print(
         f"parent kill: resumed at batch {resume['resume_position_batches']}/"
-        f"{resume['workload']['total_batches']}, retrained "
-        f"{resume['retrained_batches']}, trajectory match: "
+        f"{resume['workload']['total_batches']}, trajectory match: "
         f"{resume['loss_trajectory_matches']}"
     )
-    write_report(report, args.out)
-    print(f"wrote {args.out}")
 
-    failures = check_report(report, precision_tolerance=tolerance)
-    if failures:
-        raise SystemExit("fault recovery bench failed:\n" + "\n".join(failures))
+
+def main() -> None:
+    from repro.reports.cli import bench_main
+
+    raise SystemExit(bench_main("fault_recovery"))
 
 
 if __name__ == "__main__":

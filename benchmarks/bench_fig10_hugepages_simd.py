@@ -29,3 +29,64 @@ def test_fig10_hugepages_simd(run_once, amazon_config):
     # so the end-to-end effect must land near 1.3x and must not change accuracy.
     assert 1.2 < result["optimized_speedup"] < 1.4
     assert result["speedup_vs_gpu"] > 1.0
+
+
+# ----------------------------------------------------------------------
+# Registry generator (see repro.reports): bench id "fig10_hugepages_simd"
+#
+# The cache optimisation is MODELLED: the generator applies the paper's
+# measured 1.3x Transparent-Hugepages+SIMD cost reduction rather than
+# measuring hugepage effects on this host, so the artifact is stamped
+# ``measured: false`` and its metrics are excluded from trend gating.
+# ----------------------------------------------------------------------
+def run(params: dict | None = None) -> dict:
+    """Pure payload generator for the report registry (MODELLED speed-up)."""
+    from repro.harness.experiment import small_experiment_config
+    from repro.harness.report import series_payload
+
+    p = dict(params or {})
+    cores = int(p.get("cores", 44))
+    config = small_experiment_config(
+        dataset="amazon",
+        scale=float(p.get("scale", 1.0 / 2048.0)),
+        epochs=int(p.get("epochs", 2)),
+        seed=int(p.get("seed", 0)),
+    )
+    result = figure10_hugepages_simd(config, cores=cores, paper_dims=AMAZON_PAPER_DIMS)
+    return {
+        "config": {"cores": cores, "dataset": "amazon-670k-like"},
+        "optimized_speedup": result["optimized_speedup"],
+        "expected_speedup": result["expected_speedup"],
+        "speedup_vs_gpu": result["speedup_vs_gpu"],
+        "time_series": series_payload(result["time_series"], "time_s", "precision_at_1"),
+    }
+
+
+def check(payload: dict, smoke: bool) -> list[str]:
+    """End-to-end effect of the modelled 1.3x cost reduction lands near 1.3x."""
+    problems = []
+    speedup = payload["optimized_speedup"]
+    if not (isinstance(speedup, (int, float)) and 1.2 < speedup < 1.4):
+        problems.append(
+            f"optimised-vs-plain speed-up {speedup!r} should land near the "
+            "modelled 1.3x cache factor"
+        )
+    vs_gpu = payload["speedup_vs_gpu"]
+    if not (isinstance(vs_gpu, (int, float)) and vs_gpu > 1.0):
+        problems.append(f"optimised SLIDE should beat TF-GPU (got {vs_gpu!r})")
+    return problems
+
+
+def print_report(payload: dict) -> None:
+    print(format_comparison(1.3, payload["optimized_speedup"], "optimised-vs-plain", "x"))
+    print(format_comparison(3.5, payload["speedup_vs_gpu"], "optimised SLIDE vs TF-GPU", "x"))
+
+
+def main() -> None:
+    from repro.reports.cli import bench_main
+
+    raise SystemExit(bench_main("fig10_hugepages_simd"))
+
+
+if __name__ == "__main__":
+    main()

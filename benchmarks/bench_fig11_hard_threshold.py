@@ -35,3 +35,65 @@ def test_fig11_hard_threshold_tradeoff(run_once):
         _, a = series[f"m={low}"]
         _, b = series[f"m={high}"]
         assert np.all(a >= b - 1e-12)
+
+
+# ----------------------------------------------------------------------
+# Registry generator (see repro.reports): bench id "fig11_hard_threshold"
+# ----------------------------------------------------------------------
+def run(params: dict | None = None) -> dict:
+    """Pure payload generator for the report registry (exact closed form)."""
+    p = dict(params or {})
+    k = int(p.get("k", 1))
+    l = int(p.get("l", 10))
+    thresholds = tuple(int(m) for m in p.get("thresholds", (1, 3, 5, 7, 9)))
+    num_points = int(p.get("num_points", 17))
+    series = figure11_hard_threshold_tradeoff(
+        k=k, l=l, thresholds=thresholds, num_points=num_points
+    )
+    return {
+        "config": {"k": k, "l": l, "thresholds": list(thresholds), "num_points": num_points},
+        "series": {
+            name: {
+                "collision_p": [float(x) for x in p_values],
+                "selection_p": [float(y) for y in selected],
+            }
+            for name, (p_values, selected) in series.items()
+        },
+    }
+
+
+def check(payload: dict, smoke: bool) -> list[str]:
+    """Curves are ordered: lower thresholds always select at least as often."""
+    series = payload["series"]
+    problems = []
+    ms = sorted(int(name.split("=")[1]) for name in series)
+    for low, high in zip(ms, ms[1:]):
+        a = np.asarray(series[f"m={low}"]["selection_p"])
+        b = np.asarray(series[f"m={high}"]["selection_p"])
+        if not np.all(a >= b - 1e-12):
+            problems.append(f"selection curve m={low} should dominate m={high}")
+    return problems
+
+
+def print_report(payload: dict) -> None:
+    print(
+        format_series(
+            "collision_p",
+            "Pr(selected)",
+            {
+                name: (curve["collision_p"], curve["selection_p"])
+                for name, curve in payload["series"].items()
+            },
+            title="Figure 11: selection probability vs collision probability",
+        )
+    )
+
+
+def main() -> None:
+    from repro.reports.cli import bench_main
+
+    raise SystemExit(bench_main("fig11_hard_threshold"))
+
+
+if __name__ == "__main__":
+    main()

@@ -25,3 +25,60 @@ def test_fig4_sampling_strategy_timing(run_once):
     for row in rows:
         totals[row["strategy"]] += row["seconds_per_query"]
     assert totals["TopK Sampling"] > totals["Vanilla Sampling"]
+
+
+# ----------------------------------------------------------------------
+# Registry generator (see repro.reports): bench id "fig4_sampling"
+# ----------------------------------------------------------------------
+def run(params: dict | None = None) -> dict:
+    """Pure payload generator for the report registry."""
+    p = dict(params or {})
+    neuron_counts = tuple(p.get("neuron_counts", (2000, 3000, 4000, 5000, 6000, 7000)))
+    queries = int(p.get("queries", 20))
+    rows = figure4_sampling_strategy_timing(
+        neuron_counts=neuron_counts,
+        dim=int(p.get("dim", 128)),
+        k=int(p.get("k", 6)),
+        l=int(p.get("l", 20)),
+        queries=queries,
+        seed=int(p.get("seed", 0)),
+    )
+    totals: dict[str, float] = defaultdict(float)
+    for row in rows:
+        totals[str(row["strategy"])] += float(row["seconds_per_query"])
+    return {
+        "config": {"neuron_counts": list(neuron_counts), "queries": queries},
+        "rows": rows,
+        "total_seconds_per_query": dict(totals),
+    }
+
+
+def check(payload: dict, smoke: bool) -> list[str]:
+    """Invariant: TopK pays the frequency sort, Vanilla is cheapest."""
+    totals = payload["total_seconds_per_query"]
+    problems = []
+    if totals["TopK Sampling"] <= totals["Vanilla Sampling"]:
+        problems.append(
+            "TopK sampling should be the most expensive strategy "
+            f"(TopK {totals['TopK Sampling']:.2e}s <= Vanilla "
+            f"{totals['Vanilla Sampling']:.2e}s)"
+        )
+    return problems
+
+
+def print_report(payload: dict) -> None:
+    print(
+        format_table(
+            payload["rows"], title="Figure 4/12: sampling strategy time per query (seconds)"
+        )
+    )
+
+
+def main() -> None:
+    from repro.reports.cli import bench_main
+
+    raise SystemExit(bench_main("fig4_sampling"))
+
+
+if __name__ == "__main__":
+    main()

@@ -60,3 +60,86 @@ def test_fig5_iteration_wise_parity(run_once, delicious_config):
     slide_iters, slide_acc = result["iteration_series"]["SLIDE CPU"]
     gpu_iters, gpu_acc = result["iteration_series"]["TF-GPU"]
     assert slide_acc[-1] >= gpu_acc[-1] - 0.05
+
+
+# ----------------------------------------------------------------------
+# Registry generator (see repro.reports): bench id "fig5_time_accuracy"
+# ----------------------------------------------------------------------
+def _side_payload(result: dict) -> dict:
+    from repro.harness.report import series_payload
+
+    return {
+        "summary": result["summary"],
+        "speedup_vs_gpu": result["speedup_vs_gpu"],
+        "speedup_vs_cpu": result["speedup_vs_cpu"],
+        "common_target_accuracy": result["common_target_accuracy"],
+        "time_series": series_payload(result["time_series"], "time_s", "precision_at_1"),
+        "iteration_series": series_payload(
+            result["iteration_series"], "iteration", "precision_at_1"
+        ),
+    }
+
+
+def run(params: dict | None = None) -> dict:
+    """Pure payload generator for the report registry (MODELLED wall-clock)."""
+    from repro.harness.experiment import small_experiment_config
+
+    p = dict(params or {})
+    epochs = int(p.get("epochs", 2))
+    cores = int(p.get("cores", 44))
+    seed = int(p.get("seed", 0))
+    sides = {}
+    for name, scale_key, default_scale, dims in (
+        ("delicious", "scale_delicious", 1.0 / 1024.0, DELICIOUS_PAPER_DIMS),
+        ("amazon", "scale_amazon", 1.0 / 2048.0, AMAZON_PAPER_DIMS),
+    ):
+        config = small_experiment_config(
+            dataset=name, scale=float(p.get(scale_key, default_scale)), epochs=epochs, seed=seed
+        )
+        sides[name] = _side_payload(
+            figure5_time_vs_accuracy(config, cores=cores, paper_dims=dims)
+        )
+    return {
+        "config": {
+            "epochs": epochs,
+            "cores": cores,
+            "seed": seed,
+            "scale_delicious": float(p.get("scale_delicious", 1.0 / 1024.0)),
+            "scale_amazon": float(p.get("scale_amazon", 1.0 / 2048.0)),
+        },
+        "delicious": sides["delicious"],
+        "amazon": sides["amazon"],
+    }
+
+
+def check(payload: dict, smoke: bool) -> list[str]:
+    """SLIDE wins against both baselines; TF-CPU is the slowest of the three."""
+    problems = []
+    for name in ("delicious", "amazon"):
+        side = payload[name]
+        gpu, cpu = side["speedup_vs_gpu"], side["speedup_vs_cpu"]
+        if not (isinstance(gpu, (int, float)) and gpu > 1.0):
+            problems.append(f"{name}: modelled speedup vs TF-GPU is {gpu!r}, expected > 1")
+        if not (isinstance(cpu, (int, float)) and isinstance(gpu, (int, float)) and cpu > gpu):
+            problems.append(f"{name}: TF-CPU should be slower than TF-GPU ({cpu!r} vs {gpu!r})")
+    return problems
+
+
+def print_report(payload: dict) -> None:
+    for name in ("delicious", "amazon"):
+        side = payload[name]
+        print(format_table(side["summary"], title=f"Figure 5 summary ({name}-like)"))
+        print(
+            f"  modelled speedups: vs TF-GPU {side['speedup_vs_gpu']}, "
+            f"vs TF-CPU {side['speedup_vs_cpu']}"
+        )
+
+
+def main() -> None:
+    from repro.reports.cli import bench_main
+
+    raise SystemExit(bench_main("fig5_time_accuracy"))
+
+
+if __name__ == "__main__":
+    main()

@@ -23,3 +23,47 @@ def test_fig6_inefficiency_breakdown(run_once):
     # Opposite trends with increasing threads.
     assert tf_rows[0]["memory_bound"] < tf_rows[-1]["memory_bound"]
     assert slide_rows[0]["memory_bound"] > slide_rows[-1]["memory_bound"]
+
+
+# ----------------------------------------------------------------------
+# Registry generator (see repro.reports): bench id "fig6_inefficiencies"
+# ----------------------------------------------------------------------
+def run(params: dict | None = None) -> dict:
+    """Pure payload generator for the report registry (MODELLED breakdown)."""
+    p = dict(params or {})
+    threads = tuple(int(t) for t in p.get("threads", (8, 16, 32)))
+    rows = figure6_inefficiency_breakdown(threads=threads)
+    return {"config": {"threads": list(threads)}, "rows": rows}
+
+
+def check(payload: dict, smoke: bool) -> list[str]:
+    """Memory-bound dominates everywhere; trends oppose with thread count."""
+    rows = payload["rows"]
+    problems = []
+    for row in rows:
+        if row["memory_bound"] < max(row["front_end_bound"], row["core_bound"]):
+            problems.append(
+                f"{row['framework']} @ {row['threads']} threads: memory-bound "
+                "stalls should dominate the breakdown"
+            )
+    tf_rows = [r for r in rows if r["framework"] == "Tensorflow-CPU"]
+    slide_rows = [r for r in rows if r["framework"] == "SLIDE"]
+    if tf_rows and tf_rows[0]["memory_bound"] >= tf_rows[-1]["memory_bound"]:
+        problems.append("TF-CPU memory-bound share should grow with threads")
+    if slide_rows and slide_rows[0]["memory_bound"] <= slide_rows[-1]["memory_bound"]:
+        problems.append("SLIDE memory-bound share should shrink with threads")
+    return problems
+
+
+def print_report(payload: dict) -> None:
+    print(format_table(payload["rows"], title="Figure 6: CPU usage inefficiency breakdown"))
+
+
+def main() -> None:
+    from repro.reports.cli import bench_main
+
+    raise SystemExit(bench_main("fig6_inefficiencies"))
+
+
+if __name__ == "__main__":
+    main()

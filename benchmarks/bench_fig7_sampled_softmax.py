@@ -49,3 +49,88 @@ def test_fig7_amazon_like(run_once, amazon_config):
     )
     _report(result, "Amazon-670K-like")
     assert result["final_accuracy"]["SLIDE CPU"] > result["final_accuracy"]["TF-GPU SSM"]
+
+
+# ----------------------------------------------------------------------
+# Registry generator (see repro.reports): bench id "fig7_sampled_softmax"
+# ----------------------------------------------------------------------
+def _side_run(name: str, scale: float, epochs: int, seed: int, cores: int, dims) -> dict:
+    from repro.harness.experiment import small_experiment_config
+    from repro.harness.report import series_payload
+
+    config = small_experiment_config(dataset=name, scale=scale, epochs=epochs, seed=seed)
+    result = figure7_sampled_softmax(config, cores=cores, paper_dims=dims)
+    slide_acc = float(result["final_accuracy"]["SLIDE CPU"])
+    ssm_acc = float(result["final_accuracy"]["TF-GPU SSM"])
+    return {
+        "final_accuracy": {"slide": slide_acc, "sampled_softmax": ssm_acc},
+        "active_fraction": {
+            "slide": float(result["active_fraction"]["SLIDE CPU"]),
+            "sampled_softmax": float(result["active_fraction"]["TF-GPU SSM"]),
+        },
+        "accuracy_advantage": slide_acc - ssm_acc,
+        "time_series": series_payload(result["time_series"], "time_s", "precision_at_1"),
+        "iteration_series": series_payload(
+            result["iteration_series"], "iteration", "precision_at_1"
+        ),
+    }
+
+
+def run(params: dict | None = None) -> dict:
+    """Pure payload generator for the report registry (MODELLED wall-clock)."""
+    p = dict(params or {})
+    epochs = int(p.get("epochs", 2))
+    cores = int(p.get("cores", 44))
+    seed = int(p.get("seed", 0))
+    return {
+        "config": {"epochs": epochs, "cores": cores, "seed": seed},
+        "delicious": _side_run(
+            "delicious",
+            float(p.get("scale_delicious", 1.0 / 1024.0)),
+            epochs,
+            seed,
+            cores,
+            DELICIOUS_PAPER_DIMS,
+        ),
+        "amazon": _side_run(
+            "amazon",
+            float(p.get("scale_amazon", 1.0 / 2048.0)),
+            epochs,
+            seed,
+            cores,
+            AMAZON_PAPER_DIMS,
+        ),
+    }
+
+
+def check(payload: dict, smoke: bool) -> list[str]:
+    """SLIDE beats static sampled softmax while sampling far fewer neurons."""
+    problems = []
+    for name in ("delicious", "amazon"):
+        side = payload[name]
+        if side["accuracy_advantage"] <= 0:
+            problems.append(f"{name}: SLIDE should out-converge TF-GPU sampled softmax")
+        if side["active_fraction"]["slide"] >= 1.0:
+            problems.append(f"{name}: SLIDE active fraction should stay below 1.0")
+    return problems
+
+
+def print_report(payload: dict) -> None:
+    for name in ("delicious", "amazon"):
+        side = payload[name]
+        print(
+            f"{name}: SLIDE p@1 {side['final_accuracy']['slide']:.3f} vs "
+            f"SSM {side['final_accuracy']['sampled_softmax']:.3f} "
+            f"(advantage {side['accuracy_advantage']:+.3f}, "
+            f"active fraction {side['active_fraction']['slide']:.3f})"
+        )
+
+
+def main() -> None:
+    from repro.reports.cli import bench_main
+
+    raise SystemExit(bench_main("fig7_sampled_softmax"))
+
+
+if __name__ == "__main__":
+    main()

@@ -31,3 +31,56 @@ def test_fig8_batch_size_effect(run_once, amazon_config):
     # SLIDE beats TF-GPU at every batch size (the paper's headline for Fig 8).
     for batch_size, times in by_batch.items():
         assert times["SLIDE CPU"] < times["TF-GPU"], f"batch={batch_size}"
+
+
+# ----------------------------------------------------------------------
+# Registry generator (see repro.reports): bench id "fig8_batch_size"
+# ----------------------------------------------------------------------
+def run(params: dict | None = None) -> dict:
+    """Pure payload generator for the report registry (MODELLED wall-clock)."""
+    from repro.harness.experiment import small_experiment_config
+
+    p = dict(params or {})
+    batch_sizes = tuple(int(b) for b in p.get("batch_sizes", (16, 32, 64)))
+    cores = int(p.get("cores", 44))
+    config = small_experiment_config(
+        dataset="amazon",
+        scale=float(p.get("scale", 1.0 / 2048.0)),
+        epochs=int(p.get("epochs", 2)),
+        seed=int(p.get("seed", 0)),
+    )
+    rows = figure8_batch_size_effect(
+        config, batch_sizes=batch_sizes, cores=cores, paper_dims=AMAZON_PAPER_DIMS
+    )
+    return {"config": {"batch_sizes": list(batch_sizes), "cores": cores}, "rows": rows}
+
+
+def check(payload: dict, smoke: bool) -> list[str]:
+    """SLIDE beats TF-GPU at every batch size (the paper's Fig 8 headline)."""
+    by_batch: dict[int, dict[str, float]] = defaultdict(dict)
+    for row in payload["rows"]:
+        by_batch[int(row["batch_size"])][str(row["framework"])] = float(
+            row["convergence_time_s"]
+        )
+    problems = []
+    for batch_size, times in sorted(by_batch.items()):
+        if times["SLIDE CPU"] >= times["TF-GPU"]:
+            problems.append(
+                f"batch={batch_size}: SLIDE ({times['SLIDE CPU']:.3g}s) should "
+                f"converge before TF-GPU ({times['TF-GPU']:.3g}s)"
+            )
+    return problems
+
+
+def print_report(payload: dict) -> None:
+    print(format_table(payload["rows"], title="Figure 8: batch-size effect (Amazon-670K-like)"))
+
+
+def main() -> None:
+    from repro.reports.cli import bench_main
+
+    raise SystemExit(bench_main("fig8_batch_size"))
+
+
+if __name__ == "__main__":
+    main()

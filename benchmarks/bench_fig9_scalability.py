@@ -16,7 +16,8 @@ backs that claim with real processes instead of a model:
   spirit): SLIDE vs TF-CPU vs TF-GPU convergence-time curves and the
   Figure 13 ratio view.
 
-Results land in ``BENCH_fig9_scalability.json``.  Measured speedup is
+The registry (``python -m repro.reports --run fig9_scalability``) writes
+``BENCH_fig9_scalability.json``.  Measured speedup is
 hardware-bounded: the JSON records ``available_cores`` and the assertions
 only demand speedup the machine can physically deliver (a 1-core container
 cannot run 4 processes faster than 1 — the projection section carries the
@@ -29,17 +30,10 @@ Runs under the pytest bench harness or standalone::
 
 from __future__ import annotations
 
-import argparse
-import json
-from pathlib import Path
-
 from repro.harness.experiment import AMAZON_PAPER_DIMS, DELICIOUS_PAPER_DIMS
 from repro.harness.figures import figure9_scalability, figure13_scalability_ratio
 from repro.harness.report import format_table
 from repro.harness.scaling import available_cores, measure_process_scaling
-
-_REPO_ROOT = Path(__file__).parent.parent
-DEFAULT_OUTPUT = _REPO_ROOT / "BENCH_fig9_scalability.json"
 
 PROCESS_COUNTS = (1, 2, 4)
 CORE_COUNTS = (2, 4, 8, 16, 32, 44)
@@ -121,10 +115,6 @@ def build_report(
         )
         report["projection"] = paper_projection(delicious, DELICIOUS_PAPER_DIMS)
     return report
-
-
-def write_report(report: dict[str, object], output: Path = DEFAULT_OUTPUT) -> None:
-    output.write_text(json.dumps(report, indent=2) + "\n")
 
 
 def check_measured(
@@ -237,75 +227,55 @@ def test_fig9_projection_amazon_like(run_once, amazon_config):
 
 
 # ----------------------------------------------------------------------
-# Standalone CLI
+# Registry generator (see repro.reports): bench id "fig9_scalability"
 # ----------------------------------------------------------------------
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="tiny config for CI: 2-process run, projection skipped",
+def run(params: dict | None = None) -> dict:
+    """Pure payload generator for the report registry."""
+    p = dict(params or {})
+    return build_report(
+        process_counts=tuple(int(n) for n in p.get("process_counts", PROCESS_COUNTS)),
+        scale=float(p.get("scale", 1.0 / 256.0)),
+        epochs=int(p.get("epochs", 5)),
+        batch_size=int(p.get("batch_size", 32)),
+        seed=int(p.get("seed", 0)),
+        include_projection=bool(p.get("include_projection", True)),
     )
-    parser.add_argument(
-        "--processes",
-        type=int,
-        nargs="+",
-        default=None,
-        help="worker process counts to measure (1 is always included)",
-    )
-    parser.add_argument("--scale", type=float, default=None)
-    parser.add_argument("--epochs", type=int, default=None)
-    parser.add_argument("--start-method", default=None, choices=("fork", "spawn"))
-    parser.add_argument("--out", type=Path, default=DEFAULT_OUTPUT)
-    args = parser.parse_args()
 
-    if args.smoke:
-        process_counts = tuple(args.processes or (1, 2))
-        scale = args.scale if args.scale is not None else 1.0 / 2048.0
-        epochs = args.epochs if args.epochs is not None else 2
-        include_projection = False
-    else:
-        process_counts = tuple(args.processes or PROCESS_COUNTS)
-        scale = args.scale if args.scale is not None else 1.0 / 256.0
-        epochs = args.epochs if args.epochs is not None else 5
-        include_projection = True
 
-    report = build_report(
-        process_counts=process_counts,
-        scale=scale,
-        epochs=epochs,
-        start_method=args.start_method,
-        include_projection=include_projection,
-    )
-    measured = report["measured"]
+def check(payload: dict, smoke: bool) -> list[str]:
+    """Hardware-aware acceptance: precision parity always, speedup when possible."""
+    tolerance = SMOKE_PRECISION_TOLERANCE if smoke else PRECISION_TOLERANCE
+    return check_measured(payload, precision_tolerance=tolerance, require_speedup=not smoke)
+
+
+def print_report(payload: dict) -> None:
+    measured = payload["measured"]
     print(
         format_table(
             measured["rows"],
             title=(
                 "Figure 9 (measured): process-HOGWILD scaling "
-                f"({measured['available_cores']} usable cores, "
-                f"start method {measured['start_method']})"
+                f"({measured['available_cores']} usable cores)"
             ),
         )
     )
-    if "projection" in report:
+    if "projection" in payload:
         print(
             format_table(
-                report["projection"]["rows"],
+                payload["projection"]["rows"],
                 title="Figure 9 (projected): convergence time vs cores",
             )
         )
-    print(f"max measured speedup: {measured['max_measured_speedup']}x "
-          f"(cores available: {available_cores()})")
-    write_report(report, args.out)
-    print(f"wrote {args.out}")
-
-    tolerance = SMOKE_PRECISION_TOLERANCE if args.smoke else PRECISION_TOLERANCE
-    failures = check_measured(
-        report, precision_tolerance=tolerance, require_speedup=not args.smoke
+    print(
+        f"max measured speedup: {measured['max_measured_speedup']}x "
+        f"(cores available: {available_cores()})"
     )
-    if failures:
-        raise SystemExit("fig9 scalability bench failed:\n" + "\n".join(failures))
+
+
+def main() -> None:
+    from repro.reports.cli import bench_main
+
+    raise SystemExit(bench_main("fig9_scalability"))
 
 
 if __name__ == "__main__":

@@ -23,19 +23,17 @@ publishes it into a shared :class:`CheckpointStore`, and fronts two
    breaker opens, every request fails over, and the client sees zero
    errors.
 
-Results land in ``BENCH_router_failover.json``.  Runs under the pytest
-bench harness or standalone::
+The registry (``python -m repro.reports --run router_failover``) writes
+``BENCH_router_failover.json``.  Runs under the pytest bench harness or
+standalone::
 
     PYTHONPATH=src python benchmarks/bench_router_failover.py [--smoke]
 """
 
 from __future__ import annotations
 
-import argparse
-import json
 import threading
 import time
-from pathlib import Path
 from tempfile import TemporaryDirectory
 
 from repro.config import (
@@ -55,9 +53,6 @@ from repro.datasets.synthetic import delicious_like_config, generate_synthetic_x
 from repro.faults import ServingFaultPlan, ServingFaultSpec
 from repro.harness.report import format_table
 from repro.serving import CheckpointStore, ReplicaRouter, run_open_loop
-
-_REPO_ROOT = Path(__file__).resolve().parent.parent
-DEFAULT_OUTPUT = _REPO_ROOT / "BENCH_router_failover.json"
 
 # Availability floor under a replica kill: non-shed requests that completed
 # over the whole failover window, the kill and its cancelled in-flight
@@ -429,38 +424,37 @@ def test_router_failover_bench_smoke(run_once):
     assert not failures, "\n".join(failures)
 
 
-def main() -> None:
-    parser = argparse.ArgumentParser(
-        description="Router resilience: failover, availability, degradation ladder"
-    )
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="tiny config for CI: short windows, fewer eval examples",
-    )
-    parser.add_argument("--scale", type=float, default=None, help="dataset scale override")
-    parser.add_argument("--out", type=Path, default=DEFAULT_OUTPUT)
-    args = parser.parse_args()
-
-    if args.smoke:
-        report = build_report(
-            scale=args.scale if args.scale is not None else 1.0 / 2048.0,
+# ----------------------------------------------------------------------
+# Registry generator (see repro.reports): bench id "router_failover"
+# ----------------------------------------------------------------------
+def run(params: dict | None = None) -> dict:
+    """Pure payload generator for the report registry."""
+    p = dict(params or {})
+    if p.get("smoke", False):
+        return build_report(
+            scale=float(p.get("scale", 1.0 / 2048.0)),
             probe_s=0.8,
             baseline_s=1.0,
             failover_s=2.5,
             chaos_s=1.2,
             eval_n=32,
         )
-    else:
-        report = build_report(scale=args.scale if args.scale is not None else 1.0 / 1024.0)
+    return build_report(scale=float(p.get("scale", 1.0 / 1024.0)))
 
-    _print_report(report)
-    args.out.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {args.out}")
 
-    failures = check_report(report)
-    if failures:
-        raise SystemExit("router failover bench failed:\n" + "\n".join(failures))
+def check(payload: dict, smoke: bool) -> list[str]:
+    """Failover/degradation/chaos acceptance invariants."""
+    return check_report(payload)
+
+
+def print_report(payload: dict) -> None:
+    _print_report(payload)
+
+
+def main() -> None:
+    from repro.reports.cli import bench_main
+
+    raise SystemExit(bench_main("router_failover"))
 
 
 if __name__ == "__main__":

@@ -21,19 +21,17 @@ from :mod:`repro.serving.loadgen`:
 4. **Parity** — after both swaps the resident engine's top-k must be
    *bitwise* identical to a cold load of the same checkpoint.
 
-Results land in ``BENCH_serving_latency.json``.  Runs under the pytest
-bench harness or standalone::
+The registry (``python -m repro.reports --run serving_latency``) writes
+``BENCH_serving_latency.json``.  Runs under the pytest bench harness or
+standalone::
 
     PYTHONPATH=src python benchmarks/bench_serving_latency.py [--smoke]
 """
 
 from __future__ import annotations
 
-import argparse
-import json
 import threading
 import time
-from pathlib import Path
 from tempfile import TemporaryDirectory
 
 import numpy as np
@@ -59,9 +57,6 @@ from repro.serving import (
     load_checkpoint,
     run_open_loop,
 )
-
-_REPO_ROOT = Path(__file__).resolve().parent.parent
-DEFAULT_OUTPUT = _REPO_ROOT / "BENCH_serving_latency.json"
 
 # Per-request deadline for the sweep: the bound "graceful degradation" is
 # measured against — admitted requests must finish within it plus compute.
@@ -353,37 +348,38 @@ def test_serving_latency_bench_smoke(run_once):
     assert not failures, "\n".join(failures)
 
 
-def main() -> None:
-    parser = argparse.ArgumentParser(
-        description="Serving latency under sustained load (QPS sweep + hot reload)"
-    )
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="tiny config for CI: short probe/sweep, fewer load points",
-    )
-    parser.add_argument("--scale", type=float, default=None, help="dataset scale override")
-    parser.add_argument("--out", type=Path, default=DEFAULT_OUTPUT)
-    args = parser.parse_args()
-
-    if args.smoke:
-        report = build_report(
-            scale=args.scale if args.scale is not None else 1.0 / 2048.0,
+# ----------------------------------------------------------------------
+# Registry generator (see repro.reports): bench id "serving_latency"
+# ----------------------------------------------------------------------
+def run(params: dict | None = None) -> dict:
+    """Pure payload generator for the report registry."""
+    p = dict(params or {})
+    if p.get("smoke", False):
+        # The 2x point stays in the smoke sweep: the committed baseline's
+        # overload p99 / shed rate are the trend-gated metrics.
+        return build_report(
+            scale=float(p.get("scale", 1.0 / 2048.0)),
             probe_s=0.8,
             sweep_s=1.0,
-            load_fractions=(0.5, 1.0, 1.75),
+            load_fractions=(0.5, 1.0, 2.0),
             reload_s=2.0,
         )
-    else:
-        report = build_report(scale=args.scale if args.scale is not None else 1.0 / 1024.0)
+    return build_report(scale=float(p.get("scale", 1.0 / 1024.0)))
 
-    _print_report(report)
-    args.out.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {args.out}")
 
-    failures = check_report(report)
-    if failures:
-        raise SystemExit("serving latency bench failed:\n" + "\n".join(failures))
+def check(payload: dict, smoke: bool) -> list[str]:
+    """Graceful-degradation + hot-reload acceptance invariants."""
+    return check_report(payload)
+
+
+def print_report(payload: dict) -> None:
+    _print_report(payload)
+
+
+def main() -> None:
+    from repro.reports.cli import bench_main
+
+    raise SystemExit(bench_main("serving_latency"))
 
 
 if __name__ == "__main__":

@@ -20,3 +20,45 @@ def test_table1_dataset_statistics(run_once):
     delicious_like = next(v for k, v in synthetic.items() if "delicious" in k)
     assert delicious_like["feature_sparsity_%"] < 10.0
     assert len(rows) == 4
+
+
+# ----------------------------------------------------------------------
+# Registry generator (see repro.reports): bench id "table1_datasets"
+# ----------------------------------------------------------------------
+def run(params: dict | None = None) -> dict:
+    """Pure payload generator for the report registry."""
+    p = dict(params or {})
+    scale = float(p.get("scale", 1.0 / 1024.0))
+    seed = int(p.get("seed", 0))
+    rows = table1_dataset_statistics(scale=scale, seed=seed)
+    return {"config": {"scale": scale, "seed": seed}, "rows": rows}
+
+
+def check(payload: dict, smoke: bool) -> list[str]:
+    """Synthetic stand-ins keep examples genuinely sparse (see test above)."""
+    rows = payload["rows"]
+    problems = []
+    if len(rows) != 4:
+        problems.append(f"expected 4 rows (2 paper + 2 synthetic), got {len(rows)}")
+    synthetic = [r for r in rows if r["source"] == "synthetic"]
+    for row in synthetic:
+        if row["feature_sparsity_%"] >= 35.0:
+            problems.append(
+                f"{row['dataset']}: feature sparsity {row['feature_sparsity_%']:.1f}% "
+                "should stay a small fraction of the feature space"
+            )
+    return problems
+
+
+def print_report(payload: dict) -> None:
+    print(format_table(payload["rows"], title="Table 1: Statistics of the datasets"))
+
+
+def main() -> None:
+    from repro.reports.cli import bench_main
+
+    raise SystemExit(bench_main("table1_datasets"))
+
+
+if __name__ == "__main__":
+    main()

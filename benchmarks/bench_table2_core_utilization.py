@@ -14,7 +14,8 @@ Two complementary sections:
   (TF-CPU 45 %→32 % from 8 to 32 threads; SLIDE stable at ~82-85 %)
   reproduced by :func:`repro.harness.tables.table2_core_utilization`.
 
-Results land in ``BENCH_table2_core_utilization.json``.
+The registry (``python -m repro.reports --run table2_core_utilization``)
+writes ``BENCH_table2_core_utilization.json``.
 
 Runs under the pytest bench harness or standalone::
 
@@ -23,16 +24,9 @@ Runs under the pytest bench harness or standalone::
 
 from __future__ import annotations
 
-import argparse
-import json
-from pathlib import Path
-
 from repro.harness.report import format_table
 from repro.harness.scaling import available_cores, measure_process_scaling
 from repro.harness.tables import table2_core_utilization
-
-_REPO_ROOT = Path(__file__).parent.parent
-DEFAULT_OUTPUT = _REPO_ROOT / "BENCH_table2_core_utilization.json"
 
 # Table 2 as printed in the paper.
 PAPER_TABLE2 = {
@@ -83,10 +77,6 @@ def build_report(
     }
 
 
-def write_report(report: dict[str, object], output: Path = DEFAULT_OUTPUT) -> None:
-    output.write_text(json.dumps(report, indent=2) + "\n")
-
-
 # ----------------------------------------------------------------------
 # pytest bench harness entry points
 # ----------------------------------------------------------------------
@@ -131,44 +121,69 @@ def test_table2_measured_utilization(run_once):
 
 
 # ----------------------------------------------------------------------
-# Standalone CLI
+# Registry generator (see repro.reports): bench id "table2_core_utilization"
 # ----------------------------------------------------------------------
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--smoke", action="store_true", help="tiny config for CI")
-    parser.add_argument("--processes", type=int, nargs="+", default=None)
-    parser.add_argument("--out", type=Path, default=DEFAULT_OUTPUT)
-    args = parser.parse_args()
+def run(params: dict | None = None) -> dict:
+    """Pure payload generator for the report registry."""
+    p = dict(params or {})
+    return build_report(
+        process_counts=tuple(int(n) for n in p.get("process_counts", (1, 2, 4))),
+        scale=float(p.get("scale", 1.0 / 512.0)),
+        epochs=int(p.get("epochs", 2)),
+        threads=tuple(int(t) for t in p.get("threads", (8, 16, 32))),
+    )
 
-    if args.smoke:
-        process_counts = tuple(args.processes or (1, 2))
-        scale, epochs = 1.0 / 2048.0, 1
-    else:
-        process_counts = tuple(args.processes or (1, 2, 4))
-        scale, epochs = 1.0 / 512.0, 2
 
-    report = build_report(process_counts=process_counts, scale=scale, epochs=epochs)
+def check(payload: dict, smoke: bool) -> list[str]:
+    """Calibrated model matches the printed Table 2; rusage accounting works."""
+    problems = []
+    for row in payload["calibrated_model"]:
+        paper = PAPER_TABLE2.get(int(row["threads"]))
+        if paper is None:
+            continue
+        if abs(row["TF-CPU_utilization_calibrated"] - paper["tf"]) >= 0.02:
+            problems.append(f"TF-CPU calibrated utilisation drifted at {row['threads']} threads")
+        if abs(row["SLIDE_utilization_calibrated"] - paper["slide"]) >= 0.02:
+            problems.append(f"SLIDE calibrated utilisation drifted at {row['threads']} threads")
+        if row["SLIDE_utilization_model"] <= row["TF-CPU_utilization_model"]:
+            problems.append(
+                f"mechanistic model lost the SLIDE>TF-CPU ordering at {row['threads']} threads"
+            )
+    rows = payload["measured"]["rows"]
+    if rows[0]["SLIDE_utilization_measured"] <= 0.0:
+        problems.append("measured utilisation was zero — rusage accounting broke")
+    for row in rows:
+        if not 0.0 < row["SLIDE_utilization_measured"] <= 1.1:
+            problems.append(
+                f"{row['processes']}-process utilisation "
+                f"{row['SLIDE_utilization_measured']} is not a core fraction"
+            )
+    return problems
+
+
+def print_report(payload: dict) -> None:
     print(
         format_table(
-            report["measured"]["rows"],
+            payload["measured"]["rows"],
             title=(
                 "Table 2 (measured): process-HOGWILD core utilisation "
-                f"({report['measured']['available_cores']} usable cores)"
+                f"({payload['measured']['available_cores']} usable cores)"
             ),
         )
     )
     print(
         format_table(
-            report["calibrated_model"],
+            payload["calibrated_model"],
             title="Table 2 (model): calibrated + mechanistic utilisation",
         )
     )
-    write_report(report, args.out)
-    print(f"wrote {args.out} (cores available: {available_cores()})")
+    print(f"cores available: {available_cores()}")
 
-    utilization = report["measured"]["rows"][0]["SLIDE_utilization_measured"]
-    if utilization <= 0.0:
-        raise SystemExit("measured utilisation was zero — rusage accounting broke")
+
+def main() -> None:
+    from repro.reports.cli import bench_main
+
+    raise SystemExit(bench_main("table2_core_utilization"))
 
 
 if __name__ == "__main__":

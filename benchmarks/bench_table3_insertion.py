@@ -13,22 +13,16 @@ Runs under the pytest bench harness or standalone::
 
     PYTHONPATH=src python benchmarks/bench_table3_insertion.py [--smoke]
 
-The standalone run writes ``BENCH_table3_insertion.json`` at the repository
-root and exits non-zero if the batched build drops below the speedup bar
-(5x at the full 50K-neuron config, parity at the CI smoke config).
+The registry (``python -m repro.reports --run table3_insertion``) writes
+``BENCH_table3_insertion.json`` at the repository root and fails if the
+batched build drops below the speedup bar (5x at the full 50K-neuron
+config, parity at the CI smoke config).
 """
 
 from __future__ import annotations
 
-import argparse
-import json
-from pathlib import Path
-
 from repro.harness.report import format_table
 from repro.harness.tables import table3_insertion_timing
-
-_REPO_ROOT = Path(__file__).parent.parent
-DEFAULT_OUTPUT = _REPO_ROOT / "BENCH_table3_insertion.json"
 
 UPDATE_FRACTIONS = (0.01, 0.1)
 
@@ -105,45 +99,47 @@ def test_table3_insertion_timing(run_once):
     assert not problems, "\n".join(problems)
 
 
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="tiny config for CI: asserts batched build is not slower than per-item",
-    )
-    parser.add_argument("--neurons", type=int, default=None)
-    parser.add_argument("--out", type=Path, default=DEFAULT_OUTPUT)
-    args = parser.parse_args()
-
-    if args.smoke:
-        num_neurons = args.neurons if args.neurons is not None else 2_000
-        min_speedup = 1.0
-    else:
-        # Acceptance scale: >= 50K neurons, >= 5x batched vs per-item.
-        num_neurons = args.neurons if args.neurons is not None else 50_000
-        min_speedup = 5.0
-
+# ----------------------------------------------------------------------
+# Registry generator (see repro.reports): bench id "table3_insertion"
+# ----------------------------------------------------------------------
+def run(params: dict | None = None) -> dict:
+    """Pure payload generator for the report registry."""
+    p = dict(params or {})
+    num_neurons = int(p.get("num_neurons", 50_000))
+    min_speedup = float(p.get("min_speedup", 5.0))
     rows = table3_insertion_timing(
         num_neurons=num_neurons,
-        dim=128,
-        k=6,
-        l=20,
-        bucket_size=64,
+        dim=int(p.get("dim", 128)),
+        k=int(p.get("k", 6)),
+        l=int(p.get("l", 20)),
+        bucket_size=int(p.get("bucket_size", 64)),
         update_fractions=UPDATE_FRACTIONS,
     )
-    print(format_table(rows, title="Table 3: time taken by hash table insertion schemes"))
-    report = _report(rows, num_neurons, min_speedup)
-    args.out.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {args.out}")
+    return _report(rows, num_neurons, min_speedup)
+
+
+def check(payload: dict, smoke: bool) -> list[str]:
+    """Batched placement beats the per-item loop at the declared bar."""
+    return _check_rows(payload["rows"], min_speedup=float(payload["config"]["min_speedup"]))
+
+
+def print_report(payload: dict) -> None:
+    print(
+        format_table(
+            payload["rows"], title="Table 3: time taken by hash table insertion schemes"
+        )
+    )
     print(
         "min batched/per-item speedup: "
-        f"{report['min_batched_speedup_vs_per_item']}x (bar: {min_speedup}x)"
+        f"{payload['min_batched_speedup_vs_per_item']}x "
+        f"(bar: {payload['config']['min_speedup']}x)"
     )
 
-    problems = _check_rows(rows, min_speedup=min_speedup)
-    if problems:
-        raise SystemExit("\n".join(problems))
+
+def main() -> None:
+    from repro.reports.cli import bench_main
+
+    raise SystemExit(bench_main("table3_insertion"))
 
 
 if __name__ == "__main__":

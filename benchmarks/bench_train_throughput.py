@@ -14,8 +14,9 @@ training the same synthetic extreme-classification task:
   accumulated optimiser step per layer per micro-batch.
 
 The batched path must be at least 2x the per-sample path at matching
-precision@1; results are written to ``BENCH_train_throughput.json`` at the
-repository root so the trajectory is tracked from PR to PR.
+precision@1; the registry (``python -m repro.reports --run train_throughput``)
+writes ``BENCH_train_throughput.json`` at the repository root so the
+trajectory is trend-gated from PR to PR.
 
 Runs under the pytest bench harness or standalone::
 
@@ -24,10 +25,7 @@ Runs under the pytest bench harness or standalone::
 
 from __future__ import annotations
 
-import argparse
-import json
 import time
-from pathlib import Path
 
 from repro.baselines.dense import DenseNetwork, DenseNetworkConfig
 from repro.config import (
@@ -46,10 +44,6 @@ from repro.datasets.synthetic import delicious_like_config, generate_synthetic_x
 from repro.harness.report import format_table
 from repro.types import SparseBatch
 from repro.utils.rng import derive_rng
-
-_REPO_ROOT = Path(__file__).parent.parent
-DEFAULT_OUTPUT = _REPO_ROOT / "BENCH_train_throughput.json"
-
 
 def _slide_config(dataset, seed: int) -> SlideNetworkConfig:
     label_dim = dataset.config.label_dim
@@ -188,10 +182,6 @@ def measure_training_throughput(
     }
 
 
-def write_report(report: dict[str, object], output: Path = DEFAULT_OUTPUT) -> None:
-    output.write_text(json.dumps(report, indent=2) + "\n")
-
-
 def test_train_throughput_table(run_once):
     report = run_once(measure_training_throughput)
     print()
@@ -201,7 +191,6 @@ def test_train_throughput_table(run_once):
             title="Training throughput: dense vs per-sample vs batched sparse",
         )
     )
-    write_report(report)
     by_mode = {row["mode"]: row for row in report["rows"]}
     # The phase breakdown must cover the batched run: the fused kernels and
     # the rebuild hook both record real time.
@@ -222,42 +211,65 @@ def test_train_throughput_table(run_once):
     assert by_mode["sparse_batched"]["active_fraction"] < 0.5
 
 
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="tiny config for CI: asserts the batched path is not slower",
+# ----------------------------------------------------------------------
+# Registry generator (see repro.reports): bench id "train_throughput"
+# ----------------------------------------------------------------------
+def run(params: dict | None = None) -> dict:
+    """Pure payload generator for the report registry."""
+    p = dict(params or {})
+    return measure_training_throughput(
+        scale=float(p.get("scale", 1.0 / 512.0)),
+        epochs=int(p.get("epochs", 6)),
+        batch_size=int(p.get("batch_size", 32)),
+        seed=int(p.get("seed", 0)),
     )
-    parser.add_argument("--scale", type=float, default=None)
-    parser.add_argument("--epochs", type=int, default=None)
-    parser.add_argument("--out", type=Path, default=DEFAULT_OUTPUT)
-    args = parser.parse_args()
 
-    if args.smoke:
-        scale = args.scale if args.scale is not None else 1.0 / 2048.0
-        epochs = args.epochs if args.epochs is not None else 1
-    else:
-        scale = args.scale if args.scale is not None else 1.0 / 512.0
-        epochs = args.epochs if args.epochs is not None else 6
 
-    report = measure_training_throughput(scale=scale, epochs=epochs)
+def check(payload: dict, smoke: bool) -> list[str]:
+    """The fused batched kernels beat the per-sample path at matching p@1."""
+    by_mode = {row["mode"]: row for row in payload["rows"]}
+    problems = []
+    threshold = 1.0 if smoke else 2.0
+    speedup = payload["speedup_batched_vs_per_sample"]
+    if speedup < threshold:
+        problems.append(
+            f"batched sparse path is below the {threshold}x throughput bar ({speedup}x)"
+        )
+    # Smoke scale trains a few-hundred-label toy for one epoch: per-sample vs
+    # batched update ordering genuinely converges differently that early, and
+    # the 16-neuron active floor is a large fraction of the tiny output
+    # layer.  The precision-parity and sparsity bars therefore only bind at
+    # full scale; smoke regressions in batched precision are still caught by
+    # the registry's trend gate against the committed baseline.
+    if not smoke:
+        if (
+            by_mode["sparse_batched"]["precision_at_1"]
+            < by_mode["sparse_per_sample"]["precision_at_1"] - 0.01
+        ):
+            problems.append("batched kernels gave up more than 1% absolute precision@1")
+        if by_mode["sparse_batched"]["active_fraction"] >= 0.5:
+            problems.append("sparse path touched more than half the neurons")
+    batched_phases = payload["phase_breakdown"]["sparse_batched"]
+    for phase in ("hash", "select", "gather_gemm", "optimiser"):
+        if batched_phases.get(phase, 0.0) <= 0.0:
+            problems.append(f"phase breakdown missing time for {phase!r}")
+    return problems
+
+
+def print_report(payload: dict) -> None:
     print(
         format_table(
-            report["rows"],
+            payload["rows"],
             title="Training throughput: dense vs per-sample vs batched sparse",
         )
     )
-    print(f"batched / per-sample speedup: {report['speedup_batched_vs_per_sample']}x")
-    write_report(report, args.out)
-    print(f"wrote {args.out}")
+    print(f"batched / per-sample speedup: {payload['speedup_batched_vs_per_sample']}x")
 
-    threshold = 1.0 if args.smoke else 2.0
-    if report["speedup_batched_vs_per_sample"] < threshold:
-        raise SystemExit(
-            f"batched sparse path is below the {threshold}x throughput bar "
-            f"({report['speedup_batched_vs_per_sample']}x)"
-        )
+
+def main() -> None:
+    from repro.reports.cli import bench_main
+
+    raise SystemExit(bench_main("train_throughput"))
 
 
 if __name__ == "__main__":

@@ -11,7 +11,23 @@ from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["format_table", "format_series", "format_comparison"]
+__all__ = ["format_table", "format_series", "format_comparison", "series_payload"]
+
+
+def series_payload(
+    series: Mapping[str, tuple[Iterable[float], Iterable[float]]],
+    x_name: str,
+    y_name: str,
+) -> dict[str, dict[str, list[float]]]:
+    """Convert ``{name: (xs, ys)}`` harness series into artifact-friendly
+    ``{name: {x_name: [...], y_name: [...]}}`` with plain-float lists."""
+    payload: dict[str, dict[str, list[float]]] = {}
+    for name, (xs, ys) in series.items():
+        payload[str(name)] = {
+            x_name: [float(x) for x in np.asarray(list(xs), dtype=np.float64)],
+            y_name: [float(y) for y in np.asarray(list(ys), dtype=np.float64)],
+        }
+    return payload
 
 
 def _format_value(value) -> str:

@@ -725,6 +725,7 @@ class _WorkerSlot:
     worker_id: int
     process: Any = None
     task_queue: Any = None
+    result_queue: Any = None
     incarnation: int = 0
     restarts: int = 0
     running: bool = False  # process launched and not yet known-dead
@@ -1059,7 +1060,6 @@ class ProcessHogwildTrainer:
     def _supervise(
         self,
         context,
-        result_queue,
         payload_base: list[dict],
         items: list[dict],
         kind: str,
@@ -1074,8 +1074,15 @@ class ProcessHogwildTrainer:
         The supervisor owns all scheduling: work items live in a parent-side
         queue, each worker slot gets one item at a time through its private
         task queue, and completed items come back — with their full
-        per-batch telemetry — through the shared result queue.  Worker death
-        is detected promptly via ``multiprocessing.connection.wait`` on the
+        per-batch telemetry — through a result queue private to that worker
+        incarnation.  Result queues are deliberately *not* shared: a
+        ``multiprocessing.Queue`` write holds a cross-process lock, and a
+        worker SIGKILL-ed mid-write (fault injection, the supervisor's own
+        hang-kill, a real OOM kill) would strand a shared lock and deadlock
+        every surviving worker's result path — observed as cascading
+        heartbeat-stale kills.  With per-incarnation queues a death can only
+        strand its own pipe.  Worker death is detected promptly via
+        ``multiprocessing.connection.wait`` on the
         process sentinels (not by polling a timeout window); hangs are
         detected from stale heartbeat rows in shared memory.  A failed slot
         is restarted with exponential backoff up to
@@ -1112,6 +1119,17 @@ class ProcessHogwildTrainer:
             return kind == "shards" or int(item["slot"]) == slot.worker_id
 
         def launch(slot: _WorkerSlot) -> None:
+            # Salvage anything the previous incarnation managed to deliver
+            # before its pipe is replaced (completed work must survive the
+            # writer's death).  Closing our copy of the write end first makes
+            # a message truncated by the kill surface as EOF instead of a
+            # read that blocks forever.
+            if slot.result_queue is not None:
+                try:
+                    slot.result_queue._writer.close()
+                except OSError:  # pragma: no cover - already closed
+                    pass
+                drain_slot(slot)
             slot.incarnation = slot.restarts
             payload = dict(payload_base[slot.worker_id])
             payload["incarnation"] = slot.incarnation
@@ -1120,9 +1138,10 @@ class ProcessHogwildTrainer:
             # batch index do not re-fire after a restart.
             payload["start_batch"] = int(worker_updates[slot.worker_id])
             slot.task_queue = context.Queue()
+            slot.result_queue = context.Queue()
             process = context.Process(
                 target=_worker_entry,
-                args=(payload, slot.task_queue, result_queue),
+                args=(payload, slot.task_queue, slot.result_queue),
                 name=f"{self.prefix}-{slot.worker_id}-i{slot.incarnation}",
                 daemon=True,
             )
@@ -1182,48 +1201,60 @@ class ProcessHogwildTrainer:
                     )
                 )
 
-        def drain_results() -> None:
+        def consume_message(message: dict) -> None:
+            slot = slots[int(message["worker_id"])]
+            status = message["status"]
+            incarnation = int(message.get("incarnation", 0))
+            if status == "item_done":
+                item_id = int(message["item_id"])
+                if (
+                    slot.in_flight is not None
+                    and int(slot.in_flight["id"]) == item_id
+                    and incarnation == slot.incarnation
+                ):
+                    slot.in_flight = None
+                if item_id not in records:
+                    records[item_id] = message
+                    # A completion racing its own death re-enqueue:
+                    # drop the queued duplicate so the item is not
+                    # trained twice.
+                    for queued in pending:
+                        if int(queued["id"]) == item_id:
+                            pending.remove(queued)
+                            break
+            elif status == "ok":
+                if incarnation == slot.incarnation:
+                    slot.got_final = True
+            else:  # "error"
+                if incarnation != slot.incarnation or not slot.running:
+                    return  # stale message from an already-replaced incarnation
+                slot.process.join(5.0)
+                if slot.process.is_alive():  # pragma: no cover - defensive
+                    slot.process.terminate()
+                    slot.process.join(5.0)
+                handle_failure(
+                    slot,
+                    "error",
+                    f"worker {slot.worker_id}: {message['error']}\n"
+                    f"{message['traceback']}",
+                )
+
+        def drain_slot(slot: _WorkerSlot) -> None:
+            queue = slot.result_queue
+            if queue is None:
+                return
             while True:
                 try:
-                    message = result_queue.get_nowait()
+                    message = queue.get_nowait()
                 except queue_module.Empty:
                     return
-                slot = slots[int(message["worker_id"])]
-                status = message["status"]
-                incarnation = int(message.get("incarnation", 0))
-                if status == "item_done":
-                    item_id = int(message["item_id"])
-                    if (
-                        slot.in_flight is not None
-                        and int(slot.in_flight["id"]) == item_id
-                        and incarnation == slot.incarnation
-                    ):
-                        slot.in_flight = None
-                    if item_id not in records:
-                        records[item_id] = message
-                        # A completion racing its own death re-enqueue:
-                        # drop the queued duplicate so the item is not
-                        # trained twice.
-                        for queued in pending:
-                            if int(queued["id"]) == item_id:
-                                pending.remove(queued)
-                                break
-                elif status == "ok":
-                    if incarnation == slot.incarnation:
-                        slot.got_final = True
-                else:  # "error"
-                    if incarnation != slot.incarnation or not slot.running:
-                        continue  # stale message from an already-replaced incarnation
-                    slot.process.join(5.0)
-                    if slot.process.is_alive():  # pragma: no cover - defensive
-                        slot.process.terminate()
-                        slot.process.join(5.0)
-                    handle_failure(
-                        slot,
-                        "error",
-                        f"worker {slot.worker_id}: {message['error']}\n"
-                        f"{message['traceback']}",
-                    )
+                except (EOFError, OSError):  # pragma: no cover - torn pipe
+                    return
+                consume_message(message)
+
+        def drain_results() -> None:
+            for slot in slots:
+                drain_slot(slot)
 
         def check_deaths() -> None:
             for slot in slots:
@@ -1361,7 +1392,6 @@ class ProcessHogwildTrainer:
 
         for slot in slots:
             launch(slot)
-        queue_reader = getattr(result_queue, "_reader", None)
 
         while True:
             drain_results()
@@ -1392,8 +1422,11 @@ class ProcessHogwildTrainer:
                         timeout, max(slot.restart_at - time.monotonic(), 0.0)
                     )
             handles = [slot.process.sentinel for slot in slots if slot.running]
-            if queue_reader is not None:
-                handles.append(queue_reader)
+            for slot in slots:
+                if slot.running:
+                    reader = getattr(slot.result_queue, "_reader", None)
+                    if reader is not None:
+                        handles.append(reader)
             if handles:
                 # Wakes the instant a worker dies (sentinel) or a result
                 # lands (queue pipe) — the fallback timeout only paces hang
@@ -1570,7 +1603,6 @@ class ProcessHogwildTrainer:
                 }
                 for worker_id in range(self.num_processes)
             ]
-            result_queue = context.Queue()
             # RUSAGE_CHILDREN accounts reaped children only; the supervisor
             # joins every worker (and every failed incarnation) before
             # returning, so the delta below covers exactly their lifetimes.
@@ -1578,7 +1610,6 @@ class ProcessHogwildTrainer:
             start = time.perf_counter()
             worker_stats, supervision = self._supervise(
                 context,
-                result_queue,
                 payload_base,
                 items,
                 kind,

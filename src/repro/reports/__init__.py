@@ -1,0 +1,55 @@
+"""repro.reports — the registry-driven benchmark/report factory.
+
+A declarative registry (:mod:`repro.reports.registry`) maps every figure,
+table and ablation the repo reproduces to a :class:`~repro.reports.spec.BenchSpec`:
+the generator in ``benchmarks/bench_*.py``, the ``BENCH_*.json`` artifact,
+a JSON schema for its payload, smoke vs full parameters, a measured/modelled
+flag, and per-metric regression tolerances.
+
+Drive it with::
+
+    python -m repro.reports --list
+    python -m repro.reports --run train_throughput --smoke
+    python -m repro.reports --all --smoke --check   # regenerate + trend-gate
+
+Artifacts carry a common envelope (bench id, schema version, measured flag,
+run mode, host, git revision) and are schema-validated at write time
+(:mod:`repro.reports.artifacts`).  :mod:`repro.reports.trend` diffs fresh
+smoke artifacts against the committed baselines and fails, naming the
+metric, when a gated metric (samples/sec, p99, precision@1, recovery
+latency, shed rate, ...) regresses beyond its declared tolerance.
+"""
+
+from repro.reports.artifacts import (
+    ENVELOPE_SCHEMA,
+    SCHEMA_VERSION,
+    ArtifactError,
+    read_artifact,
+    validate_artifact,
+    write_artifact,
+)
+from repro.reports.registry import REGISTRY, all_specs, bench_ids, get_spec
+from repro.reports.schema import SchemaError, validate
+from repro.reports.spec import BenchSpec, MetricGate
+from repro.reports.trend import TrendReport, check_trend, compare_documents, extract_metric
+
+__all__ = [
+    "REGISTRY",
+    "BenchSpec",
+    "MetricGate",
+    "get_spec",
+    "all_specs",
+    "bench_ids",
+    "SCHEMA_VERSION",
+    "ENVELOPE_SCHEMA",
+    "SchemaError",
+    "ArtifactError",
+    "validate",
+    "read_artifact",
+    "write_artifact",
+    "validate_artifact",
+    "TrendReport",
+    "check_trend",
+    "compare_documents",
+    "extract_metric",
+]

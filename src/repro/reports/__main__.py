@@ -1,0 +1,6 @@
+"""``python -m repro.reports`` — drive the benchmark registry."""
+
+from repro.reports.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,542 @@
+"""Payload JSON schemas, one per registered benchmark.
+
+These describe the *payload* half of each artifact (the envelope schema is
+shared, see :mod:`repro.reports.artifacts`).  They are deliberately strict
+about the keys and types the repo's claims rest on — a hand-edited,
+truncated or shape-drifted ``BENCH_*.json`` must fail the golden-artifact
+contract test — while config blocks stay open (``additionalProperties``)
+so adding a knob is not a schema migration.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["PAYLOAD_SCHEMAS"]
+
+NUM: dict[str, Any] = {"type": "number"}
+POS: dict[str, Any] = {"type": "number", "minimum": 0}
+FRACTION: dict[str, Any] = {"type": "number", "minimum": 0, "maximum": 1}
+INT: dict[str, Any] = {"type": "integer"}
+NAT: dict[str, Any] = {"type": "integer", "minimum": 0}
+STR: dict[str, Any] = {"type": "string"}
+BOOL: dict[str, Any] = {"type": "boolean"}
+# Coerced non-finite floats (repro.reports.artifacts.to_jsonable).
+MAYBE_NUM: dict[str, Any] = {"type": ["number", "string"]}
+CONFIG: dict[str, Any] = {"type": "object"}
+NUM_LIST: dict[str, Any] = {"type": "array", "items": NUM}
+
+
+def rows(required: dict[str, Any], *, min_items: int = 1, extra: bool = True) -> dict[str, Any]:
+    """A non-empty array of row objects with the given required columns."""
+    return {
+        "type": "array",
+        "minItems": min_items,
+        "items": {
+            "type": "object",
+            "required": sorted(required),
+            "properties": required,
+            "additionalProperties": extra,
+        },
+    }
+
+
+def series(x_name: str = "x", y_name: str = "y") -> dict[str, Any]:
+    """``{label: {x: [...], y: [...]}}`` curve families."""
+    return {
+        "type": "object",
+        "patternProperties": {
+            ".": {
+                "type": "object",
+                "required": [x_name, y_name],
+                "properties": {x_name: NUM_LIST, y_name: NUM_LIST},
+            }
+        },
+    }
+
+
+_LATENCY = {
+    "type": "object",
+    "required": ["p50", "p99", "p999", "mean", "max"],
+    "properties": {"p50": POS, "p99": POS, "p999": POS, "mean": POS, "max": POS},
+}
+
+_HEAD_TO_HEAD = {
+    "type": "object",
+    "required": [
+        "summary",
+        "speedup_vs_gpu",
+        "speedup_vs_cpu",
+        "common_target_accuracy",
+        "time_series",
+        "iteration_series",
+    ],
+    "properties": {
+        "summary": rows(
+            {
+                "framework": STR,
+                "convergence_time_s": POS,
+                "time_to_common_accuracy_s": MAYBE_NUM,
+                "final_accuracy": FRACTION,
+            }
+        ),
+        "speedup_vs_gpu": MAYBE_NUM,
+        "speedup_vs_cpu": MAYBE_NUM,
+        "common_target_accuracy": FRACTION,
+        "time_series": series("time_s", "precision_at_1"),
+        "iteration_series": series("iteration", "precision_at_1"),
+    },
+}
+
+_FIG7_SIDE = {
+    "type": "object",
+    "required": ["final_accuracy", "active_fraction", "accuracy_advantage"],
+    "properties": {
+        "final_accuracy": {
+            "type": "object",
+            "required": ["slide", "sampled_softmax"],
+            "properties": {"slide": FRACTION, "sampled_softmax": FRACTION},
+        },
+        "active_fraction": {
+            "type": "object",
+            "required": ["slide", "sampled_softmax"],
+            "properties": {"slide": FRACTION, "sampled_softmax": FRACTION},
+        },
+        "accuracy_advantage": NUM,
+        "time_series": series("time_s", "precision_at_1"),
+        "iteration_series": series("iteration", "precision_at_1"),
+    },
+}
+
+_SWEEP_ROW = {
+    "offered_qps": POS,
+    "achieved_qps": POS,
+    "sent": NAT,
+    "completed": NAT,
+    "errors": NAT,
+    "shed_rate": FRACTION,
+    "latency_ms": _LATENCY,
+    "load_fraction": POS,
+}
+
+_TRAFFIC = {"type": "object", "required": ["completed", "errors"],
+            "properties": {"completed": NAT, "errors": NAT}}
+
+PAYLOAD_SCHEMAS: dict[str, dict[str, Any]] = {
+    "fig4_sampling": {
+        "type": "object",
+        "required": ["config", "rows", "total_seconds_per_query"],
+        "properties": {
+            "config": CONFIG,
+            "rows": rows(
+                {
+                    "num_neurons": NAT,
+                    "strategy": STR,
+                    "seconds_per_query": POS,
+                    "mean_retrieved": POS,
+                }
+            ),
+            "total_seconds_per_query": {
+                "type": "object",
+                "patternProperties": {".": POS},
+            },
+        },
+    },
+    "fig5_time_accuracy": {
+        "type": "object",
+        "required": ["config", "delicious", "amazon"],
+        "properties": {"config": CONFIG, "delicious": _HEAD_TO_HEAD, "amazon": _HEAD_TO_HEAD},
+    },
+    "fig6_inefficiencies": {
+        "type": "object",
+        "required": ["config", "rows"],
+        "properties": {
+            "config": CONFIG,
+            "rows": rows(
+                {
+                    "framework": STR,
+                    "threads": NAT,
+                    "front_end_bound": FRACTION,
+                    "memory_bound": FRACTION,
+                    "retiring": FRACTION,
+                    "core_bound": FRACTION,
+                    "utilization": FRACTION,
+                },
+                min_items=2,
+            ),
+        },
+    },
+    "fig7_sampled_softmax": {
+        "type": "object",
+        "required": ["config", "delicious", "amazon"],
+        "properties": {"config": CONFIG, "delicious": _FIG7_SIDE, "amazon": _FIG7_SIDE},
+    },
+    "fig8_batch_size": {
+        "type": "object",
+        "required": ["config", "rows"],
+        "properties": {
+            "config": CONFIG,
+            "rows": rows(
+                {
+                    "batch_size": NAT,
+                    "framework": STR,
+                    "convergence_time_s": POS,
+                    "final_accuracy": FRACTION,
+                },
+                min_items=3,
+            ),
+        },
+    },
+    "fig9_scalability": {
+        "type": "object",
+        "required": ["measured", "precision_gap_vs_baseline"],
+        "properties": {
+            "measured": {
+                "type": "object",
+                "required": [
+                    "available_cores",
+                    "rows",
+                    "baseline_precision_at_1",
+                    "max_measured_speedup",
+                    "cores_limit_speedup",
+                ],
+                "properties": {
+                    "available_cores": {"type": "integer", "minimum": 1},
+                    "rows": rows(
+                        {
+                            "processes": {"type": "integer", "minimum": 1},
+                            "wall_time_s": POS,
+                            "samples_per_sec": POS,
+                            "speedup_vs_1": POS,
+                            "parallel_efficiency": POS,
+                            "precision_at_1": FRACTION,
+                            "cpu_utilization": POS,
+                        }
+                    ),
+                    "baseline_precision_at_1": FRACTION,
+                    "max_measured_speedup": POS,
+                    "cores_limit_speedup": BOOL,
+                },
+            },
+            "precision_gap_vs_baseline": {"type": "object", "patternProperties": {".": POS}},
+            "projection": {"type": "object"},
+        },
+    },
+    "fig10_hugepages_simd": {
+        "type": "object",
+        "required": ["config", "optimized_speedup", "expected_speedup", "speedup_vs_gpu"],
+        "properties": {
+            "config": CONFIG,
+            "optimized_speedup": MAYBE_NUM,
+            "expected_speedup": POS,
+            "speedup_vs_gpu": MAYBE_NUM,
+            "time_series": series("time_s", "precision_at_1"),
+        },
+    },
+    "fig11_hard_threshold": {
+        "type": "object",
+        "required": ["config", "series"],
+        "properties": {
+            "config": CONFIG,
+            "series": {
+                "type": "object",
+                "patternProperties": {
+                    "^m=": {
+                        "type": "object",
+                        "required": ["collision_p", "selection_p"],
+                        "properties": {
+                            "collision_p": {"type": "array", "items": FRACTION, "minItems": 2},
+                            "selection_p": {"type": "array", "items": FRACTION, "minItems": 2},
+                        },
+                    }
+                },
+            },
+        },
+    },
+    "table1_datasets": {
+        "type": "object",
+        "required": ["config", "rows"],
+        "properties": {
+            "config": CONFIG,
+            "rows": rows(
+                {
+                    "dataset": STR,
+                    "feature_dim": {"type": "integer", "minimum": 1},
+                    "label_dim": {"type": "integer", "minimum": 1},
+                    "training_size": NAT,
+                    "testing_size": NAT,
+                    "source": {"enum": ["paper", "synthetic"]},
+                },
+                min_items=4,
+            ),
+        },
+    },
+    "table2_core_utilization": {
+        "type": "object",
+        "required": ["measured", "calibrated_model", "paper_table2"],
+        "properties": {
+            "measured": {
+                "type": "object",
+                "required": ["available_cores", "rows"],
+                "properties": {
+                    "available_cores": {"type": "integer", "minimum": 1},
+                    "rows": rows(
+                        {
+                            "processes": {"type": "integer", "minimum": 1},
+                            "SLIDE_utilization_measured": POS,
+                            "wall_time_s": POS,
+                            "speedup_vs_1": POS,
+                        }
+                    ),
+                },
+            },
+            "calibrated_model": rows(
+                {
+                    "threads": NAT,
+                    "TF-CPU_utilization_calibrated": FRACTION,
+                    "SLIDE_utilization_calibrated": FRACTION,
+                    "TF-CPU_utilization_model": FRACTION,
+                    "SLIDE_utilization_model": FRACTION,
+                }
+            ),
+            "paper_table2": {"type": "object"},
+        },
+    },
+    "table3_insertion": {
+        "type": "object",
+        "required": ["config", "rows", "min_batched_speedup_vs_per_item"],
+        "properties": {
+            "config": CONFIG,
+            "rows": rows(
+                {
+                    "policy": STR,
+                    "num_neurons": NAT,
+                    "hash_s": POS,
+                    "per_item_insert_s": POS,
+                    "insertion_to_ht_s": POS,
+                    "full_insertion_s": POS,
+                    "batched_items_per_s": POS,
+                    "batched_speedup_vs_per_item": POS,
+                },
+                min_items=2,
+            ),
+            "min_batched_speedup_vs_per_item": POS,
+        },
+    },
+    "table4_hugepages_counters": {
+        "type": "object",
+        "required": ["config", "rows"],
+        "properties": {
+            "config": CONFIG,
+            "rows": rows(
+                {
+                    "metric": STR,
+                    "without_hugepages": POS,
+                    "with_hugepages": POS,
+                    "improvement_factor": MAYBE_NUM,
+                },
+                min_items=3,
+            ),
+        },
+    },
+    "ablation_hash_families": {
+        "type": "object",
+        "required": ["config", "rows"],
+        "properties": {
+            "config": CONFIG,
+            "rows": rows(
+                {
+                    "hash_family": STR,
+                    "final_accuracy": FRACTION,
+                    "avg_active_output": POS,
+                    "active_fraction": FRACTION,
+                },
+                min_items=2,
+            ),
+        },
+    },
+    "ablation_rebuild_schedule": {
+        "type": "object",
+        "required": ["config", "rows"],
+        "properties": {
+            "config": CONFIG,
+            "rows": rows(
+                {
+                    "schedule": STR,
+                    "final_accuracy": FRACTION,
+                    "rebuilds": NAT,
+                    "iterations": NAT,
+                },
+                min_items=2,
+            ),
+        },
+    },
+    "ablation_sampling_strategies": {
+        "type": "object",
+        "required": ["config", "rows"],
+        "properties": {
+            "config": CONFIG,
+            "rows": rows(
+                {
+                    "strategy": STR,
+                    "final_accuracy": FRACTION,
+                    "avg_active_output": POS,
+                },
+                min_items=3,
+            ),
+        },
+    },
+    "train_throughput": {
+        "type": "object",
+        "required": ["config", "rows", "phase_breakdown", "speedup_batched_vs_per_sample"],
+        "properties": {
+            "config": CONFIG,
+            "rows": rows(
+                {
+                    "mode": {"enum": ["dense", "sparse_per_sample", "sparse_batched"]},
+                    "samples_per_sec": POS,
+                    "wall_time_s": POS,
+                    "precision_at_1": FRACTION,
+                    "active_fraction": FRACTION,
+                    "rebuild_share": FRACTION,
+                },
+                min_items=3,
+            ),
+            "phase_breakdown": {
+                "type": "object",
+                "patternProperties": {".": {"type": "object", "patternProperties": {".": POS}}},
+            },
+            "speedup_batched_vs_per_sample": POS,
+        },
+    },
+    "data_pipeline": {
+        "type": "object",
+        "required": [
+            "config",
+            "rows",
+            "speedup_sharded_vs_eager",
+            "max_open_shards_during_stream",
+            "training_loss_parity_bitwise",
+        ],
+        "properties": {
+            "config": CONFIG,
+            "rows": rows(
+                {"stage": STR, "wall_time_s": POS, "examples_per_sec": POS},
+                min_items=3,
+            ),
+            "speedup_sharded_vs_eager": POS,
+            "max_open_shards_during_stream": NAT,
+            "training_loss_parity_bitwise": BOOL,
+        },
+    },
+    "serving_latency": {
+        "type": "object",
+        "required": ["config", "capacity", "qps_sweep", "hot_reload", "parity"],
+        "properties": {
+            "config": CONFIG,
+            "capacity": {
+                "type": "object",
+                "required": ["sustained_qps"],
+                "properties": {"sustained_qps": POS, "probe_shed_rate": FRACTION},
+            },
+            "qps_sweep": rows(dict(_SWEEP_ROW), min_items=2),
+            "hot_reload": {
+                "type": "object",
+                "required": ["num_swaps", "swaps", "incremental_swaps"],
+                "properties": {
+                    "num_swaps": NAT,
+                    "incremental_swaps": NAT,
+                    "swaps": rows(
+                        {"blip_ms": POS, "full_rebuild": BOOL, "version": STR},
+                        min_items=1,
+                    ),
+                },
+            },
+            "parity": {
+                "type": "object",
+                "required": ["bitwise_topk_equal_to_cold_load"],
+                "properties": {"bitwise_topk_equal_to_cold_load": BOOL},
+            },
+        },
+    },
+    "fault_recovery": {
+        "type": "object",
+        "required": ["worker_kill", "parent_kill_resume"],
+        "properties": {
+            "worker_kill": {
+                "type": "object",
+                "required": ["baseline", "killed", "precision_gap"],
+                "properties": {
+                    "baseline": {
+                        "type": "object",
+                        "required": ["precision_at_1"],
+                        "properties": {"precision_at_1": FRACTION},
+                    },
+                    "killed": {
+                        "type": "object",
+                        "required": ["precision_at_1", "restarts", "mean_recovery_latency_s"],
+                        "properties": {
+                            "precision_at_1": FRACTION,
+                            "restarts": NAT,
+                            "lost_batches": NAT,
+                            "mean_recovery_latency_s": POS,
+                        },
+                    },
+                    "precision_gap": POS,
+                },
+            },
+            "parent_kill_resume": {
+                "type": "object",
+                "required": [
+                    "killed_mid_run",
+                    "loss_trajectory_matches",
+                    "final_weights_match",
+                    "recovery_wall_s",
+                ],
+                "properties": {
+                    "killed_mid_run": BOOL,
+                    "loss_trajectory_matches": BOOL,
+                    "final_weights_match": BOOL,
+                    "recovery_wall_s": POS,
+                    "max_loss_divergence": POS,
+                },
+            },
+        },
+    },
+    "router_failover": {
+        "type": "object",
+        "required": ["config", "capacity", "baseline", "failover", "degradation_ladder", "chaos"],
+        "properties": {
+            "config": CONFIG,
+            "capacity": {"type": "object"},
+            "baseline": {
+                "type": "object",
+                "required": ["availability"],
+                "properties": {"availability": FRACTION, "traffic": _TRAFFIC},
+            },
+            "failover": {
+                "type": "object",
+                "required": ["availability", "detection_ms", "killed_replica"],
+                "properties": {
+                    "availability": FRACTION,
+                    "detection_ms": POS,
+                    "killed_replica": STR,
+                },
+            },
+            "degradation_ladder": rows(
+                {
+                    "level": NAT,
+                    "precision_at_1": FRACTION,
+                    "p99_ms": POS,
+                    "mean_candidates_scored": POS,
+                },
+                min_items=2,
+            ),
+            "chaos": {
+                "type": "object",
+                "required": ["availability", "injections_fired"],
+                "properties": {"availability": FRACTION, "injections_fired": NAT},
+            },
+        },
+    },
+}

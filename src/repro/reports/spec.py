@@ -1,0 +1,157 @@
+"""Declarative benchmark specifications for the report registry.
+
+A :class:`BenchSpec` is the single source of truth for one figure/table/
+ablation reproduction: which generator produces it, where the artifact
+lives, what shape the payload must have (JSON schema), which parameters the
+smoke and full modes use, whether the numbers are *measured* on this host or
+derived from a calibrated model, and which metrics are gated against the
+committed baseline by :mod:`repro.reports.trend`.
+
+Generators live in ``benchmarks/bench_<module>.py`` as a pure
+``run(params) -> dict`` function (no I/O, no envelope — the registry runner
+stamps and validates).  They are resolved lazily so importing the registry
+never pays for numpy-heavy bench imports.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from types import ModuleType
+from typing import Any, Callable
+
+__all__ = [
+    "MetricGate",
+    "BenchSpec",
+    "BENCHMARKS_DIR",
+    "REPO_ROOT",
+    "load_bench_module",
+]
+
+REPO_ROOT = Path(__file__).resolve().parents[3]
+BENCHMARKS_DIR = REPO_ROOT / "benchmarks"
+
+
+@dataclass(frozen=True)
+class MetricGate:
+    """One trend-gated metric of a benchmark payload.
+
+    ``path`` addresses a scalar inside the payload (see
+    :func:`repro.reports.trend.extract_metric` for the path language, e.g.
+    ``rows[mode=sparse_batched].samples_per_sec`` or
+    ``qps_sweep[load_fraction=2].latency_ms.p99``).
+
+    ``direction`` declares which way regressions point: ``"higher"`` means
+    larger is better (throughput, precision), ``"lower"`` means smaller is
+    better (latency, shed rate, precision gaps).
+
+    A fresh value regresses when it falls outside
+    ``committed * (1 ± rel_tol) ± abs_tol`` on the bad side.  Improvements
+    never fail the gate.
+    """
+
+    path: str
+    direction: str  # "higher" | "lower"
+    rel_tol: float
+    abs_tol: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("higher", "lower"):
+            raise ValueError(f"gate {self.path}: bad direction {self.direction!r}")
+        if self.rel_tol < 0.0 or self.abs_tol < 0.0:
+            raise ValueError(f"gate {self.path}: tolerances must be >= 0")
+
+    def bound(self, committed: float) -> float:
+        """The worst fresh value that still passes, given the baseline."""
+        if self.direction == "higher":
+            return committed * (1.0 - self.rel_tol) - self.abs_tol
+        return committed * (1.0 + self.rel_tol) + self.abs_tol
+
+    def passes(self, committed: float, fresh: float) -> bool:
+        if self.direction == "higher":
+            return fresh >= self.bound(committed)
+        return fresh <= self.bound(committed)
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """Registry entry mapping one paper artifact to its generator."""
+
+    bench_id: str
+    title: str
+    paper_anchor: str  # e.g. "Fig 10", "Table 4", "Ablation", "beyond-paper"
+    module: str  # bench module name under benchmarks/, e.g. "bench_fig11_hard_threshold"
+    artifact: str  # artifact file name at the repo root, e.g. "BENCH_fig11.json"
+    schema: dict[str, Any]  # JSON schema for the *payload* (envelope is shared)
+    smoke_params: dict[str, Any] = field(default_factory=dict)
+    full_params: dict[str, Any] = field(default_factory=dict)
+    measured: bool = True  # False: derived from a calibrated model, never trend-gated
+    gates: tuple[MetricGate, ...] = ()
+    checker: str | None = None  # optional `check(payload, smoke) -> list[str]` in the module
+    timeout_s: float = 120.0  # per-generator smoke budget (tests enforce it)
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.bench_id:
+            raise ValueError("bench_id must be non-empty")
+        if not self.module.startswith("bench_"):
+            raise ValueError(f"{self.bench_id}: module must be a bench_* name")
+        if not (self.artifact.startswith("BENCH_") and self.artifact.endswith(".json")):
+            raise ValueError(f"{self.bench_id}: artifact must match BENCH_*.json")
+        if self.gates and not self.measured:
+            raise ValueError(
+                f"{self.bench_id}: modelled benchmarks must not declare trend "
+                "gates — modelled metrics are excluded from regression gating"
+            )
+
+    def params_for(self, smoke: bool) -> dict[str, Any]:
+        return dict(self.smoke_params if smoke else self.full_params)
+
+    def artifact_path(self, root: Path | None = None) -> Path:
+        return (root or REPO_ROOT) / self.artifact
+
+    def load_module(self) -> ModuleType:
+        return load_bench_module(self.module)
+
+    def generator(self) -> Callable[[dict[str, Any]], dict[str, Any]]:
+        module = self.load_module()
+        run = getattr(module, "run", None)
+        if not callable(run):
+            raise AttributeError(
+                f"{self.bench_id}: benchmarks/{self.module}.py has no run(params) generator"
+            )
+        return run
+
+    def check_fn(self) -> Callable[[dict[str, Any], bool], list[str]] | None:
+        if self.checker is None:
+            return None
+        fn = getattr(self.load_module(), self.checker, None)
+        if not callable(fn):
+            raise AttributeError(
+                f"{self.bench_id}: benchmarks/{self.module}.py has no {self.checker}() checker"
+            )
+        return fn
+
+
+def load_bench_module(module: str) -> ModuleType:
+    """Import ``benchmarks/<module>.py`` by path (benchmarks is not a package)."""
+    qualname = f"repro_bench.{module}"
+    cached = sys.modules.get(qualname)
+    if cached is not None:
+        return cached
+    path = BENCHMARKS_DIR / f"{module}.py"
+    if not path.is_file():
+        raise FileNotFoundError(f"bench module not found: {path}")
+    spec = importlib.util.spec_from_file_location(qualname, path)
+    if spec is None or spec.loader is None:  # pragma: no cover - importlib contract
+        raise ImportError(f"cannot load bench module {path}")
+    loaded = importlib.util.module_from_spec(spec)
+    sys.modules[qualname] = loaded
+    try:
+        spec.loader.exec_module(loaded)
+    except BaseException:
+        sys.modules.pop(qualname, None)
+        raise
+    return loaded

@@ -1,0 +1,142 @@
+"""CLI tests for ``python -m repro.reports`` and the per-bench main() shim.
+
+These stick to the cheapest registered generators (fig4/fig11 run in well
+under a second) so tier-1 exercises the real end-to-end path — generate,
+stamp, validate, write, trend-check — without paying for the full sweep.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.reports.cli as cli
+from repro.reports.artifacts import read_artifact
+from repro.reports.cli import bench_main, main, run_bench
+from repro.reports.registry import bench_ids, get_spec
+from repro.reports.trend import TrendReport
+
+
+def test_list_mentions_every_bench_id(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for bench_id in bench_ids():
+        assert bench_id in out
+    assert "modelled" in out and "measured" in out
+
+
+def test_no_arguments_prints_help_and_exits_2(capsys):
+    assert main([]) == 2
+    assert "--run" in capsys.readouterr().out
+
+
+def test_run_writes_validated_smoke_artifact(tmp_path, capsys):
+    rc = main(
+        ["--run", "fig11_hard_threshold", "--smoke", "--in-process", "--out-dir", str(tmp_path)]
+    )
+    assert rc == 0
+    assert "[ok] fig11_hard_threshold" in capsys.readouterr().out
+    spec = get_spec("fig11_hard_threshold")
+    document = read_artifact(spec, tmp_path / spec.artifact)
+    assert document["envelope"]["mode"] == "smoke"
+    assert document["envelope"]["measured"] is False
+
+
+def test_run_with_check_skips_modelled_and_passes(tmp_path, capsys):
+    rc = main(
+        [
+            "--run",
+            "fig11_hard_threshold",
+            "--check",
+            "--smoke",
+            "--in-process",
+            "--out-dir",
+            str(tmp_path),
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "[skipped] fig11_hard_threshold: modelled artifact" in out
+    assert "0 regression(s)" in out
+
+
+def test_unknown_bench_id_raises_key_error():
+    with pytest.raises(KeyError, match="unknown bench id"):
+        main(["--run", "fig99_imaginary"])
+
+
+def test_trend_failure_turns_into_exit_code_1(monkeypatch, tmp_path, capsys):
+    # Plumbing test: when the trend checker reports a problem, the CLI must
+    # exit non-zero and say why (the gate math itself is covered in
+    # test_reports_trend.py).
+    def fake_run(spec, smoke, out_dir):
+        return []
+
+    failing = TrendReport()
+    failing.errors.append("baseline: synthetic failure for the test")
+    monkeypatch.setattr(cli, "_run_one", fake_run)
+    monkeypatch.setattr(cli, "check_trend", lambda specs, fresh_dir: failing)
+    rc = main(
+        ["--run", "fig4_sampling", "--check", "--in-process", "--out-dir", str(tmp_path)]
+    )
+    assert rc == 1
+    captured = capsys.readouterr()
+    assert "trend gating failed" in captured.err
+    assert "synthetic failure" in captured.out
+
+
+def test_checker_problems_fail_the_run(monkeypatch, tmp_path, capsys):
+    spec = get_spec("fig4_sampling")
+    monkeypatch.setattr(
+        cli, "run_bench", lambda *a, **k: ({}, tmp_path / spec.artifact, ["bad invariant"])
+    )
+    rc = main(["--run", "fig4_sampling", "--in-process", "--out-dir", str(tmp_path)])
+    assert rc == 1
+    captured = capsys.readouterr()
+    assert "CHECK-FAILED" in captured.out
+    assert "bad invariant" in captured.err
+
+
+def test_run_bench_applies_param_overrides(tmp_path):
+    spec = get_spec("fig4_sampling")
+    payload, written, problems = run_bench(
+        spec,
+        smoke=True,
+        param_overrides={"neuron_counts": [500, 1000], "queries": 2},
+        out_path=tmp_path / "override.json",
+    )
+    assert problems == []
+    assert payload["config"]["neuron_counts"] == [500, 1000]
+    assert payload["config"]["queries"] == 2
+    document = json.loads(written.read_text())
+    assert document["envelope"]["bench_id"] == "fig4_sampling"
+
+
+def test_bench_main_shim_smoke(tmp_path, capsys):
+    out = tmp_path / "shim.json"
+    rc = bench_main(
+        "fig4_sampling",
+        ["--smoke", "--out", str(out), "--param", "queries=2", "--param", "neuron_counts=[500]"],
+    )
+    assert rc == 0
+    assert out.is_file()
+    assert f"wrote {out}" in capsys.readouterr().out
+
+
+def test_bench_main_reports_checker_failures(monkeypatch, tmp_path, capsys):
+    monkeypatch.setattr(
+        cli, "run_bench", lambda *a, **k: ({"rows": []}, tmp_path / "x.json", ["broken"])
+    )
+    rc = bench_main("fig4_sampling", ["--smoke", "--out", str(tmp_path / "x.json")])
+    assert rc == 1
+    assert "checks FAILED" in capsys.readouterr().err
+
+
+def test_sync_docs_roundtrip(capsys):
+    # --check-docs is clean right after --sync-docs (exercised against the
+    # real docs/paper_map.md; sync is idempotent so the tree is unchanged).
+    assert main(["--sync-docs"]) in (0,)
+    capsys.readouterr()
+    assert main(["--check-docs"]) == 0
+    assert "docs check OK" in capsys.readouterr().out

@@ -1,0 +1,120 @@
+"""Registry completeness: every bench script is registered, importable, and
+runnable in smoke mode under its declared timeout; every bench id is
+documented in docs/paper_map.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reports.artifacts import read_artifact
+from repro.reports.cli import _run_isolated
+from repro.reports.docs_sync import check_paper_map
+from repro.reports.registry import all_specs, bench_ids, get_spec
+from repro.reports.spec import BENCHMARKS_DIR, BenchSpec, MetricGate, REPO_ROOT
+
+SPECS = all_specs()
+SPEC_IDS = [spec.bench_id for spec in SPECS]
+
+# Generating every smoke artifact in tier-1 would double the suite's wall
+# time; the per-bench smoke sweep runs as CI's bench-regression job
+# (`python -m repro.reports --all --smoke --check`).  Tier-1 keeps the
+# structural checks plus a smoke run of the cheapest generators, which
+# exercises the isolated-runner path end to end.
+TIER1_SMOKE_IDS = ["fig4_sampling", "fig11_hard_threshold", "table1_datasets"]
+
+
+# ----------------------------------------------------------------------
+# Bench files <-> registry bijection
+# ----------------------------------------------------------------------
+def test_every_bench_script_is_registered_and_vice_versa():
+    on_disk = {path.stem for path in BENCHMARKS_DIR.glob("bench_*.py")}
+    registered = {spec.module for spec in SPECS}
+    missing = on_disk - registered
+    stale = registered - on_disk
+    assert not missing, f"bench scripts without a registry entry: {sorted(missing)}"
+    assert not stale, f"registry entries without a bench script: {sorted(stale)}"
+
+
+def test_bench_ids_are_unique_and_artifacts_distinct():
+    ids = bench_ids()
+    assert len(ids) == len(set(ids))
+    artifacts = [spec.artifact for spec in SPECS]
+    assert len(artifacts) == len(set(artifacts))
+
+
+def test_unknown_bench_id_raises_with_known_ids():
+    with pytest.raises(KeyError, match="unknown bench id"):
+        get_spec("fig99_imaginary")
+
+
+# ----------------------------------------------------------------------
+# Every generator resolves: run(), checker, standalone main()
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("spec", SPECS, ids=SPEC_IDS)
+def test_generator_and_checker_resolve(spec):
+    assert callable(spec.generator())
+    if spec.checker is not None:
+        assert callable(spec.check_fn())
+    module = spec.load_module()
+    assert callable(getattr(module, "main", None)), (
+        f"benchmarks/{spec.module}.py must keep a standalone main() shim"
+    )
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=SPEC_IDS)
+def test_spec_declares_sane_metadata(spec):
+    assert spec.title and spec.paper_anchor
+    assert spec.timeout_s > 0
+    assert isinstance(spec.schema, dict) and spec.schema.get("type") == "object"
+    for gate in spec.gates:
+        assert gate.direction in ("higher", "lower")
+
+
+def test_modelled_specs_never_declare_gates():
+    # Satellite of the trend design: modelled payloads restate calibrated
+    # paper factors, so "regressions" there would only measure constants.
+    modelled = [spec.bench_id for spec in SPECS if not spec.measured]
+    assert "fig10_hugepages_simd" in modelled and "table4_hugepages_counters" in modelled
+    for spec in SPECS:
+        if not spec.measured:
+            assert spec.gates == (), f"{spec.bench_id} is modelled but declares gates"
+
+
+def test_bench_spec_rejects_gates_on_modelled_entries():
+    with pytest.raises(ValueError, match="modelled benchmarks must not declare"):
+        BenchSpec(
+            bench_id="x",
+            title="x",
+            paper_anchor="Fig 0",
+            module="bench_x",
+            artifact="BENCH_x.json",
+            schema={"type": "object"},
+            measured=False,
+            gates=(MetricGate("y", "higher", 0.1),),
+        )
+
+
+# ----------------------------------------------------------------------
+# Smoke-mode execution under the per-spec timeout (isolated runner)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("bench_id", TIER1_SMOKE_IDS)
+def test_generator_runs_in_smoke_mode_under_timeout(bench_id, tmp_path):
+    spec = get_spec(bench_id)
+    failures = _run_isolated(spec, smoke=True, out_dir=tmp_path)
+    assert failures == []
+    document = read_artifact(spec, tmp_path / spec.artifact)
+    assert document["envelope"]["mode"] == "smoke"
+
+
+# ----------------------------------------------------------------------
+# Docs coverage: every bench id appears in docs/paper_map.md
+# ----------------------------------------------------------------------
+def test_every_bench_id_documented_in_paper_map():
+    text = (REPO_ROOT / "docs" / "paper_map.md").read_text()
+    missing = [spec.bench_id for spec in SPECS if spec.bench_id not in text]
+    assert not missing, f"docs/paper_map.md does not mention: {missing}"
+
+
+def test_paper_map_status_table_in_sync_with_registry():
+    assert check_paper_map() == []

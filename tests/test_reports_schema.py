@@ -1,0 +1,128 @@
+"""Unit tests for the stdlib mini JSON-schema validator (repro.reports.schema).
+
+The validator deliberately implements only the subset of JSON Schema the
+registry's payload schemas use — and treats anything outside that subset as
+an error, so a typo'd constraint can never silently validate nothing.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.reports.schema import SchemaError, check, validate
+
+
+def test_type_match_and_mismatch():
+    assert check(3, {"type": "integer"}) == []
+    assert check(3.5, {"type": "number"}) == []
+    assert check("x", {"type": "string"}) == []
+    assert check(None, {"type": "null"}) == []
+    problems = check("x", {"type": "integer"})
+    assert problems and "expected integer" in problems[0]
+
+
+def test_type_list_accepts_any_member():
+    schema = {"type": ["number", "string"]}
+    assert check(1.5, schema) == []
+    assert check("NaN", schema) == []
+    assert check([], schema) != []
+
+
+def test_bool_is_not_a_number():
+    # bool subclasses int in Python; schemas mean arithmetic numbers.
+    assert check(True, {"type": "integer"}) != []
+    assert check(True, {"type": "number"}) != []
+    assert check(True, {"type": "boolean"}) == []
+
+
+def test_non_finite_floats_are_not_numbers():
+    for bad in (math.nan, math.inf, -math.inf):
+        problems = check(bad, {"type": "number"})
+        assert problems, f"{bad!r} should fail the number type"
+
+
+def test_required_and_additional_properties():
+    schema = {
+        "type": "object",
+        "required": ["a"],
+        "additionalProperties": False,
+        "properties": {"a": {"type": "integer"}, "b": {"type": "string"}},
+    }
+    assert check({"a": 1, "b": "ok"}, schema) == []
+    assert any("missing required key 'a'" in p for p in check({"b": "x"}, schema))
+    assert any("unexpected key 'c'" in p for p in check({"a": 1, "c": 2}, schema))
+
+
+def test_additional_properties_schema_applies_to_unknown_keys():
+    schema = {"type": "object", "additionalProperties": {"type": "number"}}
+    assert check({"anything": 1.0}, schema) == []
+    assert check({"anything": "nope"}, schema) != []
+
+
+def test_pattern_properties():
+    schema = {
+        "type": "object",
+        "additionalProperties": False,
+        "patternProperties": {"^m=": {"type": "array", "items": {"type": "number"}}},
+    }
+    assert check({"m=2": [0.5, 0.25]}, schema) == []
+    assert check({"m=2": ["x"]}, schema) != []
+    # Keys matching no pattern fall through to additionalProperties=False.
+    assert any("unexpected key" in p for p in check({"k=2": []}, schema))
+
+
+def test_items_and_min_items():
+    schema = {"type": "array", "minItems": 2, "items": {"type": "integer"}}
+    assert check([1, 2, 3], schema) == []
+    assert any("minItems" in p for p in check([1], schema))
+    problems = check([1, "x"], schema)
+    assert problems and "[1]" in problems[0]
+
+
+def test_enum_const_and_bounds():
+    assert check("smoke", {"enum": ["smoke", "full"]}) == []
+    assert any("enum" in p for p in check("warm", {"enum": ["smoke", "full"]}))
+    assert check(1, {"const": 1}) == []
+    assert check(2, {"const": 1}) != []
+    assert check(0.5, {"type": "number", "minimum": 0, "maximum": 1}) == []
+    assert any("minimum" in p for p in check(-0.1, {"type": "number", "minimum": 0}))
+    assert any("maximum" in p for p in check(1.5, {"type": "number", "maximum": 1}))
+    assert any(
+        "exclusiveMinimum" in p for p in check(0, {"type": "number", "exclusiveMinimum": 0})
+    )
+
+
+def test_unknown_schema_keyword_is_an_error_not_a_noop():
+    problems = check({"a": 1}, {"type": "object", "propertys": {}})
+    assert problems and "unsupported keyword" in problems[0]
+
+
+def test_unknown_type_name_is_an_error():
+    problems = check(1, {"type": "float"})
+    assert problems and "unknown type" in problems[0]
+
+
+def test_nested_paths_name_the_failing_location():
+    schema = {
+        "type": "object",
+        "properties": {
+            "rows": {"type": "array", "items": {"type": "object", "required": ["x"]}}
+        },
+    }
+    problems = check({"rows": [{"x": 1}, {}]}, schema)
+    assert problems == ["$.rows[1]: missing required key 'x'"]
+
+
+def test_validate_raises_schema_error_listing_every_problem():
+    schema = {
+        "type": "object",
+        "required": ["a", "b"],
+        "additionalProperties": False,
+        "properties": {"a": {"type": "integer"}, "b": {"type": "integer"}},
+    }
+    with pytest.raises(SchemaError) as excinfo:
+        validate({"c": 1}, schema)
+    assert len(excinfo.value.problems) == 3  # missing a, missing b, unexpected c
+    validate({"a": 1, "b": 2}, schema)  # no-op when valid

@@ -12,6 +12,9 @@ dependencies, so CI and the tier-1 suite can run it anywhere:
 * **Doctests** — ``>>>`` examples embedded in the checked files run under
   :mod:`doctest` with ``src`` on ``sys.path`` (the same thing
   ``python -m doctest <file>`` would execute).
+* **Registry sync** — ``docs/paper_map.md``'s generated measured-vs-modelled
+  status table must match the report registry, and every registered bench id
+  must be mentioned (``repro.reports.docs_sync.check_paper_map``).
 
 Usage::
 
@@ -112,6 +115,13 @@ def run_doctests(path: Path) -> list[str]:
     return []
 
 
+def check_registry_docs() -> list[str]:
+    """Registry↔paper-map drift (stale status table, undocumented bench ids)."""
+    from repro.reports.docs_sync import check_paper_map
+
+    return check_paper_map()
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -143,12 +153,14 @@ def main(argv: list[str] | None = None) -> int:
         if not args.no_doctest:
             failures.extend(run_doctests(path))
 
+    failures.extend(check_registry_docs())
+
     if failures:
         print(f"docs check FAILED ({len(failures)} problem(s)):")
         for failure in failures:
             print(f"  - {failure}")
         return 1
-    print(f"docs check OK: {checked} file(s), links+anchors+doctests clean")
+    print(f"docs check OK: {checked} file(s), links+anchors+doctests+registry clean")
     return 0
 
 
